@@ -1,0 +1,1 @@
+bench/main.ml: Ablation Baselines Campaign Config Experiments List Micro Printf String Tables Variance

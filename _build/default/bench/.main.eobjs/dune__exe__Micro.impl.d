@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Bechamel Benchmark Csp2 Encodings Gen Hashtbl Instance List Measure Prelude Printf Rt_model Sched Staged Test Time Toolkit

@@ -1,0 +1,61 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (Section VII), the ablation/baseline extensions documented in
+   DESIGN.md, and a set of Bechamel micro-benchmarks for the solver kernels.
+
+   Paper regime: MGRTS_LIMIT=30 MGRTS_INSTANCES=500 dune exec bench/main.exe
+   (defaults are scaled down so the default run finishes in minutes; see
+   EXPERIMENTS.md for the paper-vs-measured discussion). *)
+
+open Experiments
+
+let section title =
+  Printf.printf "\n%s\n%s\n%!" title (String.make (String.length title) '=')
+
+let progress_every every label i =
+  if (i + 1) mod every = 0 then Printf.printf "  .. %s %d\n%!" label (i + 1)
+
+let () =
+  let config = Config.from_env () in
+  Printf.printf
+    "MGRTS benchmark harness\n\
+     config: %d instances, %.3fs limit, seed %d, table IV: %d instances x n in {%s}\n\
+     (paper regime: MGRTS_LIMIT=30 MGRTS_INSTANCES=500)\n%!"
+    config.Config.instances config.Config.limit_s config.Config.seed
+    config.Config.table4_instances
+    (String.concat "," (List.map string_of_int config.Config.table4_sizes));
+
+  section "FIGURE 1";
+  print_string (Tables.figure1 ());
+
+  section "TABLES I-III (shared campaign: m=5, n=10, Tmax=7)";
+  let campaign = Campaign.run ~progress:(progress_every 100 "instance") config in
+  print_string (Tables.render_table1 (Tables.table1 campaign));
+  print_newline ();
+  print_string (Tables.render_table2 (Tables.table2 campaign));
+  print_newline ();
+  print_string (Tables.render_bucket_rows (Tables.table3 campaign));
+
+  section "TABLE I VARIANT (weak propagation: urgency off — the regime where the paper's heuristic ordering shows)";
+  let weak_campaign =
+    Campaign.run
+      ~solvers:Experiments.Runner.table1_weak_solvers
+      ~progress:(progress_every 100 "instance")
+      config
+  in
+  print_string (Tables.render_table1 (Tables.table1 weak_campaign));
+
+  section "TABLE IV (scaling: Tmax=15, m minimal)";
+  let rows = Tables.table4 ~progress:(fun i -> progress_every 1 "size" i) config in
+  print_string (Tables.render_table4 rows);
+
+  section "RANDOMNESS (Section VII-B)";
+  print_string (Variance.render (Variance.run config));
+
+  section "ABLATIONS";
+  print_string (Ablation.render (Ablation.run config));
+
+  section "BASELINES";
+  print_string (Baselines.render (Baselines.run config));
+
+  section "MICRO-BENCHMARKS (Bechamel)";
+  Micro.run ()

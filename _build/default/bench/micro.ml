@@ -1,0 +1,78 @@
+(* Bechamel micro-benchmarks for the solver kernels: one Test.make per
+   component whose inner-loop performance the tables depend on. *)
+
+open Bechamel
+open Toolkit
+
+let running_example = Rt_model.Examples.running_example
+
+let prng_test =
+  Test.make ~name:"prng.int" (Staged.stage (let rng = Prelude.Prng.create ~seed:1 in fun () -> ignore (Prelude.Prng.int rng 1000)))
+
+let bitset_test =
+  Test.make ~name:"bitset.iter"
+    (Staged.stage
+       (let set = Prelude.Bitset.full 256 in
+        fun () ->
+          let acc = ref 0 in
+          Prelude.Bitset.iter (fun v -> acc := !acc + v) set;
+          ignore !acc))
+
+let windows_test =
+  Test.make ~name:"windows.build"
+    (Staged.stage (fun () -> ignore (Rt_model.Windows.build running_example)))
+
+let csp1_test =
+  Test.make ~name:"csp1.solve(example)"
+    (Staged.stage (fun () ->
+         ignore (Encodings.Csp1.solve ~seed:1 running_example ~m:2)))
+
+let csp1_sat_test =
+  Test.make ~name:"csp1-sat.solve(example)"
+    (Staged.stage (fun () -> ignore (Encodings.Csp1_sat.solve running_example ~m:2)))
+
+let csp2_test =
+  Test.make ~name:"csp2-dc.solve(example)"
+    (Staged.stage (fun () ->
+         ignore (Csp2.Solver.solve ~heuristic:Csp2.Heuristic.DC running_example ~m:2)))
+
+let sim_test =
+  Test.make ~name:"sim.edf(example)"
+    (Staged.stage (fun () -> ignore (Sched.Sim.run running_example ~m:2)))
+
+let generator_test =
+  Test.make ~name:"generator.instance"
+    (Staged.stage
+       (let rng = Prelude.Prng.create ~seed:3 in
+        let params = Gen.Generator.default ~n:10 ~m:(Gen.Generator.Fixed_m 5) ~tmax:7 in
+        fun () -> ignore (Gen.Generator.generate rng params)))
+
+let tests =
+  Test.make_grouped ~name:"mgrts" ~fmt:"%s/%s"
+    [
+      prng_test;
+      bitset_test;
+      windows_test;
+      csp1_test;
+      csp1_sat_test;
+      csp2_test;
+      sim_test;
+      generator_test;
+    ]
+
+let run () =
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:(Some 1000) () in
+  let raw = Benchmark.all cfg [ Instance.monotonic_clock ] tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name result acc -> (name, result) :: acc) results [] in
+  let rows = List.sort (fun (a, _) (b, _) -> compare a b) rows in
+  Printf.printf "%-32s %16s\n" "benchmark" "ns/run";
+  List.iter
+    (fun (name, result) ->
+      match Analyze.OLS.estimates result with
+      | Some [ est ] -> Printf.printf "%-32s %16.1f\n" name est
+      | Some _ | None -> Printf.printf "%-32s %16s\n" name "n/a")
+    rows

@@ -1,0 +1,375 @@
+(* mgrts — command-line front end.
+
+   Subcommands:
+     gen      generate random instances (Section VII-A parameters)
+     solve    decide feasibility of an instance with any solver path
+     verify   check a schedule file against a task set
+     fig1     print the paper's Figure 1
+     table1 / table3 / table4 / ablation / baselines
+              reproduce the corresponding experiment
+     minproc  incremental search for the smallest feasible m
+
+   Task sets are read as text: one task per line, "O C D T" integers,
+   '#' comments allowed. *)
+
+open Cmdliner
+open Rt_model
+
+(* ------------------------------------------------------------------ *)
+(* Task-set file I/O (format: Rt_model.Io).                            *)
+
+let read_taskset = Io.load_taskset
+let print_taskset ts = print_string (Io.taskset_to_string ts)
+
+(* ------------------------------------------------------------------ *)
+(* Common arguments.                                                   *)
+
+let m_arg =
+  let doc = "Number of processors." in
+  Arg.(required & opt (some int) None & info [ "m"; "processors" ] ~docv:"M" ~doc)
+
+let limit_arg =
+  let doc = "Per-run wall-clock limit in seconds (0 = unlimited)." in
+  Arg.(value & opt float 0. & info [ "limit" ] ~docv:"SECONDS" ~doc)
+
+let seed_arg =
+  let doc = "Random seed." in
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let file_arg =
+  let doc = "Task-set file (one 'O C D T' line per task)." in
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"TASKSET" ~doc)
+
+let budget_of_limit limit =
+  if limit <= 0. then Prelude.Timer.unlimited else Prelude.Timer.budget ~wall_s:limit ()
+
+let solver_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "csp1" -> Ok Core.Csp1_generic
+    | "csp1-sat" | "sat" -> Ok Core.Csp1_sat
+    | "csp2-generic" -> Ok Core.Csp2_generic
+    | "local" | "local-search" -> Ok Core.Local_search
+    | other -> (
+      match
+        if String.length other > 5 && String.sub other 0 5 = "csp2+" then
+          Csp2.Heuristic.of_string (String.sub other 5 (String.length other - 5))
+        else if other = "csp2" then Some Csp2.Heuristic.Id
+        else None
+      with
+      | Some h -> Ok (Core.Csp2_dedicated h)
+      | None -> Error (`Msg (Printf.sprintf "unknown solver %S" s)))
+  in
+  Arg.conv (parse, fun ppf s -> Format.fprintf ppf "%s" (Core.solver_name s))
+
+let solver_arg =
+  let doc =
+    "Solver path: csp1, csp1-sat, csp2-generic, csp2, csp2+rm, csp2+dm, csp2+tc, csp2+dc, \
+     local-search."
+  in
+  Arg.(value & opt solver_conv Core.default_solver & info [ "solver" ] ~docv:"SOLVER" ~doc)
+
+(* ------------------------------------------------------------------ *)
+(* Commands.                                                           *)
+
+let gen_cmd =
+  let run n m tmax seed count offsets order =
+    let order =
+      match order with
+      | "d" -> Gen.Generator.D_first
+      | "c" -> Gen.Generator.C_first
+      | "t" -> Gen.Generator.T_first
+      | other -> failwith ("unknown order (use d, c or t): " ^ other)
+    in
+    let params = { (Gen.Generator.default ~n ~m:(Gen.Generator.Fixed_m m) ~tmax) with order; offsets } in
+    let instances = Gen.Generator.batch ~seed ~count params in
+    Array.iteri
+      (fun i (ts, m) ->
+        Printf.printf "# instance %d: m=%d U=%.3f r=%.3f T=%d\n" i m (Taskset.utilization ts)
+          (Taskset.utilization_ratio ts ~m)
+          (Taskset.hyperperiod ts);
+        print_taskset ts)
+      instances;
+    0
+  in
+  let n = Arg.(value & opt int 10 & info [ "n"; "tasks" ] ~docv:"N" ~doc:"Number of tasks.") in
+  let m = Arg.(value & opt int 5 & info [ "m" ] ~docv:"M" ~doc:"Number of processors.") in
+  let tmax = Arg.(value & opt int 7 & info [ "tmax" ] ~docv:"TMAX" ~doc:"Maximum period.") in
+  let count = Arg.(value & opt int 1 & info [ "count" ] ~docv:"K" ~doc:"Instances to emit.") in
+  let offsets =
+    Arg.(value & opt bool true & info [ "offsets" ] ~docv:"BOOL" ~doc:"Sample release offsets.")
+  in
+  let order =
+    Arg.(value & opt string "d" & info [ "order" ] ~docv:"ORDER" ~doc:"Sampling order: d, c or t.")
+  in
+  Cmd.v
+    (Cmd.info "gen" ~doc:"Generate random instances (Section VII-A).")
+    Term.(const run $ n $ m $ tmax $ seed_arg $ count $ offsets $ order)
+
+let solve_cmd =
+  let run file m solver limit seed quiet =
+    let ts = read_taskset file in
+    let verdict, elapsed =
+      Core.solve ~solver ~budget:(budget_of_limit limit) ~seed ts ~m
+    in
+    (match verdict with
+    | Core.Feasible sched ->
+      Printf.printf "feasible (%.4fs, %s)\n" elapsed (Core.solver_name solver);
+      if not quiet then Format.printf "%a@." Schedule.pp sched
+    | Core.Infeasible -> Printf.printf "infeasible (%.4fs, proof)\n" elapsed
+    | Core.Limit -> Printf.printf "limit reached (%.4fs): undecided\n" elapsed
+    | Core.Memout reason -> Printf.printf "model too large: %s\n" reason);
+    match verdict with Core.Feasible _ | Core.Infeasible -> 0 | _ -> 2
+  in
+  let quiet = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Do not print the schedule.") in
+  Cmd.v
+    (Cmd.info "solve" ~doc:"Decide feasibility of a task-set file.")
+    Term.(const run $ file_arg $ m_arg $ solver_arg $ limit_arg $ seed_arg $ quiet)
+
+let fig1_cmd =
+  let run () =
+    print_string (Experiments.Tables.figure1 ());
+    0
+  in
+  Cmd.v (Cmd.info "fig1" ~doc:"Print the paper's Figure 1.") Term.(const run $ const ())
+
+let with_config limit instances seed f =
+  let base = Experiments.Config.from_env () in
+  let config =
+    {
+      base with
+      Experiments.Config.limit_s = (if limit > 0. then limit else base.Experiments.Config.limit_s);
+      instances = (if instances > 0 then instances else base.Experiments.Config.instances);
+      seed;
+    }
+  in
+  f config
+
+let instances_arg =
+  Arg.(value & opt int 0 & info [ "instances" ] ~docv:"K" ~doc:"Instance count (0 = default).")
+
+let table1_cmd =
+  let run limit instances seed =
+    with_config limit instances seed (fun config ->
+        let campaign = Experiments.Campaign.run config in
+        print_string (Experiments.Tables.render_table1 (Experiments.Tables.table1 campaign));
+        print_newline ();
+        print_string (Experiments.Tables.render_table2 (Experiments.Tables.table2 campaign));
+        0)
+  in
+  Cmd.v
+    (Cmd.info "table1" ~doc:"Reproduce Tables I and II.")
+    Term.(const run $ limit_arg $ instances_arg $ seed_arg)
+
+let table3_cmd =
+  let run limit instances seed =
+    with_config limit instances seed (fun config ->
+        let campaign = Experiments.Campaign.run config in
+        print_string (Experiments.Tables.render_bucket_rows (Experiments.Tables.table3 campaign));
+        0)
+  in
+  Cmd.v
+    (Cmd.info "table3" ~doc:"Reproduce Table III.")
+    Term.(const run $ limit_arg $ instances_arg $ seed_arg)
+
+let table4_cmd =
+  let run limit instances seed =
+    with_config limit instances seed (fun config ->
+        let config =
+          if instances > 0 then { config with Experiments.Config.table4_instances = instances }
+          else config
+        in
+        print_string (Experiments.Tables.render_table4 (Experiments.Tables.table4 config));
+        0)
+  in
+  Cmd.v
+    (Cmd.info "table4" ~doc:"Reproduce Table IV.")
+    Term.(const run $ limit_arg $ instances_arg $ seed_arg)
+
+let ablation_cmd =
+  let run limit instances seed =
+    with_config limit instances seed (fun config ->
+        print_string (Experiments.Ablation.render (Experiments.Ablation.run config));
+        0)
+  in
+  Cmd.v
+    (Cmd.info "ablation" ~doc:"Run the encoding/search ablations.")
+    Term.(const run $ limit_arg $ instances_arg $ seed_arg)
+
+let baselines_cmd =
+  let run limit instances seed =
+    with_config limit instances seed (fun config ->
+        print_string (Experiments.Baselines.render (Experiments.Baselines.run config));
+        0)
+  in
+  Cmd.v
+    (Cmd.info "baselines" ~doc:"Compare priority-driven baselines on feasible instances.")
+    Term.(const run $ limit_arg $ instances_arg $ seed_arg)
+
+let minproc_cmd =
+  let run file solver limit =
+    let ts = read_taskset file in
+    let budget_per_m = if limit > 0. then Some (Prelude.Timer.budget ~wall_s:limit ()) else None in
+    (match Core.min_processors ~solver ~budget_per_m ts with
+    | Some m -> Printf.printf "schedulable on %d processor(s) (lower bound %d)\n" m (Taskset.min_processors ts)
+    | None -> Printf.printf "not schedulable on up to %d processors\n" (Taskset.size ts));
+    0
+  in
+  Cmd.v
+    (Cmd.info "minproc" ~doc:"Find the smallest feasible processor count (Section VII-E).")
+    Term.(const run $ file_arg $ solver_arg $ limit_arg)
+
+let priority_cmd =
+  let run file m limit =
+    let ts = read_taskset file in
+    let budget = budget_of_limit limit in
+    (match Priority.Assignment.search ~budget ts ~m with
+    | Priority.Assignment.Found ranks, stats ->
+      Printf.printf "feasible fixed-priority assignment found (%d candidates simulated):\n"
+        stats.Priority.Assignment.candidates;
+      Array.iteri (fun i r -> Printf.printf "  task %d -> priority %d\n" (i + 1) r) ranks
+    | Priority.Assignment.Not_found, stats ->
+      Printf.printf "no fixed-priority assignment works (%d candidates simulated)\n"
+        stats.Priority.Assignment.candidates
+    | Priority.Assignment.Limit, _ -> Printf.printf "limit reached: undecided\n");
+    0
+  in
+  Cmd.v
+    (Cmd.info "priority" ~doc:"Search for a feasible fixed-priority assignment (future work #2).")
+    Term.(const run $ file_arg $ m_arg $ limit_arg)
+
+let simulate_cmd =
+  let run file m policy =
+    let ts = read_taskset file in
+    let policy, label =
+      match String.lowercase_ascii policy with
+      | "edf" -> (Sched.Sim.EDF, "EDF")
+      | "llf" -> (Sched.Sim.LLF, "LLF")
+      | "rm" -> (Sched.Sim.Fixed_priority (Sched.Sim.rm_priorities ts), "RM")
+      | "dm" -> (Sched.Sim.Fixed_priority (Sched.Sim.dm_priorities ts), "DM")
+      | other -> failwith ("unknown policy (edf, llf, rm, dm): " ^ other)
+    in
+    let res = Sched.Sim.run ts ~m ~policy in
+    if res.Sched.Sim.ok && res.Sched.Sim.exact then
+      Printf.printf "%s meets all deadlines (schedule provably repeats)\n" label
+    else if res.Sched.Sim.ok then
+      Printf.printf "%s found no miss within the simulated window (not a proof)\n" label
+    else begin
+      Printf.printf "%s misses deadlines:\n" label;
+      List.iter
+        (fun { Sched.Sim.task; job; at } ->
+          Printf.printf "  job %d of task %d at t=%d\n" job (task + 1) at)
+        res.Sched.Sim.misses
+    end;
+    if res.Sched.Sim.ok && res.Sched.Sim.exact then 0 else 1
+  in
+  let policy =
+    Arg.(value & opt string "edf" & info [ "policy" ] ~docv:"POLICY" ~doc:"edf, llf, rm or dm.")
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Simulate a priority-driven global scheduler (exact verdict).")
+    Term.(const run $ file_arg $ m_arg $ policy)
+
+let clone_cmd =
+  let run file =
+    let ts = read_taskset file in
+    let reduction = Clone.transform ts in
+    let cloned = Clone.cloned reduction in
+    Printf.printf "# clone system (Section VI-B); origins:" ;
+    Array.iteri
+      (fun c _ -> Printf.printf " %d->%d" (c + 1) (Clone.origin reduction c + 1))
+      (Taskset.tasks cloned);
+    print_newline ();
+    print_taskset cloned;
+    0
+  in
+  Cmd.v
+    (Cmd.info "clone" ~doc:"Print the arbitrary-deadline clone transform of a task set.")
+    Term.(const run $ file_arg)
+
+let dimacs_cmd =
+  let run file m =
+    let ts = read_taskset file in
+    let model = Encodings.Csp1_sat.build ts ~m in
+    print_string (Sat.Dimacs.to_string (Encodings.Csp1_sat.to_dimacs model));
+    0
+  in
+  Cmd.v
+    (Cmd.info "dimacs" ~doc:"Export the CSP1 encoding as DIMACS CNF (for external SAT solvers).")
+    Term.(const run $ file_arg $ m_arg)
+
+let metrics_cmd =
+  let run file m solver limit polish =
+    let ts = read_taskset file in
+    match Core.solve ~solver ~budget:(budget_of_limit limit) ts ~m with
+    | Core.Feasible sched, elapsed ->
+      Format.printf "feasible (%.4fs); %a@." elapsed Rt_model.Metrics.pp
+        (Rt_model.Metrics.analyze ts sched);
+      if polish then begin
+        let polished = Sched.Polish.minimize_migrations sched in
+        Format.printf "polished:           %a@." Rt_model.Metrics.pp
+          (Rt_model.Metrics.analyze ts polished)
+      end;
+      0
+    | (Core.Infeasible | Core.Limit | Core.Memout _), _ ->
+      print_endline "no schedule to measure";
+      1
+  in
+  let polish =
+    Arg.(value & flag & info [ "polish" ] ~doc:"Also report metrics after migration polishing.")
+  in
+  Cmd.v
+    (Cmd.info "metrics" ~doc:"Solve and report schedule quality metrics.")
+    Term.(const run $ file_arg $ m_arg $ solver_arg $ limit_arg $ polish)
+
+let verify_cmd =
+  let run taskset_file schedule_file =
+    let ts = read_taskset taskset_file in
+    let ic = open_in schedule_file in
+    let text = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    let sched = Io.schedule_of_csv text in
+    match Verify.check ts sched with
+    | Ok () ->
+      print_endline "schedule is feasible (C1-C4 hold)";
+      0
+    | Error violations ->
+      Printf.printf "schedule is INVALID (%d violation(s)):\n" (List.length violations);
+      List.iter
+        (fun v -> Format.printf "  %a@." Verify.pp_violation v)
+        violations;
+      1
+  in
+  let schedule_file =
+    Arg.(required & pos 1 (some file) None & info [] ~docv:"SCHEDULE.CSV"
+           ~doc:"Schedule CSV (rows = processors, cells = 1-based task ids or empty).")
+  in
+  Cmd.v
+    (Cmd.info "verify" ~doc:"Check a schedule CSV against a task set (conditions C1-C4).")
+    Term.(const run $ file_arg $ schedule_file)
+
+let default =
+  Term.(ret (const (`Help (`Pager, None))))
+
+let () =
+  let info = Cmd.info "mgrts" ~version:"1.0.0" ~doc:"Global multiprocessor real-time scheduling as a CSP." in
+  exit
+    (Cmd.eval'
+       (Cmd.group ~default info
+          [
+            gen_cmd;
+            solve_cmd;
+            fig1_cmd;
+            table1_cmd;
+            table3_cmd;
+            table4_cmd;
+            ablation_cmd;
+            baselines_cmd;
+            minproc_cmd;
+            priority_cmd;
+            simulate_cmd;
+            clone_cmd;
+            dimacs_cmd;
+            metrics_cmd;
+            verify_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/anomaly_hunt.ml: Array Core Csp2 Encodings Examples Format Gen List Prelude Printf Priority Rt_model Sched Schedule String Taskset

@@ -1,0 +1,1 @@
+examples/arbitrary_deadlines.ml: Array Clone Core Format Rt_model Schedule Taskset

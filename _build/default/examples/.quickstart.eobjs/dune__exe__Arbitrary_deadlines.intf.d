@@ -1,0 +1,1 @@
+examples/arbitrary_deadlines.mli:

@@ -1,0 +1,1 @@
+examples/capacity_planning.ml: Core Format Gen Prelude Rt_model Sched Taskset

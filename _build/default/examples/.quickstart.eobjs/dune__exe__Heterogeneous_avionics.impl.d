@@ -1,0 +1,1 @@
+examples/heterogeneous_avionics.ml: Array Core Format Platform Rt_model Schedule Taskset Verify

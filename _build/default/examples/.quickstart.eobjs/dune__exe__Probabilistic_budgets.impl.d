@@ -1,0 +1,1 @@
+examples/probabilistic_budgets.ml: Array Examples Format List Prob Rt_model Sched Taskset

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Core Encodings Examples Format List Metrics Rt_model Schedule Taskset Verify Windows

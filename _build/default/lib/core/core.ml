@@ -1,0 +1,99 @@
+open Prelude
+open Rt_model
+
+type solver =
+  | Csp1_generic
+  | Csp1_sat
+  | Csp2_generic
+  | Csp2_dedicated of Csp2.Heuristic.t
+  | Local_search
+
+let default_solver = Csp2_dedicated Csp2.Heuristic.DC
+
+let solver_name = function
+  | Csp1_generic -> "csp1"
+  | Csp1_sat -> "csp1-sat"
+  | Csp2_generic -> "csp2-generic"
+  | Csp2_dedicated h -> "csp2+" ^ Csp2.Heuristic.to_string h
+  | Local_search -> "local-search"
+
+let all_solvers =
+  [ Csp1_generic; Csp1_sat; Csp2_generic; Csp2_dedicated Csp2.Heuristic.DC; Local_search ]
+
+type verdict = Encodings.Outcome.t =
+  | Feasible of Rt_model.Schedule.t
+  | Infeasible
+  | Limit
+  | Memout of string
+
+let dispatch solver ~platform ~budget ~seed ts ~m =
+  let identical = Platform.is_identical platform in
+  match solver with
+  | Csp1_generic -> fst (Encodings.Csp1.solve ~platform ~budget ~seed ts ~m)
+  | Csp1_sat ->
+    if not identical then invalid_arg "Core.solve: Csp1_sat requires an identical platform";
+    fst (Encodings.Csp1_sat.solve ~budget ~seed ts ~m)
+  | Csp2_generic -> fst (Encodings.Csp2_fd.solve ~platform ~budget ~seed ts ~m)
+  | Csp2_dedicated heuristic ->
+    if identical then fst (Csp2.Solver.solve ~heuristic ~budget ts ~m)
+    else fst (Csp2.Het.solve ~heuristic ~budget ~platform ts)
+  | Local_search ->
+    if not identical then invalid_arg "Core.solve: Local_search requires an identical platform";
+    fst (Localsearch.Min_conflicts.solve ~seed ~budget ts ~m)
+
+let solve ?(solver = default_solver) ?platform ?(budget = Timer.unlimited) ?(seed = 0)
+    ?(verify = true) ts ~m =
+  let platform = match platform with Some p -> p | None -> Platform.identical ~m in
+  if Platform.processors platform <> m then invalid_arg "Core.solve: platform/m mismatch";
+  let t0 = Timer.start () in
+  let fail_invalid v =
+    failwith
+      (Format.asprintf "Core.solve: solver produced an invalid schedule: %a" Verify.pp_violation
+         v)
+  in
+  let verdict =
+    if Taskset.is_constrained ts then begin
+      match dispatch solver ~platform ~budget ~seed ts ~m with
+      | Feasible schedule as result ->
+        (if verify then
+           match Verify.check ~platform ts schedule with
+           | Ok () -> ()
+           | Error (v :: _) -> fail_invalid v
+           | Error [] -> assert false);
+        result
+      | (Infeasible | Limit | Memout _) as other -> other
+    end
+    else begin
+      (* Arbitrary deadlines: reduce via the clone transform (Section VI-B),
+         solve the constrained clone system, map task ids back. *)
+      let reduction = Clone.transform ts in
+      let cloned = Clone.cloned reduction in
+      let clone_platform = Clone.map_platform reduction platform in
+      match dispatch solver ~platform:clone_platform ~budget ~seed cloned ~m with
+      | Feasible clone_schedule ->
+        (if verify then
+           match Verify.check ~platform:clone_platform cloned clone_schedule with
+           | Ok () -> ()
+           | Error (v :: _) -> fail_invalid v
+           | Error [] -> assert false);
+        Feasible (Clone.map_schedule reduction clone_schedule)
+      | (Infeasible | Limit | Memout _) as other -> other
+    end
+  in
+  (verdict, Timer.elapsed t0)
+
+let feasible ?solver ?budget ts ~m =
+  match fst (solve ?solver ?budget ts ~m) with
+  | Feasible _ -> Some true
+  | Infeasible -> Some false
+  | Limit | Memout _ -> None
+
+let min_processors ?solver ?(budget_per_m = None) ?max_m ts =
+  let max_m = match max_m with Some v -> v | None -> Taskset.size ts in
+  let solve_m ~m =
+    let budget = match budget_per_m with Some b -> b | None -> Timer.unlimited in
+    match fst (solve ?solver ~budget ts ~m) with
+    | Feasible _ -> true
+    | Infeasible | Limit | Memout _ -> false
+  in
+  Analysis.min_processors_feasible ~solve:solve_m ts ~max_m

@@ -1,0 +1,77 @@
+(** MGRTS — Global Multiprocessor Real-Time Scheduling as a CSP.
+
+    One-stop facade over the library: pick a solver path, hand it a task
+    set and a processor count, get a verified verdict back.  The underlying
+    pieces remain available for fine-grained control:
+
+    - {!Rt_model}: tasks, platforms, windows, schedules, verification;
+    - {!Fd}: the generic finite-domain solver (CSP1/CSP2 encodings);
+    - {!Sat}: the CDCL solver behind the CSP1→CNF path;
+    - {!Csp2}: the paper's dedicated chronological solver;
+    - {!Sched}, {!Localsearch}, {!Priority}: baselines and future-work
+      extensions;
+    - {!Gen}: the random instance generator of Section VII-A.
+
+    {2 Quickstart}
+
+    {[
+      let ts = Rt_model.Examples.running_example in
+      match Core.solve ts ~m:2 with
+      | Core.Feasible schedule, _ ->
+        Format.printf "%a@." Rt_model.Schedule.pp schedule
+      | _ -> print_endline "no schedule"
+    ]} *)
+
+type solver =
+  | Csp1_generic  (** Boolean encoding on the generic FD solver (Section IV). *)
+  | Csp1_sat  (** Boolean encoding compiled to CNF (Section IV's SAT remark). *)
+  | Csp2_generic  (** Multi-valued encoding on the generic solver (ablation). *)
+  | Csp2_dedicated of Csp2.Heuristic.t
+      (** The paper's hand-written chronological search (Section V). *)
+  | Local_search  (** Min-conflicts (future work #1); cannot prove infeasibility. *)
+
+val default_solver : solver
+(** [Csp2_dedicated DC] — the paper's overall winner. *)
+
+val solver_name : solver -> string
+
+val all_solvers : solver list
+(** One of each family, with the D−C heuristic for the dedicated path. *)
+
+type verdict = Encodings.Outcome.t =
+  | Feasible of Rt_model.Schedule.t
+  | Infeasible
+  | Limit
+  | Memout of string
+
+val solve :
+  ?solver:solver ->
+  ?platform:Rt_model.Platform.t ->
+  ?budget:Prelude.Timer.budget ->
+  ?seed:int ->
+  ?verify:bool ->
+  Rt_model.Taskset.t ->
+  m:int ->
+  verdict * float
+(** Decide feasibility; returns the verdict and the wall-clock seconds
+    spent.  [verify] (default true) re-checks any produced schedule against
+    {!Rt_model.Verify} and raises [Failure] on a solver bug — schedules you
+    receive are guaranteed feasible.
+
+    Arbitrary-deadline task sets are transparently reduced with the clone
+    transform (Section VI-B); the returned schedule then spans the clone
+    hyperperiod and refers to the original task ids.  Heterogeneous
+    platforms are supported by [Csp1_generic], [Csp2_generic] and the
+    dedicated path (which switches to {!Csp2.Het}); [Csp1_sat] and
+    [Local_search] raise [Invalid_argument] for them. *)
+
+val feasible : ?solver:solver -> ?budget:Prelude.Timer.budget -> Rt_model.Taskset.t -> m:int -> bool option
+(** [Some true]/[Some false] when decided, [None] on limit/memout. *)
+
+val min_processors :
+  ?solver:solver -> ?budget_per_m:Prelude.Timer.budget option -> ?max_m:int ->
+  Rt_model.Taskset.t -> int option
+(** Smallest [m] for which a schedule is found, starting from [⌈U⌉]
+    (Section VII-E's closing suggestion).  [None] if none up to [max_m]
+    (default [n]).  Note a [Limit] verdict is treated as "not schedulable
+    on this m", so with tight budgets this is an upper-bound search. *)

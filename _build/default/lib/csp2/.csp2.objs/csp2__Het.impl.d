@@ -1,0 +1,1 @@
+lib/csp2/het.ml: Array Bitset Encodings Fun Heuristic List Platform Prelude Rt_model Schedule Solver Taskset Timer Windows

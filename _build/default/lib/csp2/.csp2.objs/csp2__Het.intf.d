@@ -1,0 +1,1 @@
+lib/csp2/het.mli: Encodings Heuristic Prelude Rt_model Solver

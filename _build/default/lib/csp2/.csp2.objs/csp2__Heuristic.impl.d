@@ -1,0 +1,1 @@
+lib/csp2/heuristic.ml: Array Fun Rt_model String Task Taskset

@@ -1,0 +1,1 @@
+lib/csp2/heuristic.mli: Rt_model

@@ -1,0 +1,1 @@
+lib/csp2/solver.ml: Array Bitset Combi Encodings Fun Heuristic Jobmap List Prelude Rt_model Schedule Taskset Timer

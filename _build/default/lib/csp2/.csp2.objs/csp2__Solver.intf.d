@@ -1,0 +1,1 @@
+lib/csp2/solver.mli: Encodings Heuristic Prelude Rt_model

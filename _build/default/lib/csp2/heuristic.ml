@@ -1,0 +1,45 @@
+open Rt_model
+
+type t = Id | RM | DM | TC | DC
+
+let all = [ Id; RM; DM; TC; DC ]
+
+let to_string = function
+  | Id -> "id"
+  | RM -> "RM"
+  | DM -> "DM"
+  | TC -> "T-C"
+  | DC -> "D-C"
+
+let of_string s =
+  match String.lowercase_ascii s with
+  | "id" -> Some Id
+  | "rm" -> Some RM
+  | "dm" -> Some DM
+  | "tc" | "t-c" -> Some TC
+  | "dc" | "d-c" -> Some DC
+  | _ -> None
+
+let key t (task : Task.t) =
+  match t with
+  | Id -> task.id
+  | RM -> task.period
+  | DM -> task.deadline
+  | TC -> task.period - task.wcet
+  | DC -> task.deadline - task.wcet
+
+let order t ts =
+  let n = Taskset.size ts in
+  let ids = Array.init n Fun.id in
+  let cmp a b =
+    let ka = key t (Taskset.task ts a) and kb = key t (Taskset.task ts b) in
+    if ka <> kb then compare ka kb else compare a b
+  in
+  Array.sort cmp ids;
+  ids
+
+let rank t ts =
+  let ord = order t ts in
+  let ranks = Array.make (Array.length ord) 0 in
+  Array.iteri (fun position id -> ranks.(id) <- position) ord;
+  ranks

@@ -1,0 +1,28 @@
+(** Value-ordering heuristics for the dedicated CSP2 search
+    (Section V-C2 of the paper).
+
+    A heuristic ranks tasks; at every time slot the search prefers
+    scheduling better-ranked tasks first.  The paper evaluates:
+
+    - [RM]: smallest period first (Rate Monotonic);
+    - [DM]: smallest deadline first (Deadline Monotonic);
+    - [TC]: smallest [T − C] first;
+    - [DC]: smallest [D − C] first — the winner in Tables I and IV;
+    - [Id]: task-id order, i.e. the paper's plain "CSP2" baseline. *)
+
+type t = Id | RM | DM | TC | DC
+
+val all : t list
+val to_string : t -> string
+val of_string : string -> t option
+
+val key : t -> Rt_model.Task.t -> int
+(** The quantity minimized by the heuristic ([Id] uses the task id). *)
+
+val rank : t -> Rt_model.Taskset.t -> int array
+(** [rank h ts] maps each task id to its position in the heuristic order
+    (0 = schedule first); ties broken by task id, so ranks are a
+    permutation and the search is deterministic (Section VII-B). *)
+
+val order : t -> Rt_model.Taskset.t -> int array
+(** Task ids sorted by rank (inverse permutation of {!rank}). *)

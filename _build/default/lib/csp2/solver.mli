@@ -1,0 +1,56 @@
+(** The dedicated CSP2 solver (Section V of the paper), identical platforms.
+
+    A deterministic chronological backtracking search over the hyperperiod:
+    time slots are decided in order (Section V-C1), and within a slot the
+    search branches over which tasks to run.  The paper's search rules are
+    built in:
+
+    - {b no-idle rule}: a processor idles only when no available task
+      remains, so a slot schedules exactly [min(m, #available)] tasks (safe
+      by the swap argument: a later unit of an available task can always be
+      pulled into an idle slot);
+    - {b symmetry rule (10)}: tasks and processors are considered in
+      ascending order, so the [m!] permutations of one slot collapse into a
+      single canonical assignment — the search branches over *subsets*, not
+      vectors;
+    - {b value ordering}: subsets are enumerated so that tasks ranked better
+      by the chosen {!Heuristic} enter first (the first subset tried is the
+      greedy top-k);
+    - {b urgency propagation}: a task whose remaining demand equals its
+      remaining window slots must run now; slots where the urgent tasks
+      outnumber the processors fail immediately.  With this rule the
+      invariant [rem <= remaining window slots] holds along every branch,
+      so urgency overload is the {e only} failure condition.
+
+    Windows that wrap the hyperperiod boundary contribute their head slots
+    at the start of the sweep and their tail at the end; a wrapped job's
+    remaining-capacity accounting spans both parts (see {!Rt_model.Jobmap}).
+
+    The search is complete: [Infeasible] is a proof.  It is also fully
+    deterministic — the paper contrasts exactly this with Choco's
+    randomized runs (Section VII-B). *)
+
+type stats = {
+  nodes : int;  (** Slot assignments tried (one per subset application). *)
+  fails : int;  (** Urgency overloads hit. *)
+  max_time_reached : int;  (** Deepest slot decided, in [[0, T]]. *)
+  time_s : float;
+}
+
+val solve :
+  ?heuristic:Heuristic.t ->
+  ?budget:Prelude.Timer.budget ->
+  ?urgency:bool ->
+  Rt_model.Taskset.t ->
+  m:int ->
+  Encodings.Outcome.t * stats
+(** Default heuristic is [DC], the paper's best.  [Memout] is never
+    returned: memory is O(jobs + m·T_reached).
+
+    [urgency] (default true) controls the urgency propagation.  Disabling
+    it keeps the search complete — failure is then detected when a window
+    closes unfinished — but far weaker, which is the regime where the
+    paper's value-ordering comparison (CSP2 vs +RM/+DM/+(T−C)/+(D−C))
+    becomes visible; the benchmark ablation uses it for exactly that.
+    @raise Invalid_argument on non-constrained-deadline task sets (apply
+    {!Rt_model.Clone} first) or [m < 1]. *)

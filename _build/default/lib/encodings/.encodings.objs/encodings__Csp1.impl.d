@@ -1,0 +1,1 @@
+lib/encodings/csp1.ml: Array Fd Outcome Platform Printf Rt_model Schedule Taskset Windows

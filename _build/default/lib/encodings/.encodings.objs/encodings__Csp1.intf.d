@@ -1,0 +1,1 @@
+lib/encodings/csp1.mli: Fd Outcome Prelude Rt_model

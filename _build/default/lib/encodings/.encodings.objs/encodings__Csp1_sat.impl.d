@@ -1,0 +1,1 @@
+lib/encodings/csp1_sat.ml: Array Fd List Outcome Printf Rt_model Sat Schedule Taskset Windows

@@ -1,0 +1,1 @@
+lib/encodings/csp1_sat.mli: Outcome Prelude Rt_model Sat

@@ -1,0 +1,1 @@
+lib/encodings/csp2_fd.ml: Array Fd List Outcome Platform Printf Rt_model Schedule Taskset Windows

@@ -1,0 +1,1 @@
+lib/encodings/csp2_fd.mli: Fd Outcome Prelude Rt_model

@@ -1,0 +1,1 @@
+lib/encodings/outcome.ml: Format Rt_model

@@ -1,0 +1,1 @@
+lib/encodings/outcome.mli: Format Rt_model

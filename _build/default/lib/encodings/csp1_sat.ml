@@ -1,0 +1,98 @@
+open Rt_model
+module S = Sat.Solver
+
+type t = {
+  solver : S.t;
+  ts : Taskset.t;
+  m : int;
+  horizon : int;
+  cell : int array array array;  (* [task].[proc].[slot] -> sat var or -1 *)
+  cell_count : int;
+}
+
+let solver t = t.solver
+let cell_count t = t.cell_count
+
+let build ?(var_budget = 2_000_000) ts ~m =
+  let windows = Windows.build ts in
+  let n = Taskset.size ts in
+  let horizon = Windows.horizon windows in
+  if n * m * horizon > var_budget then
+    raise
+      (Fd.Engine.Too_large
+         (Printf.sprintf "CSP1-SAT needs %d cells (budget %d)" (n * m * horizon) var_budget));
+  let solver = S.create () in
+  let cell = Array.init n (fun _ -> Array.make_matrix m horizon (-1)) in
+  (* Variables only where constraint (2) allows a 1. *)
+  Array.iter
+    (fun (job : Windows.job) ->
+      Array.iter
+        (fun s ->
+          for j = 0 to m - 1 do
+            cell.(job.task).(j).(s) <- S.new_var solver
+          done)
+        job.slots)
+    (Windows.jobs windows);
+  let cell_count = S.nvars solver in
+  (* (3): at most one task per (processor, slot). *)
+  for j = 0 to m - 1 do
+    for s = 0 to horizon - 1 do
+      let lits = ref [] in
+      for i = 0 to n - 1 do
+        if cell.(i).(j).(s) >= 0 then lits := S.pos cell.(i).(j).(s) :: !lits
+      done;
+      Sat.Cardinality.at_most solver ~k:1 !lits
+    done
+  done;
+  (* (4): at most one processor per (task, slot). *)
+  for i = 0 to n - 1 do
+    for s = 0 to horizon - 1 do
+      if cell.(i).(0).(s) >= 0 then begin
+        let lits = List.init m (fun j -> S.pos cell.(i).(j).(s)) in
+        Sat.Cardinality.at_most solver ~k:1 lits
+      end
+    done
+  done;
+  (* (5): exactly C_i per job. *)
+  Array.iter
+    (fun (job : Windows.job) ->
+      let wcet = (Taskset.task ts job.task).wcet in
+      let lits = ref [] in
+      Array.iter
+        (fun s ->
+          for j = 0 to m - 1 do
+            lits := S.pos cell.(job.task).(j).(s) :: !lits
+          done)
+        job.slots;
+      Sat.Cardinality.exactly solver ~k:wcet !lits)
+    (Windows.jobs windows);
+  { solver; ts; m; horizon; cell; cell_count }
+
+let to_dimacs t =
+  { Sat.Dimacs.num_vars = S.nvars t.solver; clauses = S.export_clauses t.solver }
+
+let decode t model =
+  let sched = Schedule.create ~m:t.m ~horizon:t.horizon in
+  let n = Taskset.size t.ts in
+  for i = 0 to n - 1 do
+    for j = 0 to t.m - 1 do
+      for s = 0 to t.horizon - 1 do
+        let v = t.cell.(i).(j).(s) in
+        if v >= 0 && model.(v) then Schedule.set sched ~proc:j ~time:s i
+      done
+    done
+  done;
+  sched
+
+let solve ?var_budget ?seed ?budget ts ~m =
+  match build ?var_budget ts ~m with
+  | exception Fd.Engine.Too_large reason -> (Outcome.Memout reason, None)
+  | model ->
+    let outcome, stats = S.solve ?budget ?seed model.solver in
+    let verdict =
+      match outcome with
+      | S.Sat assignment -> Outcome.Feasible (decode model assignment)
+      | S.Unsat -> Outcome.Infeasible
+      | S.Unknown -> Outcome.Limit
+    in
+    (verdict, Some stats)

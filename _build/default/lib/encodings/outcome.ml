@@ -1,0 +1,21 @@
+type t =
+  | Feasible of Rt_model.Schedule.t
+  | Infeasible
+  | Limit
+  | Memout of string
+
+let is_feasible = function Feasible _ -> true | Infeasible | Limit | Memout _ -> false
+let is_decided = function Feasible _ | Infeasible -> true | Limit | Memout _ -> false
+
+let pp ppf = function
+  | Feasible _ -> Format.fprintf ppf "feasible"
+  | Infeasible -> Format.fprintf ppf "infeasible"
+  | Limit -> Format.fprintf ppf "limit"
+  | Memout reason -> Format.fprintf ppf "memout (%s)" reason
+
+let to_string t = Format.asprintf "%a" pp t
+
+let agree a b =
+  match (a, b) with
+  | Feasible _, Infeasible | Infeasible, Feasible _ -> false
+  | _ -> true

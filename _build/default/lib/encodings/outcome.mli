@@ -1,0 +1,25 @@
+(** Common solver verdicts.
+
+    Every solver path (CSP1/FD, CSP2/FD, CSP1/SAT, the dedicated CSP2
+    solver, local search) reports one of these, matching the four ways a run
+    ends in the paper's experiments: a schedule is found, infeasibility is
+    proved, the time limit is hit (an "overrun"), or — CSP1 on large
+    instances — the model is too big to build (Choco's out-of-memory). *)
+
+type t =
+  | Feasible of Rt_model.Schedule.t
+  | Infeasible
+  | Limit  (** Budget exhausted: nothing proved. *)
+  | Memout of string  (** Model exceeds the variable budget. *)
+
+val is_feasible : t -> bool
+val is_decided : t -> bool
+(** [Feasible] or [Infeasible]. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val agree : t -> t -> bool
+(** Two verdicts are consistent (used to cross-check solver paths, the way
+    the paper debugged CSP2 against Choco): [Feasible] never meets
+    [Infeasible]; [Limit]/[Memout] are consistent with anything. *)

@@ -1,0 +1,1 @@
+lib/experiments/ablation.ml: Array Ascii_table Campaign Config Encodings Gen List Prelude Printf Runner Welford

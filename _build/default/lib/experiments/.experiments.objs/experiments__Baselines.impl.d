@@ -1,0 +1,1 @@
+lib/experiments/baselines.ml: Array Ascii_table Campaign Config Csp2 Encodings Examples Gen List Prelude Rt_model Sched

@@ -1,0 +1,1 @@
+lib/experiments/campaign.ml: Analysis Array Config Encodings Gen List Printf Rt_model Runner Taskset

@@ -1,0 +1,1 @@
+lib/experiments/campaign.mli: Config Gen Rt_model Runner

@@ -1,0 +1,1 @@
+lib/experiments/runner.ml: Array Csp2 Encodings Fd Localsearch Prelude Printf Rt_model Timer

@@ -1,0 +1,1 @@
+lib/experiments/runner.mli: Encodings Prelude Rt_model

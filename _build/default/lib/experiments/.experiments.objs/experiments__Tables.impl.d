@@ -1,0 +1,1 @@
+lib/experiments/tables.ml: Array Ascii_table Campaign Config Encodings Examples Format Fun Gen Intmath List Prelude Printf Rt_model Runner Taskset Welford Windows

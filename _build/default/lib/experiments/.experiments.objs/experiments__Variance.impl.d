@@ -1,0 +1,1 @@
+lib/experiments/variance.ml: Array Ascii_table Campaign Config Gen List Prelude Printf Rt_model Runner

@@ -1,0 +1,72 @@
+open Prelude
+
+type row = {
+  solver : string;
+  solved : int;
+  infeasible : int;
+  overruns : int;
+  mean_time : float;
+}
+
+let solvers () =
+  [
+    Runner.csp1;
+    Runner.csp1_wdeg;
+    Runner.csp1_sat;
+    Runner.csp2_generic ~symmetry:false ();
+    Runner.csp2_generic ~symmetry:true ();
+    Runner.csp2_generic ~symmetry:true ~dc_value_order:true ();
+    List.nth Runner.csp2_variants 4;
+    Runner.local_search;
+  ]
+
+let solver_count = List.length (solvers ())
+
+let run ?(progress = fun _ -> ()) (config : Config.t) =
+  let config = { config with Config.instances = min config.Config.instances 100 } in
+  let params = Campaign.generation_params config in
+  let instances =
+    Gen.Generator.batch ~seed:(config.Config.seed + 7777) ~count:config.Config.instances params
+  in
+  List.map
+    (fun solver ->
+      let solved = ref 0 and infeasible = ref 0 and overruns = ref 0 in
+      let times = Welford.create () in
+      Array.iteri
+        (fun idx (ts, m) ->
+          let r = Runner.run_one solver ts ~m ~limit_s:config.Config.limit_s ~seed:idx in
+          (match r.Runner.outcome with
+          | Encodings.Outcome.Feasible _ -> incr solved
+          | Encodings.Outcome.Infeasible -> incr infeasible
+          | Encodings.Outcome.Limit | Encodings.Outcome.Memout _ -> incr overruns);
+          Welford.add times r.Runner.time_s;
+          progress idx)
+        instances;
+      {
+        solver = solver.Runner.name;
+        solved = !solved;
+        infeasible = !infeasible;
+        overruns = !overruns;
+        mean_time = Welford.mean times;
+      })
+    (solvers ())
+
+let render rows =
+  let table =
+    Ascii_table.create ~headers:[ "solver"; "solved"; "infeasible"; "overruns"; "t_mean" ]
+  in
+  Ascii_table.set_align table
+    [ Ascii_table.Left; Ascii_table.Right; Ascii_table.Right; Ascii_table.Right; Ascii_table.Right ];
+  List.iter
+    (fun r ->
+      Ascii_table.add_row table
+        [
+          r.solver;
+          string_of_int r.solved;
+          string_of_int r.infeasible;
+          string_of_int r.overruns;
+          Printf.sprintf "%.4f" r.mean_time;
+        ])
+    rows;
+  "Ablations (Table I workload): encoding vs search-rule contributions\n"
+  ^ Ascii_table.render table

@@ -1,0 +1,27 @@
+(** Ablation studies beyond the paper's tables.
+
+    DESIGN.md calls out three design choices worth isolating; these runs
+    quantify them on the Table I workload:
+
+    - encoding vs search: CSP2's constraints on the *generic* solver
+      (with/without the symmetry constraint (10), with/without the D−C
+      value order) against the dedicated chronological search;
+    - the SAT route for CSP1;
+    - local search (min-conflicts) as an incomplete alternative. *)
+
+type row = {
+  solver : string;
+  solved : int;
+  infeasible : int;
+  overruns : int;
+  mean_time : float;
+}
+
+val solver_count : int
+(** Number of ablation rows produced. *)
+
+val run : ?progress:(int -> unit) -> Config.t -> row list
+(** Uses [config.instances] capped at 100 (ablations are about shape, not
+    statistics) on the Table I generation parameters. *)
+
+val render : row list -> string

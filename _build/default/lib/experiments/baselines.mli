@@ -1,0 +1,16 @@
+(** Priority-driven and partitioned baselines vs the complete CSP search.
+
+    Quantifies the completeness gap the paper's introduction motivates:
+    on instances the CSP2+(D−C) solver proves feasible, how often do global
+    EDF / RM / DM / LLF simulation and partitioned first-fit EDF actually
+    meet all deadlines?  (Every miss here is a scheduling-anomaly-style
+    failure of a work-conserving policy on a feasible instance.) *)
+
+type row = {
+  policy : string;
+  succeeded : int;  (** Schedulable by the policy. *)
+  out_of : int;  (** Instances proved feasible by CSP2+(D−C). *)
+}
+
+val run : ?progress:(int -> unit) -> Config.t -> row list
+val render : row list -> string

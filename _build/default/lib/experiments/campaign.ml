@@ -1,0 +1,55 @@
+open Rt_model
+
+type t = {
+  config : Config.t;
+  solvers : Runner.solver list;
+  instances : (Taskset.t * int) array;
+  ratios : float array;
+  filtered : bool array;
+  runs : Runner.run array array;
+  solved_by_any : bool array;
+  proved_infeasible : bool array;
+}
+
+let generation_params config =
+  ignore config;
+  Gen.Generator.default ~n:10 ~m:(Gen.Generator.Fixed_m 5) ~tmax:7
+
+let run ?(solvers = Runner.table1_solvers) ?(progress = fun _ -> ()) config =
+  let params = generation_params config in
+  let instances = Gen.Generator.batch ~seed:config.Config.seed ~count:config.Config.instances params in
+  let count = Array.length instances in
+  let nsolvers = List.length solvers in
+  let ratios =
+    Array.map (fun (ts, m) -> Taskset.utilization_ratio ts ~m) instances
+  in
+  let filtered =
+    Array.map (fun (ts, m) -> Analysis.utilization_exceeds ts ~m) instances
+  in
+  let runs = Array.make_matrix nsolvers count { Runner.outcome = Encodings.Outcome.Limit; time_s = 0.; overrun = true } in
+  let solved_by_any = Array.make count false in
+  let proved_infeasible = Array.make count false in
+  for inst = 0 to count - 1 do
+    let ts, m = instances.(inst) in
+    List.iteri
+      (fun si solver ->
+        let run = Runner.run_one solver ts ~m ~limit_s:config.Config.limit_s ~seed:inst in
+        runs.(si).(inst) <- run;
+        match run.Runner.outcome with
+        | Encodings.Outcome.Feasible _ ->
+          if proved_infeasible.(inst) then
+            failwith
+              (Printf.sprintf "Campaign.run: solver %s contradicts an infeasibility proof on instance %d"
+                 solver.Runner.name inst);
+          solved_by_any.(inst) <- true
+        | Encodings.Outcome.Infeasible ->
+          if solved_by_any.(inst) then
+            failwith
+              (Printf.sprintf "Campaign.run: solver %s contradicts a schedule on instance %d"
+                 solver.Runner.name inst);
+          proved_infeasible.(inst) <- true
+        | Encodings.Outcome.Limit | Encodings.Outcome.Memout _ -> ())
+      solvers;
+    progress inst
+  done;
+  { config; solvers; instances; ratios; filtered; runs; solved_by_any; proved_infeasible }

@@ -1,0 +1,27 @@
+(** The shared experimental campaign behind Tables I, II and III.
+
+    The paper generates 500 random problems (m = 5, n = 10, Tmax = 7,
+    unsolvable instances included on purpose) and gives each of six solvers
+    a fixed time limit per instance; the three tables are different views
+    of that single run matrix.  This module produces the matrix once. *)
+
+type t = {
+  config : Config.t;
+  solvers : Runner.solver list;
+  instances : (Rt_model.Taskset.t * int) array;
+  ratios : float array;  (** Utilization ratio r per instance. *)
+  filtered : bool array;  (** The paper's r > 1 pre-filter. *)
+  runs : Runner.run array array;  (** [solver index].(instance index). *)
+  solved_by_any : bool array;
+  proved_infeasible : bool array;  (** Some solver returned [Infeasible]. *)
+}
+
+val generation_params : Config.t -> Gen.Generator.params
+(** m = 5, n = 10, Tmax = 7 (Section VII-C). *)
+
+val run : ?solvers:Runner.solver list -> ?progress:(int -> unit) -> Config.t -> t
+(** Default solvers: {!Runner.table1_solvers}.  [progress] is called with
+    each completed instance index (for long campaigns).
+    Solver verdicts are cross-checked: a [Feasible]/[Infeasible] clash
+    raises [Failure] — the executable analogue of the paper's remark that
+    comparing the two implementations exposed rare bugs. *)

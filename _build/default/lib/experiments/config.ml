@@ -1,0 +1,44 @@
+type t = {
+  instances : int;
+  limit_s : float;
+  seed : int;
+  table4_instances : int;
+  table4_sizes : int list;
+}
+
+let default =
+  {
+    instances = 500;
+    limit_s = 0.1;
+    seed = 1;
+    table4_instances = 100;
+    table4_sizes = [ 4; 8; 16; 32; 64; 128; 256 ];
+  }
+
+let from_env () =
+  let int_var name fallback =
+    match Sys.getenv_opt name with
+    | Some s -> ( match int_of_string_opt s with Some v when v > 0 -> v | _ -> fallback)
+    | None -> fallback
+  in
+  let float_var name fallback =
+    match Sys.getenv_opt name with
+    | Some s -> ( match float_of_string_opt s with Some v when v > 0. -> v | _ -> fallback)
+    | None -> fallback
+  in
+  let sizes =
+    match Sys.getenv_opt "MGRTS_T4_SIZES" with
+    | None -> default.table4_sizes
+    | Some s ->
+      let parsed = String.split_on_char ',' s |> List.filter_map int_of_string_opt in
+      if parsed = [] then default.table4_sizes else parsed
+  in
+  {
+    instances = int_var "MGRTS_INSTANCES" default.instances;
+    limit_s = float_var "MGRTS_LIMIT" default.limit_s;
+    seed = int_var "MGRTS_SEED" default.seed;
+    table4_instances = int_var "MGRTS_T4_INSTANCES" default.table4_instances;
+    table4_sizes = sizes;
+  }
+
+let budget t = Prelude.Timer.budget ~wall_s:t.limit_s ()

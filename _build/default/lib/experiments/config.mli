@@ -1,0 +1,28 @@
+(** Experiment configuration.
+
+    The paper ran every solver with a 30 s limit on one core of a 2.4 GHz
+    Core2Quad (Section VII).  Absolute seconds are meaningless across
+    machines, so the default per-run limit here is scaled down; the paper's
+    regime is one environment variable away:
+
+    {v MGRTS_LIMIT=30 MGRTS_INSTANCES=500 dune exec bench/main.exe v} *)
+
+type t = {
+  instances : int;  (** Table I–III instance count (paper: 500). *)
+  limit_s : float;  (** Per-run wall-clock limit (paper: 30 s). *)
+  seed : int;  (** Master generation seed. *)
+  table4_instances : int;  (** Instances per n in Table IV (paper: 100). *)
+  table4_sizes : int list;  (** Values of n swept in Table IV. *)
+}
+
+val default : t
+(** 500 instances, 0.1 s limit, seed 1, Table IV: 100 instances per
+    n ∈ {4, 8, 16, 32, 64, 128, 256}. *)
+
+val from_env : unit -> t
+(** {!default} overridden by [MGRTS_INSTANCES], [MGRTS_LIMIT],
+    [MGRTS_SEED], [MGRTS_T4_INSTANCES], [MGRTS_T4_SIZES] (comma-separated)
+    when present. *)
+
+val budget : t -> Prelude.Timer.budget
+(** Fresh per-run budget honouring [limit_s]. *)

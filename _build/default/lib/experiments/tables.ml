@@ -1,0 +1,208 @@
+open Prelude
+open Rt_model
+
+type overrun_row = {
+  label : string;
+  per_solver : (string * int) list;
+  total : int;
+}
+
+let overruns_in (c : Campaign.t) ~belongs =
+  let count = Array.length c.instances in
+  List.mapi
+    (fun si solver ->
+      let overruns = ref 0 in
+      for inst = 0 to count - 1 do
+        if belongs inst && c.runs.(si).(inst).Runner.overrun then incr overruns
+      done;
+      (solver.Runner.name, !overruns))
+    c.solvers
+
+let class_size (c : Campaign.t) ~belongs =
+  let size = ref 0 in
+  Array.iteri (fun inst _ -> if belongs inst then incr size) c.instances;
+  !size
+
+let table1 (c : Campaign.t) =
+  let solved inst = c.solved_by_any.(inst) in
+  let unsolved inst = not c.solved_by_any.(inst) in
+  [
+    { label = "solved"; per_solver = overruns_in c ~belongs:solved; total = class_size c ~belongs:solved };
+    {
+      label = "unsolved";
+      per_solver = overruns_in c ~belongs:unsolved;
+      total = class_size c ~belongs:unsolved;
+    };
+  ]
+
+let table2 (c : Campaign.t) =
+  let filtered inst = (not c.solved_by_any.(inst)) && c.filtered.(inst) in
+  let unfiltered inst = (not c.solved_by_any.(inst)) && not c.filtered.(inst) in
+  let rows =
+    [
+      {
+        label = "filtered";
+        per_solver = overruns_in c ~belongs:filtered;
+        total = class_size c ~belongs:filtered;
+      };
+      {
+        label = "unfiltered";
+        per_solver = overruns_in c ~belongs:unfiltered;
+        total = class_size c ~belongs:unfiltered;
+      };
+    ]
+  in
+  let proved = ref 0 in
+  Array.iteri (fun inst p -> if p && unfiltered inst then incr proved) c.proved_infeasible;
+  (rows, !proved)
+
+type bucket_row = { r_lo : float; r_hi : float; count : int; mean_time : float }
+
+let table3 ?(bucket = 0.1) (c : Campaign.t) =
+  let nbuckets = int_of_float (ceil (2.0 /. bucket)) in
+  let counts = Array.make nbuckets 0 in
+  let times = Array.init nbuckets (fun _ -> Welford.create ()) in
+  Array.iteri
+    (fun inst r ->
+      let b = Intmath.clamp ~lo:0 ~hi:(nbuckets - 1) (int_of_float (r /. bucket)) in
+      counts.(b) <- counts.(b) + 1;
+      List.iteri (fun si _ -> Welford.add times.(b) c.runs.(si).(inst).Runner.time_s) c.solvers)
+    c.ratios;
+  List.filter_map
+    (fun b ->
+      if counts.(b) = 0 then None
+      else
+        Some
+          {
+            r_lo = float_of_int b *. bucket;
+            r_hi = float_of_int (b + 1) *. bucket;
+            count = counts.(b);
+            mean_time = Welford.mean times.(b);
+          })
+    (List.init nbuckets Fun.id)
+
+type table4_cell = { solved_pct : float; mean_time : float; memouts : int }
+
+type table4_row = {
+  n : int;
+  mean_r : float;
+  mean_m : float;
+  mean_hyperperiod : float;
+  csp1 : table4_cell;
+  csp2_dc : table4_cell;
+}
+
+let table4 ?(progress = fun _ -> ()) (config : Config.t) =
+  let dc = List.nth Runner.csp2_variants 4 in
+  List.mapi
+    (fun step n ->
+      let params =
+        Gen.Generator.default ~n ~m:Gen.Generator.Min_processors ~tmax:15
+      in
+      let instances =
+        Gen.Generator.batch ~seed:(config.Config.seed + (1000 * n)) ~count:config.Config.table4_instances
+          params
+      in
+      let r_acc = Welford.create () and m_acc = Welford.create () and t_acc = Welford.create () in
+      let run_cell solver =
+        let solved = ref 0 and memouts = ref 0 in
+        let time_acc = Welford.create () in
+        Array.iteri
+          (fun idx (ts, m) ->
+            let run = Runner.run_one solver ts ~m ~limit_s:config.Config.limit_s ~seed:idx in
+            (match run.Runner.outcome with
+            | Encodings.Outcome.Feasible _ -> incr solved
+            | Encodings.Outcome.Memout _ -> incr memouts
+            | Encodings.Outcome.Infeasible | Encodings.Outcome.Limit -> ());
+            Welford.add time_acc run.Runner.time_s)
+          instances;
+        {
+          solved_pct = 100. *. float_of_int !solved /. float_of_int (Array.length instances);
+          mean_time = Welford.mean time_acc;
+          memouts = !memouts;
+        }
+      in
+      Array.iter
+        (fun (ts, m) ->
+          Welford.add r_acc (Taskset.utilization_ratio ts ~m);
+          Welford.add m_acc (float_of_int m);
+          Welford.add t_acc (float_of_int (Taskset.hyperperiod ts)))
+        instances;
+      let csp1 = run_cell Runner.csp1 in
+      let csp2_dc = run_cell dc in
+      progress step;
+      {
+        n;
+        mean_r = Welford.mean r_acc;
+        mean_m = Welford.mean m_acc;
+        mean_hyperperiod = Welford.mean t_acc;
+        csp1;
+        csp2_dc;
+      })
+    config.Config.table4_sizes
+
+(* ------------------------------------------------------------------ *)
+(* Rendering.                                                          *)
+
+let render_overruns ~title rows =
+  match rows with
+  | [] -> title ^ ": (no data)\n"
+  | first :: _ ->
+    let headers = "# overruns" :: List.map fst first.per_solver @ [ "Total" ] in
+    let table = Ascii_table.create ~headers in
+    Ascii_table.set_align table (Ascii_table.Left :: List.map (fun _ -> Ascii_table.Right) (List.tl headers));
+    List.iter
+      (fun row ->
+        Ascii_table.add_row table
+          ((row.label :: List.map (fun (_, v) -> string_of_int v) row.per_solver)
+          @ [ string_of_int row.total ]))
+      rows;
+    title ^ "\n" ^ Ascii_table.render table
+
+let render_table1 rows = render_overruns ~title:"Table I: runs reaching the time limit" rows
+
+let render_table2 (rows, proved) =
+  render_overruns ~title:"Table II: unsolved runs reaching the time limit" rows
+  ^ Printf.sprintf "unfiltered instances proved unsolvable: %d\n" proved
+
+let render_bucket_rows rows =
+  let table = Ascii_table.create ~headers:[ "r_min-r_max"; "#instances"; "t_res" ] in
+  List.iter
+    (fun { r_lo; r_hi; count; mean_time } ->
+      Ascii_table.add_row table
+        [ Printf.sprintf "%.1f-%.1f" r_lo r_hi; string_of_int count; Printf.sprintf "%.4f" mean_time ])
+    rows;
+  "Table III: instance distribution and mean resolution time by utilization ratio\n"
+  ^ Ascii_table.render table
+
+let render_table4 rows =
+  let table =
+    Ascii_table.create
+      ~headers:
+        [ "n"; "r"; "m"; "T(1000)"; "CSP1 solved"; "CSP1 t"; "CSP1 memout"; "+(D-C) solved"; "+(D-C) t" ]
+  in
+  List.iter
+    (fun row ->
+      let cell c = Printf.sprintf "%.0f%%" c.solved_pct in
+      let time c = Printf.sprintf "%.4f" c.mean_time in
+      Ascii_table.add_row table
+        [
+          string_of_int row.n;
+          Printf.sprintf "%.2f" row.mean_r;
+          Printf.sprintf "%.2f" row.mean_m;
+          Printf.sprintf "%.2f" (row.mean_hyperperiod /. 1000.);
+          cell row.csp1;
+          time row.csp1;
+          string_of_int row.csp1.memouts;
+          cell row.csp2_dc;
+          time row.csp2_dc;
+        ])
+    rows;
+  "Table IV: growing the number of tasks (Tmax=15, m = min processors)\n"
+  ^ Ascii_table.render table
+
+let figure1 () =
+  let windows = Windows.build Examples.running_example in
+  Format.asprintf
+    "Figure 1: availability intervals of the running example over one hyperperiod@.%a@."
+    Windows.pp_figure windows

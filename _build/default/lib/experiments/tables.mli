@@ -1,0 +1,58 @@
+(** Renderings of the paper's Tables I–IV and Figure 1.
+
+    Each function returns both structured rows (asserted in the test suite)
+    and a printable ASCII table in the paper's layout.  Paper values are
+    quoted in [EXPERIMENTS.md]; we compare shapes, not absolute counts. *)
+
+type overrun_row = {
+  label : string;  (** "solved" / "unsolved" (Table I), "filtered" / "unfiltered" (Table II). *)
+  per_solver : (string * int) list;  (** Overruns per solver column. *)
+  total : int;  (** Class size. *)
+}
+
+val table1 : Campaign.t -> overrun_row list
+(** Overruns split by instances solved by at least one solver vs never
+    solved (paper Table I). *)
+
+val table2 : Campaign.t -> overrun_row list * int
+(** Unsolved-instance overruns split by the r > 1 filter (paper Table II),
+    plus the number of unfiltered instances some solver proved infeasible
+    (the paper found 3). *)
+
+type bucket_row = {
+  r_lo : float;
+  r_hi : float;
+  count : int;
+  mean_time : float;  (** Mean resolution time across all solvers, overruns
+                          counted at the limit (paper Table III). *)
+}
+
+val table3 : ?bucket:float -> Campaign.t -> bucket_row list
+
+type table4_cell = {
+  solved_pct : float;
+  mean_time : float;
+  memouts : int;  (** CSP1's Choco-style out-of-memory count. *)
+}
+
+type table4_row = {
+  n : int;
+  mean_r : float;
+  mean_m : float;
+  mean_hyperperiod : float;
+  csp1 : table4_cell;
+  csp2_dc : table4_cell;
+}
+
+val table4 : ?progress:(int -> unit) -> Config.t -> table4_row list
+(** The scaling experiment (paper Table IV): Tmax = 15,
+    m = ⌈Σ C_i/T_i⌉, n swept over [config.table4_sizes]. *)
+
+val render_table1 : overrun_row list -> string
+val render_table2 : overrun_row list * int -> string
+val render_bucket_rows : bucket_row list -> string
+val render_table4 : table4_row list -> string
+
+val figure1 : unit -> string
+(** ASCII availability-interval pattern of the paper's running example
+    (Figure 1). *)

@@ -1,0 +1,77 @@
+open Prelude
+
+type row = {
+  instance : int;
+  ratio : float;
+  min_time : float;
+  median_time : float;
+  max_time : float;
+  overruns : int;
+  seeds : int;
+  csp2_time : float;
+}
+
+let median sorted =
+  let n = Array.length sorted in
+  if n = 0 then 0.
+  else if n land 1 = 1 then sorted.(n / 2)
+  else (sorted.((n / 2) - 1) +. sorted.(n / 2)) /. 2.
+
+let run ?(instances = 10) ?(seeds = 20) (config : Config.t) =
+  let params = Campaign.generation_params config in
+  let pool = Gen.Generator.batch ~seed:(config.Config.seed + 4242) ~count:(4 * instances) params in
+  let rows = ref [] in
+  let kept = ref 0 in
+  let idx = ref 0 in
+  while !kept < instances && !idx < Array.length pool do
+    let ts, m = pool.(!idx) in
+    let times = Array.make seeds 0. in
+    let overruns = ref 0 in
+    for s = 0 to seeds - 1 do
+      let r = Runner.run_one Runner.csp1 ts ~m ~limit_s:config.Config.limit_s ~seed:(1000 + s) in
+      times.(s) <- r.Runner.time_s;
+      if r.Runner.overrun then incr overruns
+    done;
+    (* Keep instances where randomness matters: at least one quick seed. *)
+    if !overruns < seeds then begin
+      Array.sort compare times;
+      let dc = List.nth Runner.csp2_variants 4 in
+      let reference = Runner.run_one dc ts ~m ~limit_s:config.Config.limit_s ~seed:0 in
+      rows :=
+        {
+          instance = !idx;
+          ratio = Rt_model.Taskset.utilization_ratio ts ~m;
+          min_time = times.(0);
+          median_time = median times;
+          max_time = times.(seeds - 1);
+          overruns = !overruns;
+          seeds;
+          csp2_time = reference.Runner.time_s;
+        }
+        :: !rows;
+      incr kept
+    end;
+    incr idx
+  done;
+  List.rev !rows
+
+let render rows =
+  let table =
+    Ascii_table.create
+      ~headers:[ "inst"; "r"; "CSP1 min"; "median"; "max"; "overruns"; "CSP2+(D-C)" ]
+  in
+  List.iter
+    (fun row ->
+      Ascii_table.add_row table
+        [
+          string_of_int row.instance;
+          Printf.sprintf "%.2f" row.ratio;
+          Printf.sprintf "%.4f" row.min_time;
+          Printf.sprintf "%.4f" row.median_time;
+          Printf.sprintf "%.4f" row.max_time;
+          Printf.sprintf "%d/%d" row.overruns row.seeds;
+          Printf.sprintf "%.4f" row.csp2_time;
+        ])
+    rows;
+  "Randomness (Section VII-B): per-instance spread of the randomized CSP1 search\n"
+  ^ Ascii_table.render table

@@ -1,0 +1,28 @@
+(** The randomness observation of Section VII-B.
+
+    The paper notes that the CSP2 solver is fully deterministic while
+    Choco's randomized search makes CSP1 runs incomparable: "for a given
+    problem, some executions of the CSP1 solver may be very quick while
+    others are very slow".  This experiment quantifies that spread: each
+    instance is solved with [seeds] different seeds of the randomized CSP1
+    strategy, and with the deterministic CSP2+(D−C) solver once as a
+    reference. *)
+
+type row = {
+  instance : int;
+  ratio : float;  (** Utilization ratio r. *)
+  min_time : float;
+  median_time : float;
+  max_time : float;  (** Capped at the limit. *)
+  overruns : int;  (** Seeds that hit the limit. *)
+  seeds : int;
+  csp2_time : float;  (** Deterministic reference. *)
+}
+
+val run :
+  ?instances:int -> ?seeds:int -> Config.t -> row list
+(** Default 10 instances (Table I parameters, solvable-biased by skipping
+    instances every seed overruns), 20 seeds each, per-run limit from the
+    config. *)
+
+val render : row list -> string

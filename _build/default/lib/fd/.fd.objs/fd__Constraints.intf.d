@@ -1,0 +1,1 @@
+lib/fd/constraints.mli: Engine

@@ -1,0 +1,1 @@
+lib/fd/engine.ml: Array Bitset Bool_vec List Prelude Printf Queue

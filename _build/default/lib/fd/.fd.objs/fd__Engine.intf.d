@@ -1,0 +1,1 @@
+lib/fd/engine.mli:

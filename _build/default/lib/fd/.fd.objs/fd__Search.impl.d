@@ -1,0 +1,1 @@
+lib/fd/search.ml: Array Engine Hashtbl Intmath List Prelude Prng Timer

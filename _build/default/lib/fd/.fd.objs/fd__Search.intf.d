@@ -1,0 +1,1 @@
+lib/fd/search.mli: Engine Prelude

@@ -1,0 +1,165 @@
+module E = Engine
+
+let check_bool v =
+  if E.vmin v < 0 || E.vmax v > 1 then invalid_arg "Constraints: variable is not boolean"
+
+(* Boolean cardinality: count assigned ones and still-free variables on each
+   wake; arities in the scheduling encodings are small (n, m, or a window
+   length), so rescanning beats incremental bookkeeping across backtracks. *)
+let bool_card eng xs ~at_least ~at_most =
+  Array.iter check_bool xs;
+  let propagate () =
+    let ones = ref 0 and free = ref 0 in
+    Array.iter
+      (fun x ->
+        match E.value x with
+        | Some 1 -> incr ones
+        | Some _ -> ()
+        | None -> incr free)
+      xs;
+    if !ones > at_most || !ones + !free < at_least then false
+    else begin
+      let ok = ref true in
+      if !ones = at_most then
+        (* No more ones allowed: fix every free variable to 0. *)
+        Array.iter (fun x -> if !ok && not (E.is_assigned x) then ok := E.assign eng x 0) xs
+      else if !ones + !free = at_least then
+        Array.iter (fun x -> if !ok && not (E.is_assigned x) then ok := E.assign eng x 1) xs;
+      !ok
+    end
+  in
+  E.post eng ~name:"bool_card" ~wake:(Array.to_list xs) ~propagate
+
+let bool_sum_le eng xs k = bool_card eng xs ~at_least:0 ~at_most:k
+let bool_sum_eq eng xs k = bool_card eng xs ~at_least:k ~at_most:k
+
+(* Bounds-consistent linear inequality Σ c_i x_i <= k. *)
+let linear_le eng ~coeffs xs k =
+  if Array.length coeffs <> Array.length xs then invalid_arg "Constraints.linear_le: arity";
+  let term_min c x = if c >= 0 then c * E.vmin x else c * E.vmax x in
+  let propagate () =
+    let min_sum = ref 0 in
+    Array.iteri (fun i x -> min_sum := !min_sum + term_min coeffs.(i) x) xs;
+    if !min_sum > k then false
+    else begin
+      let ok = ref true in
+      Array.iteri
+        (fun i x ->
+          if !ok && coeffs.(i) <> 0 then begin
+            let c = coeffs.(i) in
+            (* Slack available to this term alone. *)
+            let slack = k - (!min_sum - term_min c x) in
+            if c > 0 then begin
+              let hi = if slack >= 0 then slack / c else -(((-slack) + c - 1) / c) in
+              if E.vmax x > hi then ok := E.remove_above eng x hi
+            end
+            else begin
+              (* c < 0: x >= ceil(-slack / -c) = ceil(slack / c) *)
+              let lo =
+                if slack >= 0 then -(slack / -c)
+                else ((-slack) + (-c) - 1) / -c
+              in
+              if E.vmin x < lo then ok := E.remove_below eng x lo
+            end
+          end)
+        xs;
+      !ok
+    end
+  in
+  E.post eng ~name:"linear_le" ~wake:(Array.to_list xs) ~propagate
+
+let linear_eq eng ~coeffs xs k =
+  linear_le eng ~coeffs xs k
+  && linear_le eng ~coeffs:(Array.map (fun c -> -c) coeffs) xs (-k)
+
+let count_weighted_eq eng xs ~value ~weights k =
+  if Array.length weights <> Array.length xs then
+    invalid_arg "Constraints.count_weighted_eq: arity";
+  if Array.exists (fun w -> w < 0) weights then
+    invalid_arg "Constraints.count_weighted_eq: negative weight";
+  let propagate () =
+    (* [lo] counts weight fixed to [value]; [hi] adds weight that may still
+       choose [value]. *)
+    let lo = ref 0 and hi = ref 0 in
+    Array.iteri
+      (fun i x ->
+        let w = weights.(i) in
+        match E.value x with
+        | Some v when v = value ->
+          lo := !lo + w;
+          hi := !hi + w
+        | Some _ -> ()
+        | None -> if E.mem x value then hi := !hi + w)
+      xs;
+    if !lo > k || !hi < k then false
+    else begin
+      let ok = ref true in
+      if !lo = k then
+        (* Demand met: forbid [value] everywhere it still costs weight. *)
+        Array.iteri
+          (fun i x ->
+            if !ok && weights.(i) > 0 && (not (E.is_assigned x)) && E.mem x value then
+              ok := E.remove eng x value)
+          xs
+      else if !hi = k then
+        Array.iteri
+          (fun i x ->
+            if !ok && weights.(i) > 0 && (not (E.is_assigned x)) && E.mem x value then
+              ok := E.assign eng x value)
+          xs;
+      !ok
+    end
+  in
+  E.post eng ~name:"count_weighted_eq" ~wake:(Array.to_list xs) ~propagate
+
+let count_eq eng xs ~value k =
+  count_weighted_eq eng xs ~value ~weights:(Array.make (Array.length xs) 1) k
+
+let neq eng x y =
+  let propagate () =
+    match (E.value x, E.value y) with
+    | Some a, Some b -> a <> b
+    | Some a, None -> E.remove eng y a
+    | None, Some b -> E.remove eng x b
+    | None, None -> true
+  in
+  E.post eng ~name:"neq" ~wake:[ x; y ] ~propagate
+
+let leq eng x y =
+  let propagate () = E.remove_above eng x (E.vmax y) && E.remove_below eng y (E.vmin x) in
+  E.post eng ~name:"leq" ~wake:[ x; y ] ~propagate
+
+let alldiff_except eng xs ~except =
+  let propagate () =
+    let ok = ref true in
+    Array.iteri
+      (fun i x ->
+        match E.value x with
+        | Some v when v <> except ->
+          Array.iteri
+            (fun j y -> if !ok && j <> i && E.mem y v then ok := E.remove eng y v)
+            xs
+        | Some _ | None -> ())
+      xs;
+    !ok
+  in
+  E.post eng ~name:"alldiff_except" ~wake:(Array.to_list xs) ~propagate
+
+let clause eng ~pos ~neg =
+  List.iter check_bool pos;
+  List.iter check_bool neg;
+  let satisfied_by want v = match E.value v with Some x -> x = want | None -> false in
+  let open_lit want v = match E.value v with Some x -> x = want | None -> true in
+  let propagate () =
+    if List.exists (satisfied_by 1) pos || List.exists (satisfied_by 0) neg then true
+    else begin
+      let live_pos = List.filter (open_lit 1) pos in
+      let live_neg = List.filter (open_lit 0) neg in
+      match (live_pos, live_neg) with
+      | [], [] -> false
+      | [ v ], [] -> E.assign eng v 1
+      | [], [ v ] -> E.assign eng v 0
+      | _ -> true
+    end
+  in
+  E.post eng ~name:"clause" ~wake:(pos @ neg) ~propagate

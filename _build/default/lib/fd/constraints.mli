@@ -1,0 +1,45 @@
+(** Constraint builders for the finite-domain engine.
+
+    Each function posts one or more propagators and returns [false] when the
+    posting itself proves inconsistency.  The catalogue covers what the two
+    CSP encodings of the paper need — boolean cardinalities for CSP1
+    (constraints (3)–(5)), weighted sums for the heterogeneous variant
+    (constraint (11)), occurrence counting, all-different-except-idle and
+    value-ordering for the generic rendering of CSP2 (constraints (7)–(10))
+    — plus a few generic extras ([neq], [clause]) used by the test suite's
+    classic problems (pigeonhole, n-queens). *)
+
+val bool_sum_le : Engine.t -> Engine.var array -> int -> bool
+(** [Σ xs <= k] over 0/1 variables. *)
+
+val bool_sum_eq : Engine.t -> Engine.var array -> int -> bool
+(** [Σ xs = k] over 0/1 variables. *)
+
+val linear_le : Engine.t -> coeffs:int array -> Engine.var array -> int -> bool
+(** [Σ c_i·x_i <= k], bounds-consistent, arbitrary integer coefficients. *)
+
+val linear_eq : Engine.t -> coeffs:int array -> Engine.var array -> int -> bool
+
+val count_eq : Engine.t -> Engine.var array -> value:int -> int -> bool
+(** [#{i | x_i = value} = k] — the occurrence constraint behind CSP2's
+    per-job demand (constraint (9)). *)
+
+val count_weighted_eq :
+  Engine.t -> Engine.var array -> value:int -> weights:int array -> int -> bool
+(** [Σ_i w_i·(x_i = value) = k] with [w_i >= 0] — heterogeneous CSP2
+    demand (constraint (12)).  A zero weight combined with the domain
+    restriction of Section VI-A2 keeps tasks off incapable processors. *)
+
+val neq : Engine.t -> Engine.var -> Engine.var -> bool
+(** [x ≠ y]. *)
+
+val leq : Engine.t -> Engine.var -> Engine.var -> bool
+(** [x <= y], bounds-consistent — the symmetry-breaking order (10)/(13). *)
+
+val alldiff_except : Engine.t -> Engine.var array -> except:int -> bool
+(** Pairwise-distinct unless equal to [except] — CSP2's constraint (8)
+    ("two processors agree only on idle").  Value-precise propagation on
+    assignment. *)
+
+val clause : Engine.t -> pos:Engine.var list -> neg:Engine.var list -> bool
+(** Boolean clause [⋁ pos ∨ ⋁ ¬neg] over 0/1 variables (unit propagation). *)

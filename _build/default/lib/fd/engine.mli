@@ -1,0 +1,91 @@
+(** Core of the finite-domain constraint solver: variables, domains,
+    propagation queue and the backtrack trail.
+
+    This is the in-house replacement for the generic CSP solver the paper
+    uses for CSP1 (Choco): propagators are posted against variables, domain
+    changes wake them through a FIFO queue until a fixpoint, and a trail of
+    saved domains supports chronological backtracking.  The design favours
+    simplicity and allocation-light inner loops over sophistication —
+    propagators rescan their scope (arities here are small) instead of
+    maintaining incremental state across backtracks.
+
+    {2 Failure discipline}
+
+    All domain-shrinking operations return [false] when they empty a domain
+    (and poison the engine until the next backtrack); propagators return
+    [false] to signal inconsistency.  Callers must stop propagating once
+    [false] is seen. *)
+
+type t
+type var
+
+exception Too_large of string
+(** Raised by {!create} and {!new_var} when the variable budget is
+    exhausted; used to emulate the memory cliff the paper reports for
+    Choco on large CSP1 instances (Table IV). *)
+
+val create : ?var_budget:int -> unit -> t
+(** Fresh engine.  [var_budget] (default 2_000_000) bounds the number of
+    variables ever created. *)
+
+(** {2 Variables} *)
+
+val new_var : t -> ?name:string -> lo:int -> hi:int -> unit -> var
+(** Variable with domain [[lo, hi]]; requires [lo <= hi]. *)
+
+val new_var_of : t -> ?name:string -> int list -> var
+(** Variable with the given (non-empty) domain. *)
+
+val var_count : t -> int
+val name : var -> string
+val vid : var -> int
+
+val vmin : var -> int
+val vmax : var -> int
+val size : var -> int
+val mem : var -> int -> bool
+val value : var -> int option
+(** [Some v] iff the variable is assigned (singleton domain). *)
+
+val is_assigned : var -> bool
+val iter_values : var -> (int -> unit) -> unit
+val values : var -> int list
+
+(** {2 Domain operations} — return [false] on wipe-out. *)
+
+val assign : t -> var -> int -> bool
+val remove : t -> var -> int -> bool
+val remove_below : t -> var -> int -> bool
+(** Remove all values strictly below the bound. *)
+
+val remove_above : t -> var -> int -> bool
+
+(** {2 Propagators} *)
+
+val post : t -> name:string -> wake:var list -> propagate:(unit -> bool) -> bool
+(** Register a propagator woken by changes to any variable in [wake], run it
+    once immediately, and propagate to fixpoint.  Returns [false] if this
+    already proves inconsistency (engine left failed at the root). *)
+
+val propagate : t -> bool
+(** Run the queue to fixpoint. *)
+
+(** {2 Search support} *)
+
+val push_level : t -> unit
+val backtrack : t -> unit
+(** Undo all domain changes of the current level and pop it.
+    @raise Invalid_argument at the root. *)
+
+val level : t -> int
+val failed : t -> bool
+val propagation_count : t -> int
+
+val weight : var -> int
+(** Accumulated failure count of the propagators watching the variable —
+    the "wdeg" part of the dom/wdeg search heuristic.  Weights persist
+    across backtracking (that is the point: they summarize where conflicts
+    concentrate). *)
+
+val unassigned_count : t -> int
+val fold_vars : t -> ('a -> var -> 'a) -> 'a -> 'a

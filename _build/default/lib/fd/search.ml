@@ -1,0 +1,293 @@
+open Prelude
+module E = Engine
+
+type var_heuristic = Input_order | Min_dom | Min_dom_random | Random_var | Dom_over_wdeg
+
+type value_heuristic =
+  | Min_value
+  | Max_value
+  | Random_value
+  | Ordered of (Engine.var -> int list)
+
+type stats = {
+  nodes : int;
+  fails : int;
+  max_depth : int;
+  restarts : int;
+  propagations : int;
+  time_s : float;
+}
+
+type outcome = Sat of (Engine.var -> int) | Unsat | Limit
+type result = { outcome : outcome; stats : stats }
+
+let luby = Intmath.luby
+
+exception Stop_limit
+
+type searcher = {
+  eng : E.t;
+  vars : E.var array;
+  rng : Prng.t;
+  budget : Timer.budget;
+  var_h : var_heuristic;
+  val_h : value_heuristic;
+  mutable nodes : int;
+  mutable fails : int;
+  mutable max_depth : int;
+  mutable fail_limit : int;  (* for restarts; max_int = no restart *)
+  mutable fails_this_run : int;
+}
+
+exception Restart_now
+
+let check_budget s =
+  (* The node limit is exact (cheap integer test); the wall clock is only
+     consulted every 1024 nodes. *)
+  if
+    Timer.nodes_exceeded s.budget ~nodes:s.nodes
+    || (s.nodes land 1023 = 0 && Timer.exceeded s.budget ~nodes:s.nodes)
+  then raise Stop_limit
+
+(* Variable selection is the inner loop of the search (it runs once per
+   node over every variable), so each strategy gets a hand-rolled scan;
+   the randomized ones draw a single random number per node (two-pass
+   choose-k-th) instead of per-variable reservoir sampling. *)
+(* [hint] is a lower bound on the first unassigned position, valid for
+   [Input_order]: every variable before it was assigned at a shallower
+   level and stays assigned throughout the subtree. *)
+let select_var s ~hint =
+  let vars = s.vars in
+  let nvars = Array.length vars in
+  match s.var_h with
+  | Input_order ->
+    let rec go i =
+      if i >= nvars then None
+      else if not (E.is_assigned vars.(i)) then Some (vars.(i), i)
+      else go (i + 1)
+    in
+    go hint
+  | Min_dom ->
+    let best = ref None and best_size = ref max_int in
+    for i = 0 to nvars - 1 do
+      let v = vars.(i) in
+      if not (E.is_assigned v) then begin
+        let sz = E.size v in
+        if sz < !best_size then begin
+          best := Some v;
+          best_size := sz
+        end
+      end
+    done;
+    (match !best with None -> None | Some v -> Some (v, hint))
+  | Min_dom_random ->
+    let best_size = ref max_int and ties = ref 0 in
+    for i = 0 to nvars - 1 do
+      let v = vars.(i) in
+      if not (E.is_assigned v) then begin
+        let sz = E.size v in
+        if sz < !best_size then begin
+          best_size := sz;
+          ties := 1
+        end
+        else if sz = !best_size then incr ties
+      end
+    done;
+    if !ties = 0 then None
+    else begin
+      let target = ref (Prng.int s.rng !ties) in
+      let chosen = ref None in
+      (try
+         for i = 0 to nvars - 1 do
+           let v = vars.(i) in
+           if (not (E.is_assigned v)) && E.size v = !best_size then begin
+             if !target = 0 then begin
+               chosen := Some (v, hint);
+               raise Exit
+             end;
+             decr target
+           end
+         done
+       with Exit -> ());
+      !chosen
+    end
+  | Dom_over_wdeg ->
+    (* Minimize size/(weight+1); compare with cross-multiplication to stay
+       in integers.  Ties by position. *)
+    let best = ref None and best_size = ref 1 and best_w1 = ref 0 in
+    for i = 0 to nvars - 1 do
+      let v = vars.(i) in
+      if not (E.is_assigned v) then begin
+        let sz = E.size v and w1 = E.weight v + 1 in
+        match !best with
+        | None ->
+          best := Some v;
+          best_size := sz;
+          best_w1 := w1
+        | Some _ ->
+          if sz * !best_w1 < !best_size * w1 then begin
+            best := Some v;
+            best_size := sz;
+            best_w1 := w1
+          end
+      end
+    done;
+    (match !best with None -> None | Some v -> Some (v, hint))
+  | Random_var ->
+    let count = ref 0 in
+    for i = 0 to nvars - 1 do
+      if not (E.is_assigned vars.(i)) then incr count
+    done;
+    if !count = 0 then None
+    else begin
+      let target = ref (Prng.int s.rng !count) in
+      let chosen = ref None in
+      (try
+         for i = 0 to nvars - 1 do
+           let v = vars.(i) in
+           if not (E.is_assigned v) then begin
+             if !target = 0 then begin
+               chosen := Some (v, hint);
+               raise Exit
+             end;
+             decr target
+           end
+         done
+       with Exit -> ());
+      !chosen
+    end
+
+let value_order s v =
+  let domain = E.values v in
+  match s.val_h with
+  | Min_value -> domain
+  | Max_value -> List.rev domain
+  | Random_value ->
+    let a = Array.of_list domain in
+    Prng.shuffle s.rng a;
+    Array.to_list a
+  | Ordered f ->
+    let preferred = List.filter (fun x -> E.mem v x) (f v) in
+    let rest = List.filter (fun x -> not (List.mem x preferred)) domain in
+    preferred @ rest
+
+(* Depth-first search; returns [true] when a solution has been reached
+   (all branch variables assigned, constraints at fixpoint). *)
+let rec dfs s depth hint =
+  check_budget s;
+  if depth > s.max_depth then s.max_depth <- depth;
+  match select_var s ~hint with
+  | None -> true
+  | Some (v, pos) ->
+    let try_value x =
+      s.nodes <- s.nodes + 1;
+      check_budget s;
+      E.push_level s.eng;
+      let ok = E.assign s.eng v x && E.propagate s.eng && dfs s (depth + 1) pos in
+      if ok then true
+      else begin
+        E.backtrack s.eng;
+        s.fails <- s.fails + 1;
+        s.fails_this_run <- s.fails_this_run + 1;
+        if s.fails_this_run > s.fail_limit then raise Restart_now;
+        false
+      end
+    in
+    List.exists try_value (value_order s v)
+
+let make_searcher ?(var_heuristic = Min_dom_random) ?(value_heuristic = Random_value)
+    ?(seed = 0) ?(budget = Timer.unlimited) ?branch_vars eng =
+  let vars =
+    match branch_vars with
+    | Some vs -> vs
+    | None -> Array.of_list (E.fold_vars eng (fun acc v -> v :: acc) [] |> List.rev)
+  in
+  {
+    eng;
+    vars;
+    rng = Prng.create ~seed;
+    budget;
+    var_h = var_heuristic;
+    val_h = value_heuristic;
+    nodes = 0;
+    fails = 0;
+    max_depth = 0;
+    fail_limit = max_int;
+    fails_this_run = 0;
+  }
+
+let stats_of s ~restarts ~t0 =
+  {
+    nodes = s.nodes;
+    fails = s.fails;
+    max_depth = s.max_depth;
+    restarts;
+    propagations = E.propagation_count s.eng;
+    time_s = Timer.elapsed t0;
+  }
+
+let extract_solution s =
+  (* Capture the valuation eagerly: the engine's state dies with the next
+     backtrack. *)
+  let table = Hashtbl.create (Array.length s.vars * 2) in
+  let record v =
+    match E.value v with
+    | Some x -> Hashtbl.replace table (E.vid v) x
+    | None -> invalid_arg ("Search.solve: unassigned non-branch variable " ^ E.name v)
+  in
+  E.fold_vars s.eng (fun () v -> record v) ();
+  fun v -> Hashtbl.find table (E.vid v)
+
+let solve ?var_heuristic ?value_heuristic ?seed ?budget ?(restarts = false) ?branch_vars eng =
+  let t0 = Timer.start () in
+  let s = make_searcher ?var_heuristic ?value_heuristic ?seed ?budget ?branch_vars eng in
+  if E.failed eng then { outcome = Unsat; stats = stats_of s ~restarts:0 ~t0 }
+  else begin
+    let restart_count = ref 0 in
+    let rec attempt run =
+      s.fails_this_run <- 0;
+      s.fail_limit <- (if restarts then 128 * luby run else max_int);
+      match dfs s 0 0 with
+      | true -> { outcome = Sat (extract_solution s); stats = stats_of s ~restarts:!restart_count ~t0 }
+      | false ->
+        (* [dfs] only returns [false] after exploring the whole tree (an
+           aborted run raises [Restart_now] instead), so this is a proof. *)
+        { outcome = Unsat; stats = stats_of s ~restarts:!restart_count ~t0 }
+      | exception Restart_now ->
+        (* Unwind any levels left by the aborted recursion. *)
+        while E.level eng > 0 do
+          E.backtrack eng
+        done;
+        incr restart_count;
+        attempt (run + 1)
+      | exception Stop_limit ->
+        while E.level eng > 0 do
+          E.backtrack eng
+        done;
+        { outcome = Limit; stats = stats_of s ~restarts:!restart_count ~t0 }
+    in
+    attempt 1
+  end
+
+let count_solutions ?var_heuristic ?value_heuristic ?seed ?(limit = 1_000_000) eng =
+  let s = make_searcher ?var_heuristic ?value_heuristic ?seed eng in
+  let count = ref 0 in
+  if E.failed eng then 0
+  else begin
+    let rec enumerate depth hint =
+      if !count >= limit then ()
+      else
+        match select_var s ~hint with
+        | None -> incr count
+        | Some (v, pos) ->
+          let try_value x =
+            s.nodes <- s.nodes + 1;
+            E.push_level s.eng;
+            if E.assign s.eng v x && E.propagate s.eng then enumerate (depth + 1) pos;
+            E.backtrack s.eng
+          in
+          List.iter try_value (value_order s v)
+    in
+    enumerate 0 0;
+    !count
+  end

@@ -1,0 +1,75 @@
+(** Systematic search over a constraint store (Section III-B of the paper).
+
+    Depth-first search with chronological backtracking, d-way branching,
+    pluggable variable- and value-ordering heuristics, optional Luby
+    restarts, and combined wall-clock/node budgets.
+
+    The default strategy ([Min_dom_random] + [Random_value]) emulates the
+    randomized behaviour the paper observed in Choco (Section VII-B):
+    two runs with different seeds may take wildly different times on the
+    same instance.  With restarts disabled the search is complete, so
+    [Unsat] results are proofs of infeasibility. *)
+
+type var_heuristic =
+  | Input_order  (** First unassigned variable in creation order. *)
+  | Min_dom  (** Smallest domain, ties by creation order. *)
+  | Min_dom_random  (** Smallest domain, ties broken randomly. *)
+  | Random_var
+  | Dom_over_wdeg
+      (** Smallest domain-size / constraint-failure-weight ratio
+          (Boussemart et al.'s conflict-driven heuristic); deterministic. *)
+
+type value_heuristic =
+  | Min_value
+  | Max_value
+  | Random_value
+  | Ordered of (Engine.var -> int list)
+      (** Custom order; values absent from the returned list are tried last
+          in ascending order, and values no longer in the domain are
+          skipped. *)
+
+type stats = {
+  nodes : int;  (** Branching decisions taken. *)
+  fails : int;  (** Dead ends encountered. *)
+  max_depth : int;
+  restarts : int;
+  propagations : int;
+  time_s : float;
+}
+
+type outcome =
+  | Sat of (Engine.var -> int)  (** Total valuation of the solution. *)
+  | Unsat  (** Complete refutation (only reported when sound). *)
+  | Limit  (** Budget exhausted first — the paper's "overrun". *)
+
+type result = { outcome : outcome; stats : stats }
+
+val solve :
+  ?var_heuristic:var_heuristic ->
+  ?value_heuristic:value_heuristic ->
+  ?seed:int ->
+  ?budget:Prelude.Timer.budget ->
+  ?restarts:bool ->
+  ?branch_vars:Engine.var array ->
+  Engine.t ->
+  result
+(** Find one solution.  [branch_vars] restricts branching to the given
+    variables (others must become assigned by propagation; an error is
+    raised if a "solution" leaves one unassigned).  [restarts] (default
+    false) enables a Luby sequence with base 128 failures — sound for
+    satisfiable instances only, so [Unsat] is downgraded to [Limit] while
+    any restart remains possible. *)
+
+val count_solutions :
+  ?var_heuristic:var_heuristic ->
+  ?value_heuristic:value_heuristic ->
+  ?seed:int ->
+  ?limit:int ->
+  Engine.t ->
+  int
+(** Exhaustively count solutions (testing helper; [limit] caps the count,
+    default 1_000_000). *)
+
+val luby : int -> int
+(** The Luby restart sequence (1,1,2,1,1,2,4,…), 1-indexed; exposed for
+    tests. *)

@@ -1,0 +1,1 @@
+lib/gen/generator.ml: Array List Prelude Prng Rt_model Task Taskset

@@ -1,0 +1,1 @@
+lib/gen/generator.mli: Prelude Rt_model

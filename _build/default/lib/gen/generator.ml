@@ -1,0 +1,69 @@
+open Prelude
+open Rt_model
+
+type order = D_first | C_first | T_first
+
+let order_to_string = function
+  | D_first -> "D-first"
+  | C_first -> "C->D->T"
+  | T_first -> "T->D->C"
+
+let all_orders = [ D_first; C_first; T_first ]
+
+type m_spec = Fixed_m of int | Uniform_m | Min_processors
+
+type params = { n : int; m : m_spec; tmax : int; order : order; offsets : bool }
+
+let default ~n ~m ~tmax = { n; m; tmax; order = D_first; offsets = true }
+
+let validate p =
+  if p.n <= 2 then invalid_arg "Generator: n must be > 2";
+  if p.tmax <= 1 then invalid_arg "Generator: Tmax must be > 1";
+  match p.m with
+  | Fixed_m m when m < 1 || m >= p.n -> invalid_arg "Generator: need 1 <= m < n"
+  | Fixed_m _ | Uniform_m | Min_processors -> ()
+
+let sample_task rng p =
+  let c, d, t =
+    match p.order with
+    | C_first ->
+      let c = Prng.in_range rng ~lo:1 ~hi:p.tmax in
+      let d = Prng.in_range rng ~lo:c ~hi:p.tmax in
+      let t = Prng.in_range rng ~lo:d ~hi:p.tmax in
+      (c, d, t)
+    | T_first ->
+      let t = Prng.in_range rng ~lo:1 ~hi:p.tmax in
+      let d = Prng.in_range rng ~lo:1 ~hi:t in
+      let c = Prng.in_range rng ~lo:1 ~hi:d in
+      (c, d, t)
+    | D_first ->
+      let d = Prng.in_range rng ~lo:1 ~hi:p.tmax in
+      let c = Prng.in_range rng ~lo:1 ~hi:d in
+      let t = Prng.in_range rng ~lo:d ~hi:p.tmax in
+      (c, d, t)
+  in
+  let o = if p.offsets then Prng.in_range rng ~lo:0 ~hi:(t - 1) else 0 in
+  Task.make ~offset:o ~wcet:c ~deadline:d ~period:t ()
+
+let generate rng p =
+  validate p;
+  let tasks = List.init p.n (fun _ -> sample_task rng p) in
+  let ts = Taskset.of_tasks tasks in
+  let m =
+    match p.m with
+    | Fixed_m m -> m
+    | Uniform_m -> Prng.in_range rng ~lo:1 ~hi:(p.n - 1)
+    | Min_processors -> max 1 (Taskset.min_processors ts)
+  in
+  (ts, m)
+
+let batch ~seed ~count p =
+  validate p;
+  let master = Prng.create ~seed in
+  (* Split explicitly in index order: [Array.init]'s evaluation order is
+     unspecified and reproducibility demands instance i be stable. *)
+  let rngs = Array.make count master in
+  for i = 0 to count - 1 do
+    rngs.(i) <- Prng.split master
+  done;
+  Array.map (fun rng -> generate rng p) rngs

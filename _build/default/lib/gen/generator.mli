@@ -1,0 +1,46 @@
+(** Random problem generation (Section VII-A of the paper).
+
+    An instance is a task set plus a processor count.  The generator
+    enforces the paper's validity constraints [0 < C_i <= D_i <= T_i] and
+    [1 < m < n], and implements the three parameter-sampling orders the
+    paper discusses:
+
+    - [C_first] ([C → D → T]): favours large periods;
+    - [T_first] ([T → D → C]): favours short WCETs;
+    - [D_first]: the paper's chosen middle ground — sample [D] uniformly in
+      [[1, Tmax]] first, then [C ~ U(1, D)] and [T ~ U(D, Tmax)]
+      (independent given [D]).
+
+    Offsets are sampled uniformly in [[0, T_i − 1]] ([O_i] "is independent
+    of other parameters"); pass [~offsets:false] for synchronous systems.
+
+    Instances are *not* filtered for feasibility — Tables I–III rely on
+    unsolvable instances (utilization ratio above 1) being present. *)
+
+type order = D_first | C_first | T_first
+
+val order_to_string : order -> string
+val all_orders : order list
+
+type m_spec =
+  | Fixed_m of int  (** e.g. Table I uses [Fixed_m 5]. *)
+  | Uniform_m  (** Uniform in [[1, n−1]] (the paper's general setting). *)
+  | Min_processors  (** [m = ⌈Σ C_i/T_i⌉], Table IV's choice. *)
+
+type params = {
+  n : int;  (** Number of tasks, > 2. *)
+  m : m_spec;
+  tmax : int;  (** Maximum period, > 1. *)
+  order : order;
+  offsets : bool;  (** Sample release offsets (default true). *)
+}
+
+val default : n:int -> m:m_spec -> tmax:int -> params
+(** [D_first] ordering, offsets on. *)
+
+val generate : Prelude.Prng.t -> params -> Rt_model.Taskset.t * int
+(** Draw one instance: the task set and the processor count. *)
+
+val batch : seed:int -> count:int -> params -> (Rt_model.Taskset.t * int) array
+(** [count] independent instances from a master seed (split per instance,
+    so instance [i] is reproducible in isolation). *)

@@ -1,0 +1,1 @@
+lib/localsearch/min_conflicts.ml: Array Bitset Csp2 Encodings Fun List Prelude Prng Rt_model Schedule Taskset Timer Windows

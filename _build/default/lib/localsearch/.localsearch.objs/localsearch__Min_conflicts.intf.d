@@ -1,0 +1,1 @@
+lib/localsearch/min_conflicts.mli: Encodings Prelude Rt_model

@@ -1,0 +1,1 @@
+lib/model/analysis.ml: Array Task Taskset Windows

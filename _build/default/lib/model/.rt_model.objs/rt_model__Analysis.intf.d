@@ -1,0 +1,1 @@
+lib/model/analysis.mli: Taskset

@@ -1,0 +1,1 @@
+lib/model/clone.ml: Array List Platform Prelude Schedule Task Taskset

@@ -1,0 +1,1 @@
+lib/model/clone.mli: Platform Schedule Taskset

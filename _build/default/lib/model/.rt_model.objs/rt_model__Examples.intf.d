@@ -1,0 +1,1 @@
+lib/model/examples.mli: Platform Taskset

@@ -1,0 +1,1 @@
+lib/model/io.ml: Array Buffer List Printf Schedule String Task Taskset

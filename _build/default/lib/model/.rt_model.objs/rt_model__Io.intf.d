@@ -1,0 +1,1 @@
+lib/model/io.mli: Schedule Taskset

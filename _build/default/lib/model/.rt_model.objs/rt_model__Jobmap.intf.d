@@ -1,0 +1,1 @@
+lib/model/jobmap.mli: Taskset

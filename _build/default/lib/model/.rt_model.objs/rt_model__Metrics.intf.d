@@ -1,0 +1,1 @@
+lib/model/metrics.mli: Format Schedule Taskset

@@ -1,0 +1,1 @@
+lib/model/schedule.ml: Array Format Hashtbl List Prelude Stdlib

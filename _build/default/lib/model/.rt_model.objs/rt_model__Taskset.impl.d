@@ -1,0 +1,1 @@
+lib/model/taskset.ml: Array Format List Prelude Task

@@ -1,0 +1,1 @@
+lib/model/taskset.mli: Format Task

@@ -1,0 +1,1 @@
+lib/model/verify.ml: Array Format Jobmap List Platform Schedule Taskset

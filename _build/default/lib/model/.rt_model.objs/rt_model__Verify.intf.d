@@ -1,0 +1,1 @@
+lib/model/verify.mli: Format Platform Schedule Taskset

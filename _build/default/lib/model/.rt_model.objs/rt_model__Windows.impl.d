@@ -1,0 +1,1 @@
+lib/model/windows.ml: Array Format List Prelude Taskset

@@ -1,0 +1,1 @@
+lib/model/windows.mli: Format Taskset

@@ -1,0 +1,35 @@
+type verdict = Infeasible of string | Unknown
+
+let utilization_exceeds ts ~m =
+  let num, den = Taskset.utilization_num_den ts in
+  num > m * den
+
+let window_overload ts ~m =
+  ignore m;
+  (* With C <= D enforced by [Task.make], a job always fits alone in its
+     window on an identical platform; heterogeneous overloads are caught by
+     the encodings' domain construction instead. *)
+  Array.exists (fun (task : Task.t) -> task.wcet > task.deadline) (Taskset.tasks ts)
+
+let slot_capacity_shortfall ts ~m =
+  if utilization_exceeds ts ~m then true
+  else if not (Taskset.is_constrained ts) then false
+  else
+    let horizon = Taskset.hyperperiod ts in
+    let work = Array.fold_left (fun acc (t : Task.t) -> acc + (horizon / t.period * t.deadline)) 0 (Taskset.tasks ts) in
+    if work > 10_000_000 then false
+    else
+      let windows = Windows.build ts in
+      let load = Windows.slot_load windows in
+      let supply = Array.fold_left (fun acc l -> acc + min m l) 0 load in
+      supply < Taskset.total_demand ts
+
+let quick_check ts ~m =
+  if utilization_exceeds ts ~m then Infeasible "utilization ratio r > 1"
+  else if window_overload ts ~m then Infeasible "a job exceeds its own window"
+  else if slot_capacity_shortfall ts ~m then Infeasible "per-slot supply below demand"
+  else Unknown
+
+let min_processors_feasible ~solve ts ~max_m =
+  let rec go m = if m > max_m then None else if solve ~m then Some m else go (m + 1) in
+  go (Taskset.min_processors ts)

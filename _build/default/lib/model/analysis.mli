@@ -1,0 +1,35 @@
+(** Cheap necessary feasibility conditions.
+
+    These are the pre-filters the paper applies before invoking a solver:
+    the utilization test [U <= m] (equivalently [r <= 1], Section II) prunes
+    most unsolvable instances of Table II, and two slot-granularity demand
+    arguments catch further ones without any search. *)
+
+type verdict =
+  | Infeasible of string  (** Provably infeasible, with the failed test. *)
+  | Unknown  (** No necessary condition violated; a solver must decide. *)
+
+val utilization_exceeds : Taskset.t -> m:int -> bool
+(** The paper's [r > 1] filter, computed exactly (no float rounding). *)
+
+val window_overload : Taskset.t -> m:int -> bool
+(** True when some single window cannot hold its own job:
+    never for valid tasks ([C <= D]) on identical platforms, but possible on
+    heterogeneous ones; kept for the general entry point. *)
+
+val slot_capacity_shortfall : Taskset.t -> m:int -> bool
+(** True when, over the hyperperiod, total demand [Σ C_i·T/T_i] exceeds
+    [m·T] — same as {!utilization_exceeds} — or when the per-slot supply
+    [min(m, #covering windows)] summed over slots cannot cover the demand.
+    The second test catches instances whose windows are too sparse even
+    though [r <= 1].  Costs O(total window length); skipped (returns
+    [false]) when that would exceed [10^7]. *)
+
+val quick_check : Taskset.t -> m:int -> verdict
+(** Run all necessary conditions in increasing cost order. *)
+
+val min_processors_feasible :
+  solve:(m:int -> bool) -> Taskset.t -> max_m:int -> int option
+(** Incremental search for the smallest [m] accepted by [solve], starting
+    from [⌈U⌉] (the paper's closing suggestion in Section VII-E).  Returns
+    [None] if no [m <= max_m] works. *)

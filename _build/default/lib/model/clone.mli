@@ -1,0 +1,47 @@
+(** The clone transform for arbitrary-deadline systems (Section VI-B).
+
+    When [D_i > T_i], up to [k_i = ⌈D_i/T_i⌉] jobs of τ_i may be live
+    simultaneously, which the CSP variables (one value per task) cannot
+    express.  The paper's fix: replace τ_i by [k_i] {e clones}
+    τ_{i,i'} with
+
+    - [O_{i,i'} = O_i + (i'−1)·T_i]  (staggered starts),
+    - [C_{i,i'} = C_i], [D_{i,i'} = D_i]  (unchanged),
+    - [T_{i,i'} = k_i·T_i]  (stretched so each clone is constrained).
+
+    Solving the cloned (constrained-deadline) system and mapping clone ids
+    back yields a feasible schedule of the original system. *)
+
+type t
+
+val transform : Taskset.t -> t
+(** Clone every task (tasks with [D_i <= T_i] get a single clone equal to
+    themselves, so the transform is the identity on constrained systems). *)
+
+val cloned : t -> Taskset.t
+(** The constrained-deadline clone system. *)
+
+val original : t -> Taskset.t
+
+val origin : t -> int -> int
+(** [origin t c] is the original task id of clone [c]. *)
+
+val clone_count : t -> int -> int
+(** [clone_count t i] is [k_i] for original task [i]. *)
+
+val clones_of : t -> int -> int list
+(** Clone ids of an original task, ascending. *)
+
+val map_schedule : t -> Schedule.t -> Schedule.t
+(** Rewrite a feasible schedule of the clone system into a schedule of the
+    original system over the original hyperperiod.  The clone hyperperiod is
+    a multiple of the original's; the cloned schedule is *not* generally
+    periodic with the original period, so the result keeps the clone
+    system's horizon (a valid period for the original system too).
+
+    @raise Invalid_argument if the schedule horizon differs from the clone
+    system's hyperperiod. *)
+
+val map_platform : t -> Platform.t -> Platform.t
+(** Lift a (possibly heterogeneous) platform for the original system to the
+    clone system: a clone inherits its origin's rates. *)

@@ -1,0 +1,14 @@
+let running_example =
+  Taskset.of_tuples [ (0, 1, 2, 2); (1, 3, 4, 4); (0, 2, 2, 3) ]
+
+let running_example_m = 2
+
+let edf_trap = Taskset.of_tuples [ (0, 2, 3, 3); (0, 2, 3, 3); (0, 2, 3, 3) ]
+let edf_trap_m = 2
+
+let dedicated =
+  let ts = Taskset.of_tuples [ (0, 2, 4, 4); (0, 3, 6, 6); (0, 2, 3, 4) ] in
+  let rates = [| [| 1; 2 |]; [| 1; 1 |]; [| 0; 1 |] |] in
+  (ts, Platform.heterogeneous ~rates)
+
+let arbitrary_deadline = Taskset.of_tuples [ (0, 2, 5, 3); (0, 1, 2, 2) ]

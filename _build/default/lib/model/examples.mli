@@ -1,0 +1,27 @@
+(** Canned task systems used across documentation, tests and examples. *)
+
+val running_example : Taskset.t
+(** The paper's Example 1: n = 3, tasks (0,1,2,2), (1,3,4,4), (0,2,2,3);
+    hyperperiod 12, meant for m = 2 processors. *)
+
+val running_example_m : int
+(** The processor count (2) the paper uses with {!running_example}. *)
+
+val edf_trap : Taskset.t
+(** A feasible 3-task system on 2 processors that global EDF (deadline ties
+    broken by task id) misses: three synchronous tasks (0,2,3,3).  Each slot
+    can host two tasks and the demand exactly fills 2×3 slots, but EDF runs
+    τ1 and τ2 twice in a row, leaving τ3 a single slot.  Demonstrates why
+    systematic search is needed (cf. the scheduling anomalies discussed in
+    the paper's introduction). *)
+
+val edf_trap_m : int
+
+val dedicated : Taskset.t * Platform.t
+(** A heterogeneous example in the style of Section VI-A: 2 processors, one
+    of which cannot serve task 3 at all ([s_{3,1} = 0]) while processor 2 is
+    twice as fast for task 1. *)
+
+val arbitrary_deadline : Taskset.t
+(** A small arbitrary-deadline system ([D_1 = 5 > T_1 = 3]) exercising the
+    clone transform of Section VI-B. *)

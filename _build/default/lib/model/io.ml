@@ -1,0 +1,92 @@
+let split_fields line =
+  String.split_on_char ' ' line
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun s -> s <> "")
+
+let strip_comment line =
+  match String.index_opt line '#' with Some i -> String.sub line 0 i | None -> line
+
+let taskset_of_string text =
+  let tasks = ref [] in
+  List.iteri
+    (fun lineno line ->
+      let fields = split_fields (String.trim (strip_comment line)) in
+      match fields with
+      | [] -> ()
+      | [ o; c; d; t ] -> (
+        match
+          (int_of_string_opt o, int_of_string_opt c, int_of_string_opt d, int_of_string_opt t)
+        with
+        | Some offset, Some wcet, Some deadline, Some period -> (
+          match Task.make ~offset ~wcet ~deadline ~period () with
+          | task -> tasks := task :: !tasks
+          | exception Invalid_argument msg ->
+            failwith (Printf.sprintf "line %d: %s" (lineno + 1) msg))
+        | _ -> failwith (Printf.sprintf "line %d: expected four integers" (lineno + 1)))
+      | _ ->
+        failwith
+          (Printf.sprintf "line %d: expected 'O C D T', got %d fields" (lineno + 1)
+             (List.length fields)))
+    (String.split_on_char '\n' text);
+  match List.rev !tasks with
+  | [] -> failwith "no tasks in input"
+  | tasks -> Taskset.of_tasks tasks
+
+let taskset_to_string ts =
+  let buf = Buffer.create 128 in
+  Array.iter
+    (fun (t : Task.t) ->
+      Buffer.add_string buf (Printf.sprintf "%d %d %d %d\n" t.offset t.wcet t.deadline t.period))
+    (Taskset.tasks ts);
+  Buffer.contents buf
+
+let load_taskset path =
+  let ic = open_in path in
+  let read () =
+    let len = in_channel_length ic in
+    really_input_string ic len
+  in
+  let text = try read () with e -> close_in ic; raise e in
+  close_in ic;
+  taskset_of_string text
+
+let save_taskset path ts =
+  let oc = open_out path in
+  (try output_string oc (taskset_to_string ts) with e -> close_out oc; raise e);
+  close_out oc
+
+let schedule_to_csv sched =
+  let buf = Buffer.create 256 in
+  for proc = 0 to Schedule.m sched - 1 do
+    for time = 0 to Schedule.horizon sched - 1 do
+      if time > 0 then Buffer.add_char buf ',';
+      let v = Schedule.get sched ~proc ~time in
+      if v <> Schedule.idle then Buffer.add_string buf (string_of_int (v + 1))
+    done;
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf
+
+let schedule_of_csv text =
+  let rows =
+    String.split_on_char '\n' text
+    |> List.map String.trim
+    |> List.filter (fun l -> l <> "")
+    |> List.map (fun line ->
+           String.split_on_char ',' line
+           |> List.map (fun cell ->
+                  let cell = String.trim cell in
+                  if cell = "" then Schedule.idle
+                  else
+                    match int_of_string_opt cell with
+                    | Some v when v >= 1 -> v - 1
+                    | Some _ | None -> failwith ("bad schedule cell: " ^ cell)))
+  in
+  match rows with
+  | [] -> failwith "empty schedule"
+  | first :: _ ->
+    let horizon = List.length first in
+    List.iter
+      (fun row -> if List.length row <> horizon then failwith "ragged schedule rows")
+      rows;
+    Schedule.of_cells (Array.of_list (List.map Array.of_list rows))

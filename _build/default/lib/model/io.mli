@@ -1,0 +1,31 @@
+(** Plain-text serialization of task systems and schedules.
+
+    The task-set format is one task per line, four integers
+    [O C D T], with ['#'] starting a comment:
+
+    {v
+    # the paper's running example
+    0 1 2 2
+    1 3 4 4
+    0 2 2 3
+    v}
+
+    Schedules export as CSV, one row per processor, one column per slot,
+    cells holding 1-based task ids or empty for idle — convenient for
+    spreadsheets and plotting scripts. *)
+
+val taskset_of_string : string -> Taskset.t
+(** @raise Failure with a line-number message on malformed input. *)
+
+val taskset_to_string : Taskset.t -> string
+(** Round-trips through {!taskset_of_string} (offsets, WCETs, deadlines,
+    periods; ids are positional). *)
+
+val load_taskset : string -> Taskset.t
+(** Read a file.  @raise Sys_error or Failure. *)
+
+val save_taskset : string -> Taskset.t -> unit
+
+val schedule_to_csv : Schedule.t -> string
+val schedule_of_csv : string -> Schedule.t
+(** @raise Failure on ragged or non-integer input. *)

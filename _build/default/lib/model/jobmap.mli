@@ -1,0 +1,46 @@
+(** Arithmetic job lookup — the memory-lean sibling of {!Windows}.
+
+    {!Windows.build} materializes a per-task, per-slot table, which is
+    perfect for the CSP encodings (bounded instance sizes) but would cost
+    gigabytes on the paper's Table IV extremes (n = 256, T = 360360).  This
+    module answers the same queries in O(1) arithmetic with O(n) memory, and
+    is what the dedicated CSP2 solver and the schedule verifier use.
+
+    Semantics match {!Windows} exactly (offsets folded modulo the period,
+    windows cyclic modulo the hyperperiod); the agreement is property-tested
+    in [test/test_model.ml]. *)
+
+type t
+
+val create : Taskset.t -> t
+(** @raise Invalid_argument on non-constrained-deadline task sets. *)
+
+val taskset : t -> Taskset.t
+val horizon : t -> int
+
+val job_count : t -> int
+(** Total jobs in one hyperperiod, [Σ_i T/T_i]. *)
+
+val jobs_of_task : t -> int -> int
+val first_of_task : t -> int -> int
+(** Global job index of job 0 of the task; jobs of one task are contiguous. *)
+
+val local_job_at : t -> task:int -> time:int -> int
+(** Job index [k] (0-based, within the task) whose cyclic window contains
+    slot [time mod T], or [-1]. *)
+
+val global_job_at : t -> task:int -> time:int -> int
+(** Global job index version of {!local_job_at}, or [-1]. *)
+
+val release : t -> task:int -> k:int -> int
+(** Folded release instant of job [k] of the task, in [[0, T)] for [k] = 0
+    (later jobs add multiples of the period and may exceed [T]). *)
+
+val window_last : t -> task:int -> k:int -> int
+(** Last slot (un-folded) of the window: [release + D − 1]. *)
+
+val remaining_window_slots : t -> task:int -> k:int -> from:int -> int
+(** Number of window slots at cyclic positions whose *sweep order* is
+    [>= from], where the sweep enumerates slot [release], [release+1], …
+    un-folded.  Used by the chronological solver's slack pruning: [from] is
+    an un-folded instant in [[release, release + D]]. *)

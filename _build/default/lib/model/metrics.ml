@@ -1,0 +1,90 @@
+type t = {
+  busy_slots : int;
+  idle_slots : int;
+  preemptions : int;
+  migrations : int;
+  max_parallelism : int;
+  avg_parallelism : float;
+}
+
+let analyze ts sched =
+  let horizon = Schedule.horizon sched in
+  if horizon <> Taskset.hyperperiod ts then
+    invalid_arg "Metrics.analyze: schedule horizon differs from the hyperperiod";
+  let m = Schedule.m sched in
+  let windows = Windows.build ts in
+  let busy = Schedule.busy_slots sched in
+  let max_par = ref 0 in
+  for time = 0 to horizon - 1 do
+    max_par := max !max_par (List.length (Schedule.tasks_at sched ~time))
+  done;
+  let preemptions = ref 0 in
+  let migrations = ref 0 in
+  for i = 0 to Taskset.size ts - 1 do
+    (* Executed (window-position, processor) pairs of each job, in window
+       (release) order — Windows lists slots in that order, so a wrapped
+       window is walked head-last, as the real job experiences it. *)
+    let runs_of_job (job : Windows.job) =
+      let acc = ref [] in
+      Array.iteri
+        (fun pos slot ->
+          match Schedule.proc_of_task_at sched ~task:i ~time:slot with
+          | Some proc -> acc := (pos, proc) :: !acc
+          | None -> ())
+        job.Windows.slots;
+      List.rev !acc
+    in
+    let jobs = Array.to_list (Windows.jobs_of_task windows i) in
+    let runs = List.map runs_of_job jobs in
+    (* Within-job gaps and processor changes. *)
+    List.iter
+      (fun job_runs ->
+        let rec walk = function
+          | (p1, q1) :: ((p2, q2) :: _ as rest) ->
+            if p2 > p1 + 1 then incr preemptions;
+            if q1 <> q2 then incr migrations;
+            walk rest
+          | [ _ ] | [] -> ()
+        in
+        walk job_runs)
+      runs;
+    (* Across consecutive jobs (cyclically): a task resuming on another
+       processor is a task migration. *)
+    let endpoints =
+      List.filter_map
+        (fun job_runs ->
+          match job_runs with
+          | [] -> None
+          | (_, first) :: _ ->
+            let rec last = function [ (_, q) ] -> q | _ :: tl -> last tl | [] -> first in
+            Some (first, last job_runs))
+        runs
+    in
+    (match endpoints with
+    | [] | [ _ ] ->
+      (* A single executing job still wraps onto itself cyclically, but a
+         same-job wrap is already a window-order adjacency, not a resume. *)
+      ()
+    | (first0, _) :: _ ->
+      let rec across = function
+        | (_, last1) :: (((first2, _) :: _) as rest) ->
+          if last1 <> first2 then incr migrations;
+          across rest
+        | [ (_, last_final) ] -> if last_final <> first0 then incr migrations
+        | [] -> ()
+      in
+      across endpoints)
+  done;
+  {
+    busy_slots = busy;
+    idle_slots = (m * horizon) - busy;
+    preemptions = !preemptions;
+    migrations = !migrations;
+    max_parallelism = !max_par;
+    avg_parallelism = float_of_int busy /. float_of_int horizon;
+  }
+
+let pp ppf t =
+  Format.fprintf ppf
+    "busy %d, idle %d, preemptions %d, migrations %d, parallelism max %d / avg %.2f"
+    t.busy_slots t.idle_slots t.preemptions t.migrations t.max_parallelism t.avg_parallelism

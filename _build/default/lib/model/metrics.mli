@@ -1,0 +1,31 @@
+(** Quality metrics of feasible schedules.
+
+    The CSP solvers stop at the first feasible schedule (the problem "has
+    no performance criterion to optimize", Section I) — but not all
+    feasible schedules are equal in practice: preemptions and migrations
+    have real costs on hardware.  These metrics let users compare the
+    schedules different solver paths or heuristics produce, and power the
+    migration/preemption columns of the extended benchmark report.
+
+    All counts are over one period of the cyclic schedule, including the
+    wrap from the last slot back to slot 0 (the schedule repeats). *)
+
+type t = {
+  busy_slots : int;  (** Non-idle (processor, slot) cells. *)
+  idle_slots : int;
+  preemptions : int;
+      (** Times a job stops executing with work remaining (it runs at slot
+          [t] but not at [t+1], and its window/job has not just ended). *)
+  migrations : int;
+      (** Times a task resumes on a different processor than it last ran
+          on (job or task migration, Section I's distinction collapsed at
+          slot granularity). *)
+  max_parallelism : int;  (** Busiest slot. *)
+  avg_parallelism : float;
+}
+
+val analyze : Taskset.t -> Schedule.t -> t
+(** @raise Invalid_argument if the horizon differs from the hyperperiod
+    (metrics rely on the cyclic wrap). *)
+
+val pp : Format.formatter -> t -> unit

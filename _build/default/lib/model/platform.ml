@@ -1,0 +1,72 @@
+type kind =
+  | Identical
+  | Uniform of int array
+  | Heterogeneous of int array array
+
+type t = { m : int; kind : kind }
+
+let identical ~m =
+  if m < 1 then invalid_arg "Platform.identical: m must be >= 1";
+  { m; kind = Identical }
+
+let uniform ~speeds =
+  let m = Array.length speeds in
+  if m = 0 then invalid_arg "Platform.uniform: no processors";
+  if Array.exists (fun s -> s < 1) speeds then
+    invalid_arg "Platform.uniform: speeds must be >= 1";
+  { m; kind = Uniform (Array.copy speeds) }
+
+let heterogeneous ~rates =
+  let n = Array.length rates in
+  if n = 0 then invalid_arg "Platform.heterogeneous: no tasks";
+  let m = Array.length rates.(0) in
+  if m = 0 then invalid_arg "Platform.heterogeneous: no processors";
+  Array.iteri
+    (fun i row ->
+      if Array.length row <> m then invalid_arg "Platform.heterogeneous: ragged matrix";
+      if Array.exists (fun r -> r < 0) row then
+        invalid_arg "Platform.heterogeneous: negative rate";
+      if Array.for_all (fun r -> r = 0) row then
+        invalid_arg
+          (Printf.sprintf "Platform.heterogeneous: task %d cannot run anywhere" i))
+    rates;
+  { m; kind = Heterogeneous (Array.map Array.copy rates) }
+
+let processors t = t.m
+
+let rate t ~task ~proc =
+  if proc < 0 || proc >= t.m then invalid_arg "Platform.rate: bad processor";
+  match t.kind with
+  | Identical -> 1
+  | Uniform speeds -> speeds.(proc)
+  | Heterogeneous rates ->
+    if task < 0 || task >= Array.length rates then invalid_arg "Platform.rate: bad task";
+    rates.(task).(proc)
+
+let is_identical t = match t.kind with Identical -> true | Uniform _ | Heterogeneous _ -> false
+let can_run t ~task ~proc = rate t ~task ~proc > 0
+
+let eligible_processors t ~task =
+  List.filter (fun proc -> can_run t ~task ~proc) (List.init t.m Fun.id)
+
+let quality t ts ~proc =
+  let n = Taskset.size ts in
+  let acc = ref 0. in
+  for i = 0 to n - 1 do
+    acc := !acc +. (float_of_int (rate t ~task:i ~proc) *. Task.utilization (Taskset.task ts i))
+  done;
+  !acc
+
+let same_kind t ~proc ~proc' ~tasks =
+  let rec go i = i >= tasks || (rate t ~task:i ~proc = rate t ~task:i ~proc:proc' && go (i + 1)) in
+  go 0
+
+let pp ppf t =
+  match t.kind with
+  | Identical -> Format.fprintf ppf "%d identical processors" t.m
+  | Uniform speeds ->
+    Format.fprintf ppf "%d uniform processors (speeds %a)" t.m
+      (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ",") Format.pp_print_int)
+      (Array.to_list speeds)
+  | Heterogeneous rates ->
+    Format.fprintf ppf "%d heterogeneous processors (%d tasks)" t.m (Array.length rates)

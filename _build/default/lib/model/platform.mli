@@ -1,0 +1,47 @@
+(** Multiprocessor platforms (Section I's three platform classes).
+
+    Execution rates are integers: a job of task i running one slot on
+    processor j completes [rate i j] units of its WCET.  [rate i j = 0]
+    models a dedicated processor that cannot serve the task at all —
+    the paper's motivation for the heterogeneous model. *)
+
+type t
+
+val identical : m:int -> t
+(** [m] unit-speed processors (MGRTS-ID, Sections IV–V). *)
+
+val uniform : speeds:int array -> t
+(** Processor [j] completes [speeds.(j)] units per slot, for every task.
+    @raise Invalid_argument on empty or non-positive speeds. *)
+
+val heterogeneous : rates:int array array -> t
+(** [rates.(i).(j)] is the execution rate of task [i] on processor [j]
+    (Section VI-A).  Rows must be non-empty, rectangular and non-negative,
+    and every task must have at least one positive rate.
+    @raise Invalid_argument otherwise. *)
+
+val processors : t -> int
+(** The number m of processors. *)
+
+val rate : t -> task:int -> proc:int -> int
+(** Execution rate; [identical] and [uniform] platforms accept any task
+    index, heterogeneous ones require [task] within the rate matrix. *)
+
+val is_identical : t -> bool
+
+val can_run : t -> task:int -> proc:int -> bool
+(** [rate > 0]. *)
+
+val eligible_processors : t -> task:int -> int list
+(** Processors with positive rate for the task, ascending. *)
+
+val quality : t -> Taskset.t -> proc:int -> float
+(** The paper's processor quality [Q(P_j) = Σ_i s_{i,j} · C_i/T_i]
+    (Section VI-A2), used to order variables on heterogeneous platforms. *)
+
+val same_kind : t -> proc:int -> proc':int -> tasks:int -> bool
+(** True when the two processors have equal rates for all [tasks] task
+    indices — the [P_j ≈ P_j'] relation restricting the symmetry-breaking
+    rule (13) to groups of identical processors. *)
+
+val pp : Format.formatter -> t -> unit

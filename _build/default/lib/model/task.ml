@@ -1,0 +1,27 @@
+type t = { id : int; offset : int; wcet : int; deadline : int; period : int }
+
+let make ?(id = 0) ~offset ~wcet ~deadline ~period () =
+  if offset < 0 then invalid_arg "Task.make: negative offset";
+  if wcet < 1 then invalid_arg "Task.make: wcet must be >= 1";
+  if deadline < wcet then invalid_arg "Task.make: deadline < wcet";
+  if period < 1 then invalid_arg "Task.make: period must be >= 1";
+  { id; offset; wcet; deadline; period }
+
+let with_id t id = { t with id }
+let is_constrained t = t.deadline <= t.period
+let utilization t = float_of_int t.wcet /. float_of_int t.period
+let density t = float_of_int t.wcet /. float_of_int (min t.deadline t.period)
+let laxity t = t.deadline - t.wcet
+let release t k = t.offset + (k * t.period)
+let abs_deadline t k = release t k + t.deadline
+
+let equal a b =
+  a.id = b.id && a.offset = b.offset && a.wcet = b.wcet && a.deadline = b.deadline
+  && a.period = b.period
+
+let compare = Stdlib.compare
+
+let pp ppf t =
+  Format.fprintf ppf "τ%d(O=%d,C=%d,D=%d,T=%d)" (t.id + 1) t.offset t.wcet t.deadline t.period
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,47 @@
+(** Periodic real-time tasks.
+
+    A task is the 4-tuple [(O, C, D, T)] of the paper (Section II): offset,
+    worst-case execution time, relative deadline and period, all integers
+    (time is discrete).  Job [k] (counted from 0) is released at
+    [O + k*T] and must receive [C] units of execution before
+    [O + k*T + D]. *)
+
+type t = private {
+  id : int;  (** Position in the owning task set; also the CSP2 value. *)
+  offset : int;  (** [O_i >= 0]. *)
+  wcet : int;  (** [C_i >= 1]. *)
+  deadline : int;  (** Relative deadline [D_i >= C_i]. *)
+  period : int;  (** [T_i >= 1]. *)
+}
+
+val make : ?id:int -> offset:int -> wcet:int -> deadline:int -> period:int -> unit -> t
+(** @raise Invalid_argument unless [0 <= O], [1 <= C <= D] and [1 <= T].
+    [D > T] is allowed (arbitrary-deadline systems); use {!Clone} to reduce
+    such systems to constrained-deadline ones. *)
+
+val with_id : t -> int -> t
+(** Same parameters under a new identifier. *)
+
+val is_constrained : t -> bool
+(** [D_i <= T_i]. *)
+
+val utilization : t -> float
+(** [C_i / T_i]. *)
+
+val density : t -> float
+(** [C_i / min(D_i, T_i)]. *)
+
+val laxity : t -> int
+(** [D_i - C_i], the (D−C) quantity driving the paper's best heuristic. *)
+
+val release : t -> int -> int
+(** [release task k] is the release instant of job [k] (0-based). *)
+
+val abs_deadline : t -> int -> int
+(** [abs_deadline task k] is the first instant after which job [k] may no
+    longer execute, i.e. [release + D]. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,53 @@
+type t = { tasks : Task.t array; hyperperiod : int }
+
+let of_tasks l =
+  if l = [] then invalid_arg "Taskset.of_tasks: empty task set";
+  let tasks = Array.of_list (List.mapi (fun i task -> Task.with_id task i) l) in
+  let hyperperiod =
+    try Prelude.Intmath.lcm_list (List.map (fun (task : Task.t) -> task.period) l)
+    with Prelude.Intmath.Overflow _ -> invalid_arg "Taskset.of_tasks: hyperperiod overflow"
+  in
+  { tasks; hyperperiod }
+
+let of_tuples l =
+  of_tasks
+    (List.map (fun (offset, wcet, deadline, period) -> Task.make ~offset ~wcet ~deadline ~period ()) l)
+
+let size t = Array.length t.tasks
+
+let task t i =
+  if i < 0 || i >= size t then invalid_arg "Taskset.task: bad index";
+  t.tasks.(i)
+
+let tasks t = Array.copy t.tasks
+let hyperperiod t = t.hyperperiod
+
+let utilization t = Array.fold_left (fun acc task -> acc +. Task.utilization task) 0. t.tasks
+
+let utilization_num_den t =
+  let hp = t.hyperperiod in
+  let num =
+    Array.fold_left (fun acc (task : Task.t) -> acc + (task.wcet * (hp / task.period))) 0 t.tasks
+  in
+  (num, hp)
+
+let utilization_ratio t ~m = utilization t /. float_of_int m
+
+let min_processors t =
+  let num, den = utilization_num_den t in
+  Prelude.Intmath.cdiv num den
+
+let is_constrained t = Array.for_all Task.is_constrained t.tasks
+
+let jobs_per_hyperperiod t i =
+  let task = task t i in
+  t.hyperperiod / task.period
+
+let total_demand t = fst (utilization_num_den t)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>taskset (n=%d, T=%d, U=%.3f)@," (size t) t.hyperperiod (utilization t);
+  Array.iter (fun task -> Format.fprintf ppf "  %a@," Task.pp task) t.tasks;
+  Format.fprintf ppf "@]"
+
+let to_string t = Format.asprintf "%a" pp t

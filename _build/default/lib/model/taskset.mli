@@ -1,0 +1,49 @@
+(** Task systems τ = {τ₁, …, τₙ}.
+
+    A task set owns its tasks' identifiers (0-based, contiguous) and caches
+    the hyperperiod [T = lcm(T_i)], over which any feasible schedule of a
+    constrained-deadline system can be made periodic (paper, Section III). *)
+
+type t
+
+val of_tasks : Task.t list -> t
+(** Re-identifies the tasks as 0,1,…,n−1 in list order.
+    @raise Invalid_argument on the empty list or on hyperperiod overflow. *)
+
+val of_tuples : (int * int * int * int) list -> t
+(** Convenience: each element is [(O, C, D, T)]. *)
+
+val size : t -> int
+val task : t -> int -> Task.t
+val tasks : t -> Task.t array
+(** A fresh array; mutating it does not affect the task set. *)
+
+val hyperperiod : t -> int
+(** [lcm] of the periods; written [T] in the paper. *)
+
+val utilization : t -> float
+(** [U = Σ C_i / T_i]. *)
+
+val utilization_num_den : t -> int * int
+(** [U] as an exact fraction (numerator, denominator) over the hyperperiod:
+    [(Σ C_i · T/T_i, T)].  Avoids float rounding in the [r > 1] filter. *)
+
+val utilization_ratio : t -> m:int -> float
+(** [r = U / m], the paper's difficulty measure. *)
+
+val min_processors : t -> int
+(** [⌈U⌉]: the smallest m not excluded by the [r > 1] necessary condition
+    (used to pick m in the paper's Table IV experiment). *)
+
+val is_constrained : t -> bool
+(** All deadlines constrained ([D_i <= T_i]). *)
+
+val jobs_per_hyperperiod : t -> int -> int
+(** [jobs_per_hyperperiod ts i] is [T / T_i], the number of jobs task [i]
+    releases in one hyperperiod. *)
+
+val total_demand : t -> int
+(** [Σ_i C_i · T/T_i]: total execution units required per hyperperiod. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,71 @@
+type violation =
+  | Bad_task of { proc : int; time : int; value : int }
+  | Out_of_window of { proc : int; time : int; task : int }
+  | Parallelism of { time : int; task : int; procs : int * int }
+  | Zero_rate of { proc : int; time : int; task : int }
+  | Wrong_amount of { task : int; job : int; expected : int; got : int }
+
+let pp_violation ppf = function
+  | Bad_task { proc; time; value } ->
+    Format.fprintf ppf "invalid task id %d on P%d at t=%d" value (proc + 1) time
+  | Out_of_window { proc; time; task } ->
+    Format.fprintf ppf "τ%d runs on P%d at t=%d outside any availability window" (task + 1)
+      (proc + 1) time
+  | Parallelism { time; task; procs = p, p' } ->
+    Format.fprintf ppf "τ%d runs on both P%d and P%d at t=%d (C3)" (task + 1) (p + 1) (p' + 1)
+      time
+  | Zero_rate { proc; time; task } ->
+    Format.fprintf ppf "τ%d scheduled on P%d at t=%d but s=0" (task + 1) (proc + 1) time
+  | Wrong_amount { task; job; expected; got } ->
+    Format.fprintf ppf "job %d of τ%d received %d units instead of %d (C4)" job (task + 1) got
+      expected
+
+let check ?platform ?(max_violations = 32) ts sched =
+  let n = Taskset.size ts in
+  let m = Schedule.m sched in
+  let horizon = Schedule.horizon sched in
+  if horizon <> Taskset.hyperperiod ts then
+    invalid_arg "Verify.check: schedule horizon differs from the hyperperiod";
+  let platform = match platform with Some p -> p | None -> Platform.identical ~m in
+  if Platform.processors platform <> m then
+    invalid_arg "Verify.check: platform processor count differs from the schedule";
+  let jm = Jobmap.create ts in
+  let received = Array.make (Jobmap.job_count jm) 0 in
+  let violations = ref [] in
+  let count = ref 0 in
+  let report v =
+    if !count < max_violations then violations := v :: !violations;
+    incr count
+  in
+  let proc_of = Array.make n (-1) in
+  for time = 0 to horizon - 1 do
+    Array.fill proc_of 0 n (-1);
+    for proc = 0 to m - 1 do
+      let v = Schedule.get sched ~proc ~time in
+      if v <> Schedule.idle then
+        if v < 0 || v >= n then report (Bad_task { proc; time; value = v })
+        else begin
+          (if proc_of.(v) <> -1 then
+             report (Parallelism { time; task = v; procs = (proc_of.(v), proc) })
+           else proc_of.(v) <- proc);
+          if not (Platform.can_run platform ~task:v ~proc) then
+            report (Zero_rate { proc; time; task = v });
+          let g = Jobmap.global_job_at jm ~task:v ~time in
+          if g = -1 then report (Out_of_window { proc; time; task = v })
+          else received.(g) <- received.(g) + Platform.rate platform ~task:v ~proc
+        end
+    done
+  done;
+  (* C4: exact amounts per job. *)
+  for task = 0 to n - 1 do
+    let expected = (Taskset.task ts task).wcet in
+    let base = Jobmap.first_of_task jm task in
+    for k = 0 to Jobmap.jobs_of_task jm task - 1 do
+      let got = received.(base + k) in
+      if got <> expected then report (Wrong_amount { task; job = k; expected; got })
+    done
+  done;
+  if !count = 0 then Ok () else Error (List.rev !violations)
+
+let is_feasible ?platform ts sched =
+  match check ?platform ts sched with Ok () -> true | Error _ -> false

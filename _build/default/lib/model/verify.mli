@@ -1,0 +1,47 @@
+(** Schedule verification against the paper's feasibility conditions.
+
+    A schedule is feasible (Section III-C) when
+    - C1: every unit of task i executes inside one of its availability
+      windows;
+    - C2: at most one task per processor per instant (holds by the
+      {!Schedule} representation);
+    - C3: a task runs on at most one processor per instant (no
+      intra-task parallelism);
+    - C4: each job receives exactly [C_i] units of execution — on
+      heterogeneous platforms, units weighted by the rates [s_{i,j}]
+      (constraint (11)).
+
+    The verifier also rejects cells that schedule a task on a processor with
+    rate 0, mirroring the domain restriction [D_{i,j}(t) = {0}] of
+    Section VI-A1.
+
+    The verifier is the ground truth for the whole test suite: every solver
+    path (CSP1 on the generic solver, CSP1 via SAT, CSP2 dedicated, local
+    search, simulated baselines) must produce schedules this module
+    accepts. *)
+
+type violation =
+  | Bad_task of { proc : int; time : int; value : int }
+      (** Cell holds an id outside [[-1, n-1]]. *)
+  | Out_of_window of { proc : int; time : int; task : int }
+      (** C1 violated: the task has no window covering the slot. *)
+  | Parallelism of { time : int; task : int; procs : int * int }
+      (** C3 violated: same task on two processors in one slot. *)
+  | Zero_rate of { proc : int; time : int; task : int }
+      (** Task scheduled on a processor that cannot serve it. *)
+  | Wrong_amount of { task : int; job : int; expected : int; got : int }
+      (** C4 violated: job received [got] ≠ [expected] units. *)
+
+val pp_violation : Format.formatter -> violation -> unit
+
+val check :
+  ?platform:Platform.t -> ?max_violations:int -> Taskset.t -> Schedule.t ->
+  (unit, violation list) result
+(** [check ts sched] verifies the schedule for the task set on the given
+    platform (default: identical with the schedule's processor count).
+    At most [max_violations] (default 32) violations are collected.
+    @raise Invalid_argument if the schedule horizon differs from the
+    hyperperiod or the platform's processor count differs from the
+    schedule's. *)
+
+val is_feasible : ?platform:Platform.t -> Taskset.t -> Schedule.t -> bool

@@ -1,0 +1,93 @@
+type job = { task : int; index : int; release : int; slots : int array }
+
+type t = {
+  taskset : Taskset.t;
+  horizon : int;
+  jobs : job array;
+  first_of_task : int array;  (* global index of job 0 of each task *)
+  job_of_slot : int array array;  (* [task].(slot) = job index or -1 *)
+}
+
+let build ts =
+  if not (Taskset.is_constrained ts) then
+    invalid_arg "Windows.build: arbitrary-deadline task set (apply Clone.transform first)";
+  let horizon = Taskset.hyperperiod ts in
+  let n = Taskset.size ts in
+  let first_of_task = Array.make n 0 in
+  let job_of_slot = Array.init n (fun _ -> Array.make horizon (-1)) in
+  let jobs = ref [] in
+  let global = ref 0 in
+  for i = 0 to n - 1 do
+    first_of_task.(i) <- !global;
+    let task = Taskset.task ts i in
+    let count = horizon / task.period in
+    (* Fold the offset into the hyperperiod: the cyclic pattern only depends
+       on [O mod T_i]; see the .mli on steady-state semantics. *)
+    let offset = task.offset mod task.period in
+    for k = 0 to count - 1 do
+      let release = offset + (k * task.period) in
+      let slots =
+        Array.init task.deadline (fun d -> Prelude.Intmath.imod (release + d) horizon)
+      in
+      Array.iter
+        (fun s ->
+          if job_of_slot.(i).(s) <> -1 then
+            invalid_arg "Windows.build: overlapping windows within one task";
+          job_of_slot.(i).(s) <- k)
+        slots;
+      jobs := { task = i; index = k; release; slots } :: !jobs;
+      incr global
+    done
+  done;
+  { taskset = ts; horizon; jobs = Array.of_list (List.rev !jobs); first_of_task; job_of_slot }
+
+let taskset t = t.taskset
+let horizon t = t.horizon
+let jobs t = t.jobs
+let job_count t = Array.length t.jobs
+
+let global_index t ~task ~index = t.first_of_task.(task) + index
+
+let jobs_of_task t i =
+  let count = Taskset.jobs_per_hyperperiod t.taskset i in
+  Array.init count (fun k -> t.jobs.(global_index t ~task:i ~index:k))
+
+let job_id_at t ~task ~time =
+  let slot = Prelude.Intmath.imod time t.horizon in
+  let k = t.job_of_slot.(task).(slot) in
+  if k = -1 then -1 else global_index t ~task ~index:k
+
+let job_at t ~task ~time =
+  let g = job_id_at t ~task ~time in
+  if g = -1 then None else Some t.jobs.(g)
+
+let available_tasks t ~time =
+  let slot = Prelude.Intmath.imod time t.horizon in
+  let n = Taskset.size t.taskset in
+  let rec go i acc = if i < 0 then acc else go (i - 1) (if t.job_of_slot.(i).(slot) <> -1 then i :: acc else acc) in
+  go (n - 1) []
+
+let slot_load t =
+  let load = Array.make t.horizon 0 in
+  Array.iter
+    (fun job -> Array.iter (fun s -> load.(s) <- load.(s) + 1) job.slots)
+    t.jobs;
+  load
+
+let pp_figure ppf t =
+  let n = Taskset.size t.taskset in
+  Format.fprintf ppf "@[<v>";
+  Format.fprintf ppf "t    ";
+  for s = 0 to t.horizon - 1 do
+    Format.fprintf ppf "%2d " s
+  done;
+  Format.fprintf ppf "@,";
+  for i = 0 to n - 1 do
+    Format.fprintf ppf "τ%-3d " (i + 1);
+    for s = 0 to t.horizon - 1 do
+      let mark = if t.job_of_slot.(i).(s) <> -1 then " #" else " ." in
+      Format.fprintf ppf "%s " mark
+    done;
+    Format.fprintf ppf "@,"
+  done;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,68 @@
+(** Availability windows over one hyperperiod, as cyclic slot sets.
+
+    The paper's interval [I_{i,k} = [O_i+(k−1)T_i, O_i+(k−1)T_i+D_i−1]]
+    (Section II) lives on the infinite timeline; folding it modulo the
+    hyperperiod [T] gives the slot set the CSP variables range over.  With a
+    nonzero offset the last window of a task wraps around the hyperperiod
+    boundary — e.g. job 3 of τ₂ in the paper's running example covers
+    absolute slots 9..12, i.e. cyclic slots {9,10,11,0}.  All encodings, the
+    dedicated solver and the verifier use this module so that they agree on
+    the wrap-around semantics.
+
+    For constrained-deadline systems the windows of one task are pairwise
+    disjoint modulo T; {!build} checks this invariant.
+
+    Offsets are folded: the cyclic pattern only depends on [O_i mod T_i], so
+    windows are laid out with that effective offset.  The resulting periodic
+    schedule describes the steady state; when [O_i >= T_i] the slots the
+    pattern grants to τ_i before its first actual release are simply idled
+    on the real timeline, which cannot violate any deadline. *)
+
+type job = {
+  task : int;  (** Owning task id. *)
+  index : int;  (** Job number within the hyperperiod, 0-based. *)
+  release : int;  (** Absolute release instant [O + index·T]. *)
+  slots : int array;  (** Cyclic slots [release+d mod T], for d < D, in
+                          release order (so a wrapped window lists its
+                          pre-boundary slots first). *)
+}
+
+type t
+
+val build : Taskset.t -> t
+(** Precompute every job's slot set.
+    @raise Invalid_argument if the task set is not constrained-deadline
+    (reduce with {!Clone} first) or if some task's windows overlap. *)
+
+val taskset : t -> Taskset.t
+val horizon : t -> int
+(** The hyperperiod [T]. *)
+
+val jobs : t -> job array
+(** All jobs, grouped by task, job index ascending within a task. *)
+
+val job_count : t -> int
+
+val jobs_of_task : t -> int -> job array
+(** Jobs of one task, index ascending. *)
+
+val job_at : t -> task:int -> time:int -> job option
+(** The unique job of [task] whose cyclic window contains slot
+    [time mod T], if any. *)
+
+val job_id_at : t -> task:int -> time:int -> int
+(** Like {!job_at} but returns the job's global index in {!jobs}, or [-1]. *)
+
+val global_index : t -> task:int -> index:int -> int
+(** Global position of a (task, job index) pair inside {!jobs}. *)
+
+val available_tasks : t -> time:int -> int list
+(** Tasks having a window containing the slot, ascending ids. *)
+
+val slot_load : t -> int array
+(** For each slot, the number of tasks whose window covers it — an upper
+    bound on achievable parallelism used for quick infeasibility checks. *)
+
+val pp_figure : Format.formatter -> t -> unit
+(** ASCII rendering of the availability pattern in the style of the paper's
+    Figure 1: one row per task, ['#'] marking available slots. *)

@@ -1,0 +1,1 @@
+lib/prelude/ascii_table.ml: Array Buffer List String

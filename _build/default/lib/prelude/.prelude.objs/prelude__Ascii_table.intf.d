@@ -1,0 +1,1 @@
+lib/prelude/ascii_table.mli:

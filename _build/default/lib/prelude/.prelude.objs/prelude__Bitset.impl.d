@@ -1,0 +1,1 @@
+lib/prelude/bitset.ml: Bytes Format Int64 Intmath List

@@ -1,0 +1,1 @@
+lib/prelude/bool_vec.mli:

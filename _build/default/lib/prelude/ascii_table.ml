@@ -1,0 +1,61 @@
+type align = Left | Right
+type row = Cells of string list | Sep
+
+type t = {
+  headers : string list;
+  arity : int;
+  mutable rows : row list; (* reverse order *)
+  mutable aligns : align array;
+}
+
+let create ~headers =
+  let arity = List.length headers in
+  { headers; arity; rows = []; aligns = Array.make arity Right }
+
+let set_align t l =
+  if List.length l <> t.arity then invalid_arg "Ascii_table.set_align";
+  t.aligns <- Array.of_list l
+
+let add_row t cells =
+  if List.length cells <> t.arity then invalid_arg "Ascii_table.add_row";
+  t.rows <- Cells cells :: t.rows
+
+let add_sep t = t.rows <- Sep :: t.rows
+
+let render t =
+  let rows = List.rev t.rows in
+  let widths = Array.of_list (List.map String.length t.headers) in
+  let widen = function
+    | Sep -> ()
+    | Cells cs -> List.iteri (fun i c -> widths.(i) <- max widths.(i) (String.length c)) cs
+  in
+  List.iter widen rows;
+  let buf = Buffer.create 256 in
+  let rule () =
+    Array.iter (fun w -> Buffer.add_char buf '+'; Buffer.add_string buf (String.make (w + 2) '-')) widths;
+    Buffer.add_string buf "+\n"
+  in
+  let pad i c =
+    let w = widths.(i) in
+    let missing = w - String.length c in
+    match t.aligns.(i) with
+    | Left -> c ^ String.make missing ' '
+    | Right -> String.make missing ' ' ^ c
+  in
+  let line cs =
+    List.iteri
+      (fun i c ->
+        Buffer.add_string buf "| ";
+        Buffer.add_string buf (pad i c);
+        Buffer.add_char buf ' ')
+      cs;
+    Buffer.add_string buf "|\n"
+  in
+  rule ();
+  line t.headers;
+  rule ();
+  List.iter (function Sep -> rule () | Cells cs -> line cs) rows;
+  rule ();
+  Buffer.contents buf
+
+let print t = print_string (render t)

@@ -1,0 +1,31 @@
+(** Minimal fixed-width ASCII table rendering for experiment reports.
+
+    The benchmark harness prints each reproduced table in a layout close to
+    the paper's, e.g.
+
+    {v
+    +----------+-------+-------+
+    | solver   | runs  | t(s)  |
+    +----------+-------+-------+
+    | CSP1     |   202 |  19.5 |
+    +----------+-------+-------+
+    v} *)
+
+type align = Left | Right
+
+type t
+
+val create : headers:string list -> t
+(** Column count is fixed by the header row. *)
+
+val set_align : t -> align list -> unit
+(** Per-column alignment; default is [Right] everywhere. *)
+
+val add_row : t -> string list -> unit
+(** @raise Invalid_argument if the arity differs from the header. *)
+
+val add_sep : t -> unit
+(** Insert a horizontal rule between the surrounding rows. *)
+
+val render : t -> string
+val print : t -> unit

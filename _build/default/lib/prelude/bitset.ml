@@ -1,0 +1,183 @@
+type t = { capacity : int; words : Bytes.t (* packed int64 words *) }
+
+(* Words are stored in a Bytes buffer accessed via unsafe 64-bit reads: this
+   keeps the structure unboxed-friendly and cheap to copy (a single
+   [Bytes.blit]) — copies happen on every trailed domain change in [Fd]. *)
+
+let words_for capacity = (capacity + 63) / 64
+
+let create capacity =
+  if capacity < 0 then invalid_arg "Bitset.create";
+  { capacity; words = Bytes.make (8 * max 1 (words_for capacity)) '\000' }
+
+let capacity t = t.capacity
+let nwords t = words_for t.capacity
+let get_word t i = Bytes.get_int64_le t.words (8 * i)
+let set_word t i w = Bytes.set_int64_le t.words (8 * i) w
+
+let full capacity =
+  let t = create capacity in
+  let nw = words_for capacity in
+  for i = 0 to nw - 1 do
+    set_word t i (-1L)
+  done;
+  (* Mask the tail word so cardinal/iter never see phantom elements. *)
+  let rem = capacity land 63 in
+  if rem <> 0 && nw > 0 then
+    set_word t (nw - 1) (Int64.sub (Int64.shift_left 1L rem) 1L);
+  if capacity = 0 && nw >= 1 then set_word t 0 0L;
+  t
+
+let copy t = { capacity = t.capacity; words = Bytes.copy t.words }
+
+let blit ~src ~dst =
+  if src.capacity <> dst.capacity then invalid_arg "Bitset.blit";
+  Bytes.blit src.words 0 dst.words 0 (Bytes.length src.words)
+
+let check t v = v >= 0 && v < t.capacity
+
+let mem t v =
+  check t v && Int64.logand (get_word t (v lsr 6)) (Int64.shift_left 1L (v land 63)) <> 0L
+
+let add t v =
+  if not (check t v) then invalid_arg "Bitset.add";
+  let i = v lsr 6 in
+  set_word t i (Int64.logor (get_word t i) (Int64.shift_left 1L (v land 63)))
+
+let remove t v =
+  if check t v then begin
+    let i = v lsr 6 in
+    set_word t i (Int64.logand (get_word t i) (Int64.lognot (Int64.shift_left 1L (v land 63))))
+  end
+
+let popcount64 x =
+  let open Int64 in
+  let x = sub x (logand (shift_right_logical x 1) 0x5555555555555555L) in
+  let x = add (logand x 0x3333333333333333L) (logand (shift_right_logical x 2) 0x3333333333333333L) in
+  let x = logand (add x (shift_right_logical x 4)) 0x0F0F0F0F0F0F0F0FL in
+  to_int (shift_right_logical (mul x 0x0101010101010101L) 56)
+
+let cardinal t =
+  let n = ref 0 in
+  for i = 0 to nwords t - 1 do
+    n := !n + popcount64 (get_word t i)
+  done;
+  !n
+
+let is_empty t =
+  let rec go i = i >= nwords t || (get_word t i = 0L && go (i + 1)) in
+  go 0
+
+let ctz64 x =
+  (* Count trailing zeros of a non-zero word via de Bruijn-free loop on
+     bytes; words are small in number so a simple loop is fine. *)
+  let rec go x n =
+    if Int64.logand x 1L = 1L then n else go (Int64.shift_right_logical x 1) (n + 1)
+  in
+  go x 0
+
+let clz_pos64 x =
+  let rec go x n = if x = 0L then n else go (Int64.shift_right_logical x 1) (n + 1) in
+  go x 0 - 1 (* index of highest set bit *)
+
+let min_elt t =
+  let rec go i =
+    if i >= nwords t then raise Not_found
+    else
+      let w = get_word t i in
+      if w = 0L then go (i + 1) else (i lsl 6) + ctz64 w
+  in
+  go 0
+
+let max_elt t =
+  let rec go i =
+    if i < 0 then raise Not_found
+    else
+      let w = get_word t i in
+      if w = 0L then go (i - 1) else (i lsl 6) + clz_pos64 w
+  in
+  go (nwords t - 1)
+
+let next_from t v =
+  if v >= t.capacity then raise Not_found;
+  let v = max v 0 in
+  let i0 = v lsr 6 in
+  let first = Int64.shift_right_logical (get_word t i0) (v land 63) in
+  if first <> 0L then v + ctz64 first
+  else
+    let rec go i =
+      if i >= nwords t then raise Not_found
+      else
+        let w = get_word t i in
+        if w = 0L then go (i + 1) else (i lsl 6) + ctz64 w
+    in
+    go (i0 + 1)
+
+let iter f t =
+  for i = 0 to nwords t - 1 do
+    let w = ref (get_word t i) in
+    let base = i lsl 6 in
+    while !w <> 0L do
+      let b = ctz64 !w in
+      f (base + b);
+      w := Int64.logand !w (Int64.sub !w 1L)
+    done
+  done
+
+let fold f init t =
+  let acc = ref init in
+  iter (fun v -> acc := f !acc v) t;
+  !acc
+
+let elements t = List.rev (fold (fun acc v -> v :: acc) [] t)
+
+let equal a b =
+  a.capacity = b.capacity
+  &&
+  let rec go i = i >= nwords a || (get_word a i = get_word b i && go (i + 1)) in
+  go 0
+
+let inter_inplace a b =
+  if a.capacity <> b.capacity then invalid_arg "Bitset.inter_inplace";
+  for i = 0 to nwords a - 1 do
+    set_word a i (Int64.logand (get_word a i) (get_word b i))
+  done
+
+let remove_below t bound =
+  let bound = Intmath.clamp ~lo:0 ~hi:t.capacity bound in
+  let full_words = bound lsr 6 in
+  for i = 0 to min (full_words - 1) (nwords t - 1) do
+    set_word t i 0L
+  done;
+  let rem = bound land 63 in
+  if rem <> 0 && full_words < nwords t then
+    set_word t full_words
+      (Int64.logand (get_word t full_words)
+         (Int64.lognot (Int64.sub (Int64.shift_left 1L rem) 1L)))
+
+let remove_above t bound =
+  if bound < t.capacity - 1 then begin
+    let bound = max bound (-1) in
+    let first_dead = bound + 1 in
+    let word = first_dead lsr 6 in
+    let rem = first_dead land 63 in
+    if rem <> 0 then
+      set_word t word
+        (Int64.logand (get_word t word) (Int64.sub (Int64.shift_left 1L rem) 1L));
+    let start = if rem = 0 then word else word + 1 in
+    for i = start to nwords t - 1 do
+      set_word t i 0L
+    done
+  end
+
+let singleton_value t =
+  match min_elt t with
+  | exception Not_found -> None
+  | v -> if v = max_elt t then Some v else None
+
+let pp ppf t =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ",") Format.pp_print_int)
+    (elements t)
+
+let clear t = Bytes.fill t.words 0 (Bytes.length t.words) '\000'

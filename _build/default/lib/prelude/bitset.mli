@@ -1,0 +1,57 @@
+(** Fixed-capacity bitsets over [0 .. capacity-1].
+
+    These back the finite domains of the generic CSP solver ([Fd]), where
+    membership tests, cardinality and min/max queries dominate the
+    propagation inner loop. *)
+
+type t
+
+val create : int -> t
+(** [create capacity] is the empty set over [0 .. capacity-1]. *)
+
+val full : int -> t
+(** [full capacity] contains every value in [0 .. capacity-1]. *)
+
+val capacity : t -> int
+val copy : t -> t
+
+val blit : src:t -> dst:t -> unit
+(** Overwrite [dst] with [src]'s contents; capacities must match. *)
+
+val mem : t -> int -> bool
+val add : t -> int -> unit
+val remove : t -> int -> unit
+val cardinal : t -> int
+
+val is_empty : t -> bool
+
+val min_elt : t -> int
+(** @raise Not_found on the empty set. *)
+
+val max_elt : t -> int
+(** @raise Not_found on the empty set. *)
+
+val next_from : t -> int -> int
+(** [next_from s v] is the smallest element [>= v], or raises [Not_found]. *)
+
+val iter : (int -> unit) -> t -> unit
+val fold : ('a -> int -> 'a) -> 'a -> t -> 'a
+val elements : t -> int list
+val equal : t -> t -> bool
+
+val inter_inplace : t -> t -> unit
+(** [inter_inplace a b] replaces [a] with [a ∩ b]. *)
+
+val remove_below : t -> int -> unit
+(** Remove every element strictly below the argument. *)
+
+val remove_above : t -> int -> unit
+(** Remove every element strictly above the argument. *)
+
+val singleton_value : t -> int option
+(** [Some v] when the set is exactly [{v}]. *)
+
+val pp : Format.formatter -> t -> unit
+
+val clear : t -> unit
+(** Remove every element. *)

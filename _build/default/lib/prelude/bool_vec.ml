@@ -1,0 +1,18 @@
+type t = { mutable data : Bytes.t }
+
+let create () = { data = Bytes.make 64 '\000' }
+
+let get t i =
+  if i < 0 then invalid_arg "Bool_vec.get";
+  i < Bytes.length t.data && Bytes.get t.data i <> '\000'
+
+let set t i b =
+  if i < 0 then invalid_arg "Bool_vec.set";
+  if i >= Bytes.length t.data then begin
+    let bigger = Bytes.make (max (2 * Bytes.length t.data) (i + 1)) '\000' in
+    Bytes.blit t.data 0 bigger 0 (Bytes.length t.data);
+    t.data <- bigger
+  end;
+  Bytes.set t.data i (if b then '\001' else '\000')
+
+let clear t = Bytes.fill t.data 0 (Bytes.length t.data) '\000'

@@ -1,0 +1,15 @@
+(** Growable vector of booleans (dense flags).
+
+    Backs the "already queued" flags of the propagation queue in [Fd]:
+    indices grow with the number of posted propagators, reads outside the
+    current size return [false]. *)
+
+type t
+
+val create : unit -> t
+val get : t -> int -> bool
+val set : t -> int -> bool -> unit
+(** Grows the vector as needed; negative indices are invalid. *)
+
+val clear : t -> unit
+(** Reset every flag to [false] (capacity retained). *)

@@ -1,0 +1,41 @@
+let first ~n ~k =
+  if k < 0 || k > n then None else Some (Array.init k (fun i -> i))
+
+let next ~n c =
+  let k = Array.length c in
+  (* Find the rightmost index that can still move right. *)
+  let rec find i = if i < 0 then -1 else if c.(i) < n - k + i then i else find (i - 1) in
+  let i = find (k - 1) in
+  if i < 0 then false
+  else begin
+    c.(i) <- c.(i) + 1;
+    for j = i + 1 to k - 1 do
+      c.(j) <- c.(j - 1) + 1
+    done;
+    true
+  end
+
+let count ~n ~k =
+  if k < 0 || k > n then 0
+  else begin
+    let k = min k (n - k) in
+    let acc = ref 1 in
+    (try
+       for i = 1 to k do
+         let v = !acc * (n - k + i) in
+         if v / (n - k + i) <> !acc then raise Exit;
+         acc := v / i
+       done
+     with Exit -> acc := max_int);
+    !acc
+  end
+
+let iter ~n ~k f =
+  match first ~n ~k with
+  | None -> ()
+  | Some c ->
+    let continue_ = ref true in
+    while !continue_ do
+      f c;
+      continue_ := next ~n c
+    done

@@ -1,0 +1,20 @@
+(** Enumeration of k-combinations in lexicographic order.
+
+    The CSP2 chronological search branches, at each time slot, over the
+    size-k subsets of the available tasks (tasks ordered by the active
+    heuristic); lexicographic enumeration over the heuristic rank realizes
+    the paper's "consider tasks in ascending order" rule (Section V-C). *)
+
+val first : n:int -> k:int -> int array option
+(** Indices [0..k-1], or [None] when [k > n].  [k = 0] yields [Some [||]]. *)
+
+val next : n:int -> int array -> bool
+(** Advance the index array to the next combination in place; returns
+    [false] (array left unspecified) when the last combination was given. *)
+
+val count : n:int -> k:int -> int
+(** Binomial coefficient, saturating at [max_int] on overflow. *)
+
+val iter : n:int -> k:int -> (int array -> unit) -> unit
+(** Apply the function to each combination in lexicographic order.  The
+    array is reused between calls; callers must copy if they retain it. *)

@@ -1,0 +1,79 @@
+type t = { mutable s0 : int64; mutable s1 : int64; mutable s2 : int64; mutable s3 : int64 }
+
+(* splitmix64: used only to expand the user seed into the 256-bit xoshiro
+   state, as recommended by the xoshiro authors. *)
+let splitmix64 state =
+  let open Int64 in
+  state := add !state 0x9E3779B97F4A7C15L;
+  let z = !state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let create ~seed =
+  let st = ref (Int64.of_int seed) in
+  let s0 = splitmix64 st in
+  let s1 = splitmix64 st in
+  let s2 = splitmix64 st in
+  let s3 = splitmix64 st in
+  { s0; s1; s2; s3 }
+
+let copy g = { s0 = g.s0; s1 = g.s1; s2 = g.s2; s3 = g.s3 }
+
+let rotl x k = Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+let bits64 g =
+  let open Int64 in
+  let result = mul (rotl (mul g.s1 5L) 7) 9L in
+  let t = shift_left g.s1 17 in
+  g.s2 <- logxor g.s2 g.s0;
+  g.s3 <- logxor g.s3 g.s1;
+  g.s1 <- logxor g.s1 g.s2;
+  g.s0 <- logxor g.s0 g.s3;
+  g.s2 <- logxor g.s2 t;
+  g.s3 <- rotl g.s3 45;
+  result
+
+let split g =
+  let st = ref (bits64 g) in
+  let s0 = splitmix64 st in
+  let s1 = splitmix64 st in
+  let s2 = splitmix64 st in
+  let s3 = splitmix64 st in
+  { s0; s1; s2; s3 }
+
+(* Non-negative 61-bit int from the top bits: 2^61 still fits an OCaml
+   immediate (63-bit), so the rejection bound below cannot overflow. *)
+let bits61 g = Int64.to_int (Int64.shift_right_logical (bits64 g) 3)
+
+let int g bound =
+  if bound <= 0 then invalid_arg "Prng.int: non-positive bound";
+  if bound land (bound - 1) = 0 then bits61 g land (bound - 1)
+  else
+    (* Rejection sampling on the largest multiple of [bound] below 2^61. *)
+    let max61 = 1 lsl 61 in
+    let limit = max61 - (max61 mod bound) in
+    let rec draw () =
+      let v = bits61 g in
+      if v < limit then v mod bound else draw ()
+    in
+    draw ()
+
+let in_range g ~lo ~hi =
+  if lo > hi then invalid_arg "Prng.in_range: empty interval";
+  lo + int g (hi - lo + 1)
+
+let float g = Int64.to_float (Int64.shift_right_logical (bits64 g) 11) *. 0x1p-53
+let bool g = Int64.logand (bits64 g) 1L = 1L
+
+let shuffle g a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int g (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let pick g a =
+  if Array.length a = 0 then invalid_arg "Prng.pick: empty array";
+  a.(int g (Array.length a))

@@ -1,0 +1,24 @@
+let now () = Unix.gettimeofday ()
+
+type t = float
+
+let start () = now ()
+let elapsed t0 = now () -. t0
+
+type budget = { deadline : float option; node_limit : int option; started : float }
+
+let budget ?wall_s ?nodes () =
+  let started = now () in
+  { deadline = Option.map (fun s -> started +. s) wall_s; node_limit = nodes; started }
+
+let unlimited = { deadline = None; node_limit = None; started = 0. }
+
+let exceeded b ~nodes =
+  (match b.node_limit with Some l -> nodes >= l | None -> false)
+  || (match b.deadline with Some d -> now () >= d | None -> false)
+
+let nodes_exceeded b ~nodes =
+  match b.node_limit with Some l -> nodes >= l | None -> false
+
+let wall_limit b = Option.map (fun d -> d -. b.started) b.deadline
+let remaining_wall b = Option.map (fun d -> d -. now ()) b.deadline

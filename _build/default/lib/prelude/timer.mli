@@ -1,0 +1,34 @@
+(** Wall-clock timers and combined wall-clock/node budgets.
+
+    The paper gives every solver run a 30 s limit on a 2.4 GHz Core2Quad.
+    We reproduce the mechanism with a deadline based on the monotonic-enough
+    [Unix.gettimeofday], complemented by a node budget so that test-suite
+    runs stay fast and fully deterministic. *)
+
+val now : unit -> float
+(** Seconds since the epoch, sub-millisecond resolution. *)
+
+type t
+(** A started stopwatch. *)
+
+val start : unit -> t
+val elapsed : t -> float
+
+type budget
+
+val budget : ?wall_s:float -> ?nodes:int -> unit -> budget
+(** Missing components are unlimited. *)
+
+val unlimited : budget
+
+val exceeded : budget -> nodes:int -> bool
+(** [exceeded b ~nodes] is true once either limit is hit.  The wall clock is
+    consulted lazily (every call), so callers should poll at a coarse
+    granularity (e.g. every 1024 search nodes). *)
+
+val nodes_exceeded : budget -> nodes:int -> bool
+(** Node-limit component only — no clock read, cheap enough to call on
+    every search node. *)
+
+val wall_limit : budget -> float option
+val remaining_wall : budget -> float option

@@ -1,0 +1,23 @@
+(** Streaming mean/variance accumulator (Welford's algorithm).
+
+    Used to aggregate per-instance resolution times and utilization ratios
+    into the per-bucket averages reported in Tables III and IV without
+    storing every sample. *)
+
+type t
+
+val create : unit -> t
+val add : t -> float -> unit
+val count : t -> int
+val mean : t -> float
+(** 0 when empty. *)
+
+val variance : t -> float
+(** Unbiased sample variance; 0 when fewer than two samples. *)
+
+val stddev : t -> float
+val min : t -> float
+(** [infinity] when empty. *)
+
+val max : t -> float
+(** [neg_infinity] when empty. *)

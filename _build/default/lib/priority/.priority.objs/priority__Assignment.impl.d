@@ -1,0 +1,1 @@
+lib/priority/assignment.ml: Array Csp2 Fun List Prelude Rt_model Sched Taskset Timer

@@ -1,0 +1,1 @@
+lib/priority/assignment.mli: Prelude Rt_model

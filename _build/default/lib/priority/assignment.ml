@@ -1,0 +1,77 @@
+open Prelude
+open Rt_model
+
+type outcome = Found of int array | Not_found | Limit
+
+type stats = {
+  candidates : int;
+  prefixes_pruned : int;
+  time_s : float;
+}
+
+let dc_first ts = Csp2.Heuristic.rank Csp2.Heuristic.DC ts
+
+exception Stop_limit
+
+let search ?(budget = Timer.unlimited) ts ~m =
+  let t0 = Timer.start () in
+  let n = Taskset.size ts in
+  let sims = ref 0 in
+  let pruned = ref 0 in
+  (* Simulate the prefix alone: under global fixed priorities, tasks below
+     the prefix cannot disturb it, so a miss here dooms every extension. *)
+  let prefix_ok prefix =
+    incr sims;
+    if Timer.exceeded budget ~nodes:!sims then raise Stop_limit;
+    let tasks = List.rev_map (fun i -> Taskset.task ts i) prefix in
+    let sub = Taskset.of_tasks tasks in
+    (* [prefix] is most-recent-first, so [rev_map] lists tasks from highest
+       priority down; sub-taskset ids follow list order, so task id = rank. *)
+    let k = List.length prefix in
+    let ranks = Array.init k Fun.id in
+    let res = Sched.Sim.run sub ~m ~policy:(Sched.Sim.Fixed_priority ranks) in
+    (* Require an exact verdict: an inexact "no miss found" must not
+       certify an ordering. *)
+    res.Sched.Sim.ok && res.Sched.Sim.exact
+  in
+  let dc = Csp2.Heuristic.order Csp2.Heuristic.DC ts in
+  let chosen = Array.make n (-1) in
+  let used = Array.make n false in
+  (* DFS over orderings, (D−C)-ranked tasks first at every level. *)
+  let rec extend depth prefix_rev =
+    if depth = n then begin
+      let ranks = Array.make n 0 in
+      Array.iteri (fun pos i -> ranks.(i) <- pos) chosen;
+      Some ranks
+    end
+    else begin
+      let rec try_tasks = function
+        | [] -> None
+        | i :: rest ->
+          if used.(i) then try_tasks rest
+          else begin
+            used.(i) <- true;
+            chosen.(depth) <- i;
+            let prefix_rev' = i :: prefix_rev in
+            let result =
+              if prefix_ok prefix_rev' then extend (depth + 1) prefix_rev'
+              else begin
+                incr pruned;
+                None
+              end
+            in
+            match result with
+            | Some _ as found -> found
+            | None ->
+              used.(i) <- false;
+              try_tasks rest
+          end
+      in
+      try_tasks (Array.to_list dc)
+    end
+  in
+  let stats () = { candidates = !sims; prefixes_pruned = !pruned; time_s = Timer.elapsed t0 } in
+  match extend 0 [] with
+  | Some ranks -> (Found ranks, stats ())
+  | None -> (Not_found, stats ())
+  | exception Stop_limit -> (Limit, stats ())

@@ -1,0 +1,36 @@
+(** Search for a feasible fixed-priority assignment.
+
+    The paper's second future-work item (Section VIII): instead of deciding
+    every slot with a CSP, search "for a feasible priority assignment among
+    the n! possible orderings of n tasks", seeding the search with a
+    (D − C) ordering — which the experiments single out as the strongest
+    heuristic.
+
+    A candidate ordering is accepted when global fixed-priority simulation
+    ({!Sched.Sim}) over the feasibility interval misses no deadline.  The
+    search enumerates orderings depth-first, most-promising (smallest
+    [D − C]) first — so the very first leaf tried is exactly the (D−C)
+    priority order — and prunes with a per-prefix bound: once the chosen
+    prefix of high-priority tasks already misses a deadline when simulated
+    alone (lower-priority tasks cannot interfere upward), the subtree is
+    abandoned. *)
+
+type outcome =
+  | Found of int array
+      (** [priority.(i)] = rank of task [i] (0 = highest); the simulation
+          with these ranks meets all deadlines. *)
+  | Not_found  (** All orderings fail (exhaustive proof for this policy). *)
+  | Limit
+
+type stats = {
+  candidates : int;  (** Full orderings simulated. *)
+  prefixes_pruned : int;
+  time_s : float;
+}
+
+val dc_first : Rt_model.Taskset.t -> int array
+(** The (D−C) seed ordering as a rank array. *)
+
+val search :
+  ?budget:Prelude.Timer.budget -> Rt_model.Taskset.t -> m:int -> outcome * stats
+(** The node budget counts simulated candidates (full or prefix). *)

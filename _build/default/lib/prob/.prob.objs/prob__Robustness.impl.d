@@ -1,0 +1,1 @@
+lib/prob/robustness.ml: Array Dist List Prelude Printf Rt_model Task Taskset

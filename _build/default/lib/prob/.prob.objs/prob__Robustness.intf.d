@@ -1,0 +1,1 @@
+lib/prob/robustness.mli: Dist Rt_model

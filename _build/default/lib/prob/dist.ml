@@ -1,0 +1,74 @@
+type t = {
+  values : int array;  (* ascending *)
+  probs : float array;  (* normalized, aligned with values *)
+  cum : float array;  (* cumulative, last = 1.0 *)
+}
+
+let of_list pairs =
+  if pairs = [] then invalid_arg "Dist.of_list: empty support";
+  List.iter
+    (fun (v, w) ->
+      if v < 1 then invalid_arg "Dist.of_list: non-positive value";
+      if w <= 0. then invalid_arg "Dist.of_list: non-positive weight")
+    pairs;
+  let sorted = List.sort (fun (a, _) (b, _) -> compare a b) pairs in
+  let rec check_distinct = function
+    | (a, _) :: ((b, _) :: _ as rest) ->
+      if a = b then invalid_arg "Dist.of_list: duplicate value";
+      check_distinct rest
+    | [ _ ] | [] -> ()
+  in
+  check_distinct sorted;
+  let total = List.fold_left (fun acc (_, w) -> acc +. w) 0. sorted in
+  let values = Array.of_list (List.map fst sorted) in
+  let probs = Array.of_list (List.map (fun (_, w) -> w /. total) sorted) in
+  let cum = Array.make (Array.length probs) 0. in
+  let acc = ref 0. in
+  Array.iteri
+    (fun i p ->
+      acc := !acc +. p;
+      cum.(i) <- !acc)
+    probs;
+  cum.(Array.length cum - 1) <- 1.0;
+  { values; probs; cum }
+
+let point v = of_list [ (v, 1.) ]
+
+let uniform ~lo ~hi =
+  if lo < 1 || hi < lo then invalid_arg "Dist.uniform";
+  of_list (List.init (hi - lo + 1) (fun i -> (lo + i, 1.)))
+
+let support t = Array.to_list t.values
+
+let prob t v =
+  let rec find i = if i >= Array.length t.values then 0. else if t.values.(i) = v then t.probs.(i) else find (i + 1) in
+  find 0
+
+let min_value t = t.values.(0)
+let max_value t = t.values.(Array.length t.values - 1)
+
+let mean t =
+  let acc = ref 0. in
+  Array.iteri (fun i v -> acc := !acc +. (float_of_int v *. t.probs.(i))) t.values;
+  !acc
+
+let cdf t v =
+  let acc = ref 0. in
+  Array.iteri (fun i x -> if x <= v then acc := !acc +. t.probs.(i)) t.values;
+  min !acc 1.0
+
+let sample rng t =
+  let u = Prelude.Prng.float rng in
+  let rec find i = if i >= Array.length t.cum - 1 || u < t.cum.(i) then t.values.(i) else find (i + 1) in
+  find 0
+
+let scale_wcet t = mean t /. float_of_int (max_value t)
+
+let pp ppf t =
+  Format.fprintf ppf "{";
+  Array.iteri
+    (fun i v ->
+      if i > 0 then Format.fprintf ppf ", ";
+      Format.fprintf ppf "%d:%.3f" v t.probs.(i))
+    t.values;
+  Format.fprintf ppf "}"

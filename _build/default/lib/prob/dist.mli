@@ -1,0 +1,45 @@
+(** Discrete probability distributions over execution times.
+
+    The paper's long-term goal (Section VIII) is to "move from the usual
+    deterministic setting — where worst-case execution times are considered
+    — to probabilistic settings — e.g. where a probability distribution
+    over execution times is known for each task".  This module provides
+    those distributions: finite supports over positive integers, exact
+    rational-free arithmetic avoided in favour of normalized floats (the
+    Monte-Carlo estimators downstream dominate any rounding here). *)
+
+type t
+
+val of_list : (int * float) list -> t
+(** [(value, weight)] pairs; weights must be positive and values
+    distinct positive integers.  Weights are normalized to sum to 1.
+    @raise Invalid_argument on empty lists, non-positive weights or
+    values. *)
+
+val point : int -> t
+(** Deterministic time (the classical WCET-only setting). *)
+
+val uniform : lo:int -> hi:int -> t
+(** Uniform over [[lo, hi]], [1 <= lo <= hi]. *)
+
+val support : t -> int list
+(** Ascending values with positive probability. *)
+
+val prob : t -> int -> float
+val min_value : t -> int
+val max_value : t -> int
+(** The worst case — what the deterministic CSP schedule must budget. *)
+
+val mean : t -> float
+
+val cdf : t -> int -> float
+(** [P(X <= v)]. *)
+
+val sample : Prelude.Prng.t -> t -> int
+(** Inverse-CDF sampling; deterministic given the generator state. *)
+
+val scale_wcet : t -> float
+(** [mean / max]: expected fraction of the budgeted worst case actually
+    used — 1.0 for {!point} distributions. *)
+
+val pp : Format.formatter -> t -> unit

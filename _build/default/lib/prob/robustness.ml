@@ -1,0 +1,129 @@
+open Rt_model
+
+type profile = { taskset : Taskset.t; dists : Dist.t array }
+
+let profile ts dists =
+  let n = Taskset.size ts in
+  if Array.length dists <> n then invalid_arg "Robustness.profile: arity mismatch";
+  Array.iteri
+    (fun i dist ->
+      if Dist.max_value dist <> (Taskset.task ts i).Task.wcet then
+        invalid_arg
+          (Printf.sprintf "Robustness.profile: task %d budget C=%d but distribution max=%d" (i + 1)
+             (Taskset.task ts i).Task.wcet (Dist.max_value dist)))
+    dists;
+  { taskset = ts; dists }
+
+let degenerate ts =
+  { taskset = ts; dists = Array.map (fun (t : Task.t) -> Dist.point t.wcet) (Taskset.tasks ts) }
+
+type waste = {
+  reserved : int;
+  expected_used : float;
+  expected_idle : float;
+  utilization_budgeted : float;
+  utilization_expected : float;
+}
+
+let static_waste p =
+  let ts = p.taskset in
+  let hp = Taskset.hyperperiod ts in
+  let reserved = ref 0 in
+  let used = ref 0. in
+  let u_budget = ref 0. and u_expected = ref 0. in
+  Array.iteri
+    (fun i dist ->
+      let task = Taskset.task ts i in
+      let jobs = hp / task.Task.period in
+      reserved := !reserved + (jobs * task.Task.wcet);
+      used := !used +. (float_of_int jobs *. Dist.mean dist);
+      u_budget := !u_budget +. Task.utilization task;
+      u_expected := !u_expected +. (Dist.mean dist /. float_of_int task.Task.period))
+    p.dists;
+  {
+    reserved = !reserved;
+    expected_used = !used;
+    expected_idle = float_of_int !reserved -. !used;
+    utilization_budgeted = !u_budget;
+    utilization_expected = !u_expected;
+  }
+
+type miss_estimate = {
+  runs : int;
+  runs_with_miss : int;
+  miss_probability : float;
+  stderr : float;
+}
+
+(* Global EDF with sampled execution times over a bounded horizon.  This is
+   a sampling variant of [Sched.Sim.step]: the only difference is that a
+   job's demand is drawn at release instead of being the task's WCET. *)
+let edf_run_has_miss rng p ~m ~horizon =
+  let ts = p.taskset in
+  let n = Taskset.size ts in
+  let cur_job = Array.make n (-1) in
+  let rem = Array.make n 0 in
+  let miss = ref false in
+  let t = ref 0 in
+  while (not !miss) && !t < horizon do
+    let time = !t in
+    for i = 0 to n - 1 do
+      let task = Taskset.task ts i in
+      (* Deadline check before the release (cf. the D = T pitfall fixed in
+         Sched.Sim). *)
+      if cur_job.(i) >= 0 && rem.(i) > 0 && time >= Task.abs_deadline task cur_job.(i) then begin
+        miss := true;
+        rem.(i) <- 0
+      end;
+      if time >= task.Task.offset && (time - task.Task.offset) mod task.Task.period = 0 then begin
+        cur_job.(i) <- (time - task.Task.offset) / task.Task.period;
+        rem.(i) <- Dist.sample rng p.dists.(i)
+      end
+    done;
+    if not !miss then begin
+      let pending = ref [] in
+      for i = n - 1 downto 0 do
+        if cur_job.(i) >= 0 && rem.(i) > 0 then pending := i :: !pending
+      done;
+      let by_deadline =
+        List.sort
+          (fun a b ->
+            let da = Task.abs_deadline (Taskset.task ts a) cur_job.(a) in
+            let db = Task.abs_deadline (Taskset.task ts b) cur_job.(b) in
+            if da <> db then compare da db else compare a b)
+          !pending
+      in
+      List.iteri (fun pos i -> if pos < m then rem.(i) <- rem.(i) - 1) by_deadline
+    end;
+    incr t
+  done;
+  (* Tail: unfinished jobs whose deadline falls inside the horizon. *)
+  if not !miss then
+    for i = 0 to n - 1 do
+      if cur_job.(i) >= 0 && rem.(i) > 0 then begin
+        let dl = Task.abs_deadline (Taskset.task ts i) cur_job.(i) in
+        if dl <= horizon then miss := true
+      end
+    done;
+  !miss
+
+let monte_carlo_misses ?(seed = 0) ?(runs = 1000) ?(hyperperiods = 2) p ~m =
+  if runs < 1 then invalid_arg "Robustness.monte_carlo_misses: runs must be >= 1";
+  let ts = p.taskset in
+  let omax =
+    Array.fold_left (fun acc (t : Task.t) -> max acc t.offset) 0 (Taskset.tasks ts)
+  in
+  let horizon = omax + (hyperperiods * Taskset.hyperperiod ts) in
+  let master = Prelude.Prng.create ~seed in
+  let with_miss = ref 0 in
+  for _ = 1 to runs do
+    let rng = Prelude.Prng.split master in
+    if edf_run_has_miss rng p ~m ~horizon then incr with_miss
+  done;
+  let p_hat = float_of_int !with_miss /. float_of_int runs in
+  {
+    runs;
+    runs_with_miss = !with_miss;
+    miss_probability = p_hat;
+    stderr = sqrt (p_hat *. (1. -. p_hat) /. float_of_int runs);
+  }

@@ -1,0 +1,56 @@
+(** Probabilistic evaluation of schedules and policies (Section VIII's
+    long-term direction, made concrete).
+
+    Two complementary questions:
+
+    {b 1. What does worst-case budgeting waste?}  A CSP schedule reserves
+    [C_i] slots per job; when actual execution times follow a distribution,
+    the reserved-but-unused slots are idled (the paper's own remark after
+    Theorem 1: idling instead of reclaiming avoids scheduling anomalies).
+    {!static_waste} quantifies that reservation overhead analytically from
+    the distributions — no sampling needed, since under the idling rule the
+    schedule itself never changes.
+
+    {b 2. How brittle is a priority policy without worst-case slack?}
+    When global EDF misses deadlines under WCETs, it may still survive most
+    {e actual} executions.  {!monte_carlo_misses} estimates the per-run
+    deadline-miss probability of work-conserving EDF when every job draws
+    its execution time independently from its task's distribution. *)
+
+type profile = {
+  taskset : Rt_model.Taskset.t;
+  dists : Dist.t array;  (** One distribution per task; the maximum of each
+                             must equal the task's WCET (the budget). *)
+}
+
+val profile : Rt_model.Taskset.t -> Dist.t array -> profile
+(** @raise Invalid_argument on arity mismatch or when some distribution's
+    maximum differs from the task's [C] (the deterministic schedule budgets
+    exactly the worst case). *)
+
+val degenerate : Rt_model.Taskset.t -> profile
+(** Point distributions at the WCETs — the deterministic special case. *)
+
+type waste = {
+  reserved : int;  (** Processor slots the schedule reserves per hyperperiod. *)
+  expected_used : float;  (** Expected slots actually executed. *)
+  expected_idle : float;  (** [reserved - expected_used]. *)
+  utilization_budgeted : float;  (** [Σ C_i/T_i]. *)
+  utilization_expected : float;  (** [Σ E(X_i)/T_i]. *)
+}
+
+val static_waste : profile -> waste
+
+type miss_estimate = {
+  runs : int;
+  runs_with_miss : int;
+  miss_probability : float;
+  stderr : float;  (** Binomial standard error of the estimate. *)
+}
+
+val monte_carlo_misses :
+  ?seed:int -> ?runs:int -> ?hyperperiods:int -> profile -> m:int -> miss_estimate
+(** Simulate global EDF for [hyperperiods] (default 2, past O_max) per run,
+    [runs] (default 1000) independent runs, each job's execution time drawn
+    from its task's distribution; count runs with at least one deadline
+    miss.  Deterministic given [seed]. *)

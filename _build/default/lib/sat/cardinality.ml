@@ -1,0 +1,50 @@
+let at_most_one_pairwise s lits =
+  let arr = Array.of_list lits in
+  let n = Array.length arr in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      Solver.add_clause s [ Solver.negate arr.(i); Solver.negate arr.(j) ]
+    done
+  done
+
+(* Sinz 2005 sequential counter: registers r.(i).(j) meaning "at least j+1
+   of the first i+1 literals are true". *)
+let at_most s ~k lits =
+  if k < 0 then invalid_arg "Cardinality.at_most: negative bound";
+  let arr = Array.of_list lits in
+  let n = Array.length arr in
+  if k = 0 then Array.iter (fun l -> Solver.add_clause s [ Solver.negate l ]) arr
+  else if k >= n then ()
+  else if k = 1 && n <= 6 then at_most_one_pairwise s lits
+  else begin
+    let reg = Array.init n (fun _ -> Array.init k (fun _ -> Solver.pos (Solver.new_var s))) in
+    let r i j = reg.(i).(j) in
+    for i = 0 to n - 1 do
+      if i = 0 then Solver.add_clause s [ Solver.negate arr.(0); r 0 0 ]
+      else begin
+        (* x_i -> r_i_0 *)
+        Solver.add_clause s [ Solver.negate arr.(i); r i 0 ];
+        for j = 0 to k - 1 do
+          (* r_{i-1}_j -> r_i_j *)
+          Solver.add_clause s [ Solver.negate (r (i - 1) j); r i j ];
+          (* x_i ∧ r_{i-1}_{j-1} -> r_i_j *)
+          if j > 0 then
+            Solver.add_clause s
+              [ Solver.negate arr.(i); Solver.negate (r (i - 1) (j - 1)); r i j ];
+        done;
+        (* Overflow: x_i ∧ r_{i-1}_{k-1} -> ⊥ *)
+        Solver.add_clause s [ Solver.negate arr.(i); Solver.negate (r (i - 1) (k - 1)) ]
+      end
+    done
+  end
+
+let at_least s ~k lits =
+  let n = List.length lits in
+  if k <= 0 then ()
+  else if k > n then Solver.add_clause s []  (* unsatisfiable *)
+  else if k = n then List.iter (fun l -> Solver.add_clause s [ l ]) lits
+  else at_most s ~k:(n - k) (List.map Solver.negate lits)
+
+let exactly s ~k lits =
+  at_most s ~k lits;
+  at_least s ~k lits

@@ -1,0 +1,19 @@
+(** CNF encodings of cardinality constraints (sequential counters).
+
+    CSP1's constraints are all cardinalities over booleans: the per-slot
+    mutual exclusions (3)–(4) are "at most 1" and the per-window demand (5)
+    is "exactly C_i".  This module provides the standard
+    Sinz sequential-counter encoding, which is linear in [n·k] and
+    arc-consistent under unit propagation, plus the pairwise special case
+    for "at most 1". *)
+
+val at_most_one_pairwise : Solver.t -> Solver.lit list -> unit
+(** O(n²) binary clauses; preferable for small scopes. *)
+
+val at_most : Solver.t -> k:int -> Solver.lit list -> unit
+(** [Σ lits <= k] via sequential counter (fresh auxiliary variables). *)
+
+val at_least : Solver.t -> k:int -> Solver.lit list -> unit
+(** [Σ lits >= k], encoded as "at most (n−k) negations". *)
+
+val exactly : Solver.t -> k:int -> Solver.lit list -> unit

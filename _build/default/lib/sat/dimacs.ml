@@ -1,0 +1,52 @@
+type cnf = { num_vars : int; clauses : int list list }
+
+let to_string { num_vars; clauses } =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "p cnf %d %d\n" num_vars (List.length clauses));
+  List.iter
+    (fun clause ->
+      List.iter (fun l -> Buffer.add_string buf (string_of_int l ^ " ")) clause;
+      Buffer.add_string buf "0\n")
+    clauses;
+  Buffer.contents buf
+
+let of_string text =
+  let num_vars = ref 0 in
+  let clauses = ref [] in
+  let current = ref [] in
+  let header_seen = ref false in
+  String.split_on_char '\n' text
+  |> List.iter (fun line ->
+         let line = String.trim line in
+         if line = "" || line.[0] = 'c' then ()
+         else if line.[0] = 'p' then begin
+           (match String.split_on_char ' ' line |> List.filter (fun s -> s <> "") with
+           | [ "p"; "cnf"; nv; _nc ] -> (
+             match int_of_string_opt nv with
+             | Some n -> num_vars := n
+             | None -> failwith "Dimacs.of_string: bad header")
+           | _ -> failwith "Dimacs.of_string: bad header");
+           header_seen := true
+         end
+         else
+           String.split_on_char ' ' line
+           |> List.filter (fun s -> s <> "")
+           |> List.iter (fun tok ->
+                  match int_of_string_opt tok with
+                  | None -> failwith ("Dimacs.of_string: bad literal " ^ tok)
+                  | Some 0 ->
+                    clauses := List.rev !current :: !clauses;
+                    current := []
+                  | Some l ->
+                    if abs l > !num_vars then num_vars := abs l;
+                    current := l :: !current));
+  if not !header_seen then failwith "Dimacs.of_string: missing p cnf header";
+  if !current <> [] then clauses := List.rev !current :: !clauses;
+  { num_vars = !num_vars; clauses = List.rev !clauses }
+
+let load solver { num_vars; clauses } =
+  if Solver.nvars solver <> 0 then invalid_arg "Dimacs.load: solver not empty";
+  for _ = 1 to num_vars do
+    ignore (Solver.new_var solver)
+  done;
+  List.iter (fun clause -> Solver.add_clause solver (List.map Solver.lit_of_int clause)) clauses

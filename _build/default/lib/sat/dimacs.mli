@@ -1,0 +1,19 @@
+(** DIMACS CNF serialization.
+
+    Lets the CSP1→SAT encoding interoperate with external solvers and
+    supports round-trip tests of the in-house CDCL solver. *)
+
+type cnf = { num_vars : int; clauses : int list list }
+(** Clauses in DIMACS convention: non-zero integers, sign = polarity,
+    magnitude = 1-based variable. *)
+
+val to_string : cnf -> string
+(** Render with the [p cnf] header. *)
+
+val of_string : string -> cnf
+(** Parse; tolerates comments and blank lines.
+    @raise Failure on malformed input. *)
+
+val load : Solver.t -> cnf -> unit
+(** Create [num_vars] fresh variables in an empty solver and add every
+    clause.  @raise Invalid_argument if the solver already has variables. *)

@@ -1,0 +1,492 @@
+open Prelude
+
+type lit = int
+
+let pos v = 2 * v
+let neg v = (2 * v) + 1
+let var_of_lit l = l lsr 1
+let is_pos l = l land 1 = 0
+let negate l = l lxor 1
+
+let lit_of_int i =
+  if i = 0 then invalid_arg "Solver.lit_of_int: zero"
+  else if i > 0 then pos (i - 1)
+  else neg (-i - 1)
+
+type outcome = Sat of bool array | Unsat | Unknown
+
+type stats = {
+  conflicts : int;
+  decisions : int;
+  propagations : int;
+  restarts : int;
+  learnt : int;
+  time_s : float;
+}
+
+(* Clauses live in a growable array of int arrays; the two watched literals
+   are kept at positions 0 and 1. *)
+type t = {
+  mutable nvars : int;
+  mutable clauses : int array array;
+  mutable nclauses : int;
+  mutable watches : int list array;  (* literal -> clause indices *)
+  mutable assigns : int array;  (* var -> -1 / 0 / 1 *)
+  mutable phase : bool array;
+  mutable reason : int array;  (* var -> clause index or -1 *)
+  mutable var_level : int array;
+  mutable activity : float array;
+  mutable seen : bool array;
+  mutable trail : int array;  (* literals, in assignment order *)
+  mutable trail_size : int;
+  mutable trail_lim : int array;  (* level -> trail index *)
+  mutable nlevels : int;
+  mutable qhead : int;
+  mutable var_inc : float;
+  (* order heap (max-activity first) *)
+  mutable heap : int array;
+  mutable heap_size : int;
+  mutable heap_pos : int array;  (* var -> index in heap, or -1 *)
+  mutable solving : bool;
+  mutable root_conflict : bool;
+  mutable n_learnt : int;
+  mutable n_conflicts : int;
+  mutable n_decisions : int;
+  mutable n_props : int;
+  mutable n_restarts : int;
+}
+
+let create () =
+  {
+    nvars = 0;
+    clauses = Array.make 16 [||];
+    nclauses = 0;
+    watches = Array.make 16 [];
+    assigns = [||];
+    phase = [||];
+    reason = [||];
+    var_level = [||];
+    activity = [||];
+    seen = [||];
+    trail = [||];
+    trail_size = 0;
+    trail_lim = Array.make 16 0;
+    nlevels = 0;
+    qhead = 0;
+    var_inc = 1.0;
+    heap = [||];
+    heap_size = 0;
+    heap_pos = [||];
+    solving = false;
+    root_conflict = false;
+    n_learnt = 0;
+    n_conflicts = 0;
+    n_decisions = 0;
+    n_props = 0;
+    n_restarts = 0;
+  }
+
+let nvars t = t.nvars
+
+let grow_int a n fill =
+  let old = Array.length a in
+  if n <= old then a
+  else begin
+    let bigger = Array.make (max n (2 * old + 1)) fill in
+    Array.blit a 0 bigger 0 old;
+    bigger
+  end
+
+let grow_float a n fill =
+  let old = Array.length a in
+  if n <= old then a
+  else begin
+    let bigger = Array.make (max n (2 * old + 1)) fill in
+    Array.blit a 0 bigger 0 old;
+    bigger
+  end
+
+let grow_bool a n fill =
+  let old = Array.length a in
+  if n <= old then a
+  else begin
+    let bigger = Array.make (max n (2 * old + 1)) fill in
+    Array.blit a 0 bigger 0 old;
+    bigger
+  end
+
+let grow_list a n =
+  let old = Array.length a in
+  if n <= old then a
+  else begin
+    let bigger = Array.make (max n (2 * old + 1)) [] in
+    Array.blit a 0 bigger 0 old;
+    bigger
+  end
+
+let new_var t =
+  let v = t.nvars in
+  t.nvars <- v + 1;
+  t.assigns <- grow_int t.assigns t.nvars (-1);
+  t.phase <- grow_bool t.phase t.nvars false;
+  t.reason <- grow_int t.reason t.nvars (-1);
+  t.var_level <- grow_int t.var_level t.nvars 0;
+  t.activity <- grow_float t.activity t.nvars 0.0;
+  t.seen <- grow_bool t.seen t.nvars false;
+  t.trail <- grow_int t.trail t.nvars 0;
+  t.watches <- grow_list t.watches (2 * t.nvars);
+  t.heap <- grow_int t.heap t.nvars 0;
+  t.heap_pos <- grow_int t.heap_pos t.nvars (-1);
+  t.assigns.(v) <- -1;
+  t.reason.(v) <- -1;
+  t.heap_pos.(v) <- -1;
+  v
+
+(* value of a literal: 1 true, 0 false, -1 unassigned *)
+let lit_value t l =
+  let a = t.assigns.(var_of_lit l) in
+  if a = -1 then -1 else a lxor (l land 1)
+
+(* ------------------------------------------------------------------ *)
+(* Activity order heap (max-heap on activity).                         *)
+
+let heap_less t a b = t.activity.(a) > t.activity.(b)
+
+let heap_swap t i j =
+  let a = t.heap.(i) and b = t.heap.(j) in
+  t.heap.(i) <- b;
+  t.heap.(j) <- a;
+  t.heap_pos.(b) <- i;
+  t.heap_pos.(a) <- j
+
+let rec heap_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if heap_less t t.heap.(i) t.heap.(parent) then begin
+      heap_swap t i parent;
+      heap_up t parent
+    end
+  end
+
+let rec heap_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let best = ref i in
+  if l < t.heap_size && heap_less t t.heap.(l) t.heap.(!best) then best := l;
+  if r < t.heap_size && heap_less t t.heap.(r) t.heap.(!best) then best := r;
+  if !best <> i then begin
+    heap_swap t i !best;
+    heap_down t !best
+  end
+
+let heap_insert t v =
+  if t.heap_pos.(v) = -1 then begin
+    t.heap.(t.heap_size) <- v;
+    t.heap_pos.(v) <- t.heap_size;
+    t.heap_size <- t.heap_size + 1;
+    heap_up t t.heap_pos.(v)
+  end
+
+let heap_pop t =
+  let v = t.heap.(0) in
+  t.heap_size <- t.heap_size - 1;
+  if t.heap_size > 0 then begin
+    t.heap.(0) <- t.heap.(t.heap_size);
+    t.heap_pos.(t.heap.(0)) <- 0
+  end;
+  t.heap_pos.(v) <- -1;
+  if t.heap_size > 0 then heap_down t 0;
+  v
+
+let bump t v =
+  t.activity.(v) <- t.activity.(v) +. t.var_inc;
+  if t.activity.(v) > 1e100 then begin
+    for i = 0 to t.nvars - 1 do
+      t.activity.(i) <- t.activity.(i) *. 1e-100
+    done;
+    t.var_inc <- t.var_inc *. 1e-100
+  end;
+  if t.heap_pos.(v) <> -1 then heap_up t t.heap_pos.(v)
+
+(* ------------------------------------------------------------------ *)
+(* Clause management.                                                  *)
+
+let push_clause t c =
+  if t.nclauses >= Array.length t.clauses then begin
+    let bigger = Array.make (2 * Array.length t.clauses) [||] in
+    Array.blit t.clauses 0 bigger 0 t.nclauses;
+    t.clauses <- bigger
+  end;
+  t.clauses.(t.nclauses) <- c;
+  t.nclauses <- t.nclauses + 1;
+  t.nclauses - 1
+
+let watch t l ci = t.watches.(l) <- ci :: t.watches.(l)
+
+let enqueue t l reason =
+  let v = var_of_lit l in
+  t.assigns.(v) <- (if is_pos l then 1 else 0);
+  t.reason.(v) <- reason;
+  t.var_level.(v) <- t.nlevels;
+  t.trail.(t.trail_size) <- l;
+  t.trail_size <- t.trail_size + 1
+
+let add_clause t lits =
+  if t.solving then invalid_arg "Solver.add_clause: solver already running";
+  List.iter
+    (fun l ->
+      if var_of_lit l < 0 || var_of_lit l >= t.nvars then
+        invalid_arg "Solver.add_clause: unknown variable")
+    lits;
+  (* Deduplicate; detect tautologies. *)
+  let lits = List.sort_uniq compare lits in
+  let tautology =
+    List.exists (fun l -> is_pos l && List.mem (negate l) lits) lits
+  in
+  if not tautology then begin
+    (* Drop literals already false at root; detect satisfied clauses. *)
+    let satisfied = List.exists (fun l -> lit_value t l = 1) lits in
+    if not satisfied then begin
+      let live = List.filter (fun l -> lit_value t l <> 0) lits in
+      match live with
+      | [] -> t.root_conflict <- true
+      | [ l ] -> enqueue t l (-1)  (* level-0 fact; propagated in solve *)
+      | l0 :: l1 :: _ ->
+        let c = Array.of_list live in
+        let ci = push_clause t c in
+        watch t (negate l0) ci;
+        watch t (negate l1) ci
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Propagation with two watched literals.                              *)
+
+let propagate t =
+  let conflict = ref (-1) in
+  while !conflict = -1 && t.qhead < t.trail_size do
+    let p = t.trail.(t.qhead) in
+    t.qhead <- t.qhead + 1;
+    t.n_props <- t.n_props + 1;
+    (* Clauses watching ¬p must find another watch or become unit. *)
+    let watching = t.watches.(p) in
+    t.watches.(p) <- [];
+    let rec process = function
+      | [] -> ()
+      | ci :: rest ->
+        let c = t.clauses.(ci) in
+        (* Normalize: watched literals at c.(0), c.(1); the falsified one
+           (whose negation is p) goes to position 1. *)
+        if c.(0) = negate p then begin
+          c.(0) <- c.(1);
+          c.(1) <- negate p
+        end;
+        if lit_value t c.(0) = 1 then begin
+          (* Clause satisfied: keep watching p. *)
+          t.watches.(p) <- ci :: t.watches.(p);
+          process rest
+        end
+        else begin
+          (* Look for a new literal to watch. *)
+          let len = Array.length c in
+          let rec find k = if k >= len then -1 else if lit_value t c.(k) <> 0 then k else find (k + 1) in
+          let k = find 2 in
+          if k >= 0 then begin
+            c.(1) <- c.(k);
+            c.(k) <- negate p;
+            watch t (negate c.(1)) ci;
+            process rest
+          end
+          else begin
+            t.watches.(p) <- ci :: t.watches.(p);
+            if lit_value t c.(0) = 0 then begin
+              (* Conflict: restore remaining watchers and stop. *)
+              conflict := ci;
+              t.qhead <- t.trail_size;
+              List.iter (fun cj -> t.watches.(p) <- cj :: t.watches.(p)) rest
+            end
+            else begin
+              enqueue t c.(0) ci;
+              process rest
+            end
+          end
+        end
+    in
+    process watching
+  done;
+  !conflict
+
+(* ------------------------------------------------------------------ *)
+(* Backtracking.                                                       *)
+
+let cancel_until t level =
+  if t.nlevels > level then begin
+    let bound = t.trail_lim.(level) in
+    for i = t.trail_size - 1 downto bound do
+      let v = var_of_lit t.trail.(i) in
+      t.phase.(v) <- t.assigns.(v) = 1;
+      t.assigns.(v) <- -1;
+      t.reason.(v) <- -1;
+      heap_insert t v
+    done;
+    t.trail_size <- bound;
+    t.qhead <- bound;
+    t.nlevels <- level
+  end
+
+let push_decision_level t =
+  if t.nlevels >= Array.length t.trail_lim then begin
+    let bigger = Array.make (2 * Array.length t.trail_lim) 0 in
+    Array.blit t.trail_lim 0 bigger 0 t.nlevels;
+    t.trail_lim <- bigger
+  end;
+  t.trail_lim.(t.nlevels) <- t.trail_size;
+  t.nlevels <- t.nlevels + 1
+
+(* ------------------------------------------------------------------ *)
+(* First-UIP conflict analysis.                                        *)
+
+let analyze t confl =
+  let learnt = ref [] in
+  let counter = ref 0 in
+  let p = ref (-1) in
+  let confl = ref confl in
+  let idx = ref (t.trail_size - 1) in
+  let continue_ = ref true in
+  while !continue_ do
+    let c = t.clauses.(!confl) in
+    Array.iter
+      (fun q ->
+        if q <> !p then begin
+          let v = var_of_lit q in
+          if (not t.seen.(v)) && t.var_level.(v) > 0 then begin
+            t.seen.(v) <- true;
+            bump t v;
+            if t.var_level.(v) = t.nlevels then incr counter
+            else learnt := q :: !learnt
+          end
+        end)
+      c;
+    (* Walk the trail back to the next marked literal. *)
+    while not t.seen.(var_of_lit t.trail.(!idx)) do
+      decr idx
+    done;
+    p := t.trail.(!idx);
+    decr idx;
+    t.seen.(var_of_lit !p) <- false;
+    decr counter;
+    if !counter = 0 then continue_ := false else confl := t.reason.(var_of_lit !p)
+  done;
+  let asserting = negate !p in
+  let clause = asserting :: !learnt in
+  (* Backjump level: highest level among the non-asserting literals. *)
+  let blevel = List.fold_left (fun acc q -> max acc (t.var_level.(var_of_lit q))) 0 !learnt in
+  List.iter (fun q -> t.seen.(var_of_lit q) <- false) !learnt;
+  (clause, blevel)
+
+let record_learnt t clause =
+  t.n_learnt <- t.n_learnt + 1;
+  match clause with
+  | [] -> assert false
+  | [ l ] ->
+    enqueue t l (-1);
+    -1
+  | l0 :: _ ->
+    (* Put a literal of the backjump level in second position so the watch
+       invariant (watch the two highest levels) holds. *)
+    let arr = Array.of_list clause in
+    let best = ref 1 in
+    for k = 2 to Array.length arr - 1 do
+      if t.var_level.(var_of_lit arr.(k)) > t.var_level.(var_of_lit arr.(!best)) then best := k
+    done;
+    let tmp = arr.(1) in
+    arr.(1) <- arr.(!best);
+    arr.(!best) <- tmp;
+    let ci = push_clause t arr in
+    watch t (negate arr.(0)) ci;
+    watch t (negate arr.(1)) ci;
+    enqueue t l0 ci;
+    ci
+
+(* ------------------------------------------------------------------ *)
+
+let decide t rng =
+  let rec pick () =
+    if t.heap_size = 0 then -1
+    else
+      let v = heap_pop t in
+      if t.assigns.(v) = -1 then v else pick ()
+  in
+  let v = pick () in
+  if v = -1 then -1
+  else begin
+    t.n_decisions <- t.n_decisions + 1;
+    push_decision_level t;
+    ignore rng;
+    enqueue t (if t.phase.(v) then pos v else neg v) (-1);
+    v
+  end
+
+let solve ?(budget = Timer.unlimited) ?(seed = 0) t =
+  let t0 = Timer.start () in
+  t.solving <- true;
+  let rng = Prng.create ~seed in
+  let stats () =
+    {
+      conflicts = t.n_conflicts;
+      decisions = t.n_decisions;
+      propagations = t.n_props;
+      restarts = t.n_restarts;
+      learnt = t.n_learnt;
+      time_s = Timer.elapsed t0;
+    }
+  in
+  if t.root_conflict then (Unsat, stats ())
+  else begin
+    (* Randomize initial tie-breaking via tiny activity jitter. *)
+    for v = 0 to t.nvars - 1 do
+      t.activity.(v) <- t.activity.(v) +. (1e-9 *. Prng.float rng);
+      heap_insert t v
+    done;
+    let result = ref None in
+    let restart_budget = ref 100 in
+    let restart_number = ref 1 in
+    let conflicts_here = ref 0 in
+    while !result = None do
+      let confl = propagate t in
+      if confl >= 0 then begin
+        t.n_conflicts <- t.n_conflicts + 1;
+        incr conflicts_here;
+        if t.nlevels = 0 then result := Some Unsat
+        else begin
+          let clause, blevel = analyze t confl in
+          cancel_until t blevel;
+          ignore (record_learnt t clause);
+          t.var_inc <- t.var_inc /. 0.95
+        end
+      end
+      else if Timer.exceeded budget ~nodes:t.n_conflicts then result := Some Unknown
+      else if !conflicts_here >= !restart_budget then begin
+        (* Luby restart. *)
+        t.n_restarts <- t.n_restarts + 1;
+        incr restart_number;
+        conflicts_here := 0;
+        restart_budget := 100 * Intmath.luby !restart_number;
+        cancel_until t 0
+      end
+      else if decide t rng = -1 then begin
+        (* All variables assigned and no conflict: model found. *)
+        let model = Array.init t.nvars (fun v -> t.assigns.(v) = 1) in
+        result := Some (Sat model)
+      end
+    done;
+    (match !result with Some r -> (r, stats ()) | None -> assert false)
+  end
+
+let export_clauses t =
+  let dimacs_lit l = if is_pos l then var_of_lit l + 1 else -(var_of_lit l + 1) in
+  let units = List.init t.trail_size (fun i -> [ dimacs_lit t.trail.(i) ]) in
+  let clauses =
+    List.init t.nclauses (fun ci -> Array.to_list (Array.map dimacs_lit t.clauses.(ci)))
+  in
+  let conflict = if t.root_conflict then [ [] ] else [] in
+  units @ clauses @ conflict

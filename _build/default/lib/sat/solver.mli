@@ -1,0 +1,69 @@
+(** A CDCL boolean satisfiability solver.
+
+    Section IV of the paper chooses boolean variables for CSP1 precisely so
+    that "even boolean satisfiability (SAT) solvers could be used"; this
+    module is that third solver path.  It is a from-scratch conflict-driven
+    clause-learning solver with the standard ingredients: two-watched-literal
+    propagation, first-UIP conflict analysis with clause learning and
+    non-chronological backjumping, exponential VSIDS activities, phase
+    saving, and Luby restarts.
+
+    Variables are integers [0 .. nvars-1]; a literal packs variable and sign
+    (see {!lit}).  Clauses may be added only before calling {!solve}. *)
+
+type t
+
+type lit = private int
+(** [2·var] for the positive literal, [2·var+1] for the negative. *)
+
+val create : unit -> t
+
+val new_var : t -> int
+(** Returns the fresh variable's index. *)
+
+val nvars : t -> int
+
+val pos : int -> lit
+(** Positive literal of a variable. *)
+
+val neg : int -> lit
+
+val lit_of_int : int -> lit
+(** DIMACS-style: [+v] ↦ positive literal of variable [v−1], [−v] ↦
+    negative.  @raise Invalid_argument on 0. *)
+
+val var_of_lit : lit -> int
+val is_pos : lit -> bool
+val negate : lit -> lit
+
+val add_clause : t -> lit list -> unit
+(** Add a clause; duplicate literals are merged, tautologies dropped.
+    Adding the empty clause (or a clause falsified at level 0) makes the
+    instance trivially unsatisfiable.
+    @raise Invalid_argument after {!solve} has been called, or on literals
+    of unknown variables. *)
+
+type outcome =
+  | Sat of bool array  (** Model indexed by variable. *)
+  | Unsat
+  | Unknown  (** Budget exhausted. *)
+
+type stats = {
+  conflicts : int;
+  decisions : int;
+  propagations : int;
+  restarts : int;
+  learnt : int;
+  time_s : float;
+}
+
+val solve : ?budget:Prelude.Timer.budget -> ?seed:int -> t -> outcome * stats
+(** Decide satisfiability.  [seed] randomizes initial variable activities
+    (ties in VSIDS), giving independent runs for restarts experiments.
+    The node budget counts conflicts. *)
+
+val export_clauses : t -> int list list
+(** Every clause in the store in DIMACS integer convention: level-0 facts
+    as unit clauses, then the clause database (including any learnt
+    clauses, so export before {!solve} for the original formula), and
+    [[]] if a root conflict was recorded. *)

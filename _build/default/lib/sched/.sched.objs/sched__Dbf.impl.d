@@ -1,0 +1,1 @@
+lib/sched/dbf.ml: Array Hashtbl List Rt_model Task Taskset

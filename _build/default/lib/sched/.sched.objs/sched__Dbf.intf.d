@@ -1,0 +1,1 @@
+lib/sched/dbf.mli: Rt_model

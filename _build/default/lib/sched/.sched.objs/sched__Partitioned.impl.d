@@ -1,0 +1,1 @@
+lib/sched/partitioned.ml: Array Dbf Fun List Rt_model Schedule Sim Task Taskset

@@ -1,0 +1,1 @@
+lib/sched/partitioned.mli: Rt_model

@@ -1,0 +1,1 @@
+lib/sched/polish.ml: Array List Rt_model Schedule

@@ -1,0 +1,1 @@
+lib/sched/polish.mli: Rt_model

@@ -1,0 +1,1 @@
+lib/sched/sim.ml: Array Fun List Rt_model Schedule Task Taskset

@@ -1,0 +1,34 @@
+open Rt_model
+
+let demand ts t =
+  Array.fold_left
+    (fun acc (task : Task.t) ->
+      let jobs = ((t - task.deadline) / task.period) + 1 in
+      if t >= task.deadline then acc + (jobs * task.wcet) else acc)
+    0 (Taskset.tasks ts)
+
+let check_points ts =
+  let hp = Taskset.hyperperiod ts in
+  let points = Hashtbl.create 64 in
+  Array.iter
+    (fun (task : Task.t) ->
+      let k = ref 0 in
+      let rec add () =
+        let d = (!k * task.period) + task.deadline in
+        if d <= hp then begin
+          Hashtbl.replace points d ();
+          incr k;
+          add ()
+        end
+      in
+      add ())
+    (Taskset.tasks ts);
+  List.sort compare (Hashtbl.fold (fun p () acc -> p :: acc) points [])
+
+let edf_schedulable ts =
+  if not (Taskset.is_constrained ts) then
+    invalid_arg "Dbf.edf_schedulable: arbitrary-deadline task set";
+  if Array.exists (fun (t : Task.t) -> t.offset <> 0) (Taskset.tasks ts) then
+    invalid_arg "Dbf.edf_schedulable: offsets not supported (use Sim.run)";
+  let num, den = Taskset.utilization_num_den ts in
+  num <= den && List.for_all (fun t -> demand ts t <= t) (check_points ts)

@@ -1,0 +1,28 @@
+(** Processor demand analysis for uniprocessor EDF (Baruah–Rosier–Howell).
+
+    For a {e synchronous} constrained-deadline system on one processor, EDF
+    feasibility has a classic analytic characterization: the demand bound
+    function
+
+    [dbf(t) = Σ_i max(0, ⌊(t − D_i)/T_i⌋ + 1) · C_i]
+
+    counts the work that must complete inside [[0, t)]; the system is
+    EDF-schedulable iff [U <= 1] and [dbf(t) <= t] at every absolute
+    deadline [t] up to the hyperperiod.
+
+    This gives the partitioned baseline an analytic fast path and the test
+    suite an independent oracle for {!Sim}'s adaptive simulation (the two
+    must agree on synchronous systems — property-tested). *)
+
+val demand : Rt_model.Taskset.t -> int -> int
+(** [demand ts t] is dbf(t) for the synchronous version of [ts] (offsets
+    ignored). *)
+
+val check_points : Rt_model.Taskset.t -> int list
+(** The absolute deadlines in [(0, T]] — the only points where
+    [dbf(t) <= t] can newly fail. *)
+
+val edf_schedulable : Rt_model.Taskset.t -> bool
+(** Exact uniprocessor EDF test for synchronous systems.
+    @raise Invalid_argument on non-constrained-deadline systems or if any
+    task has a nonzero offset (use {!Sim.run} for those). *)

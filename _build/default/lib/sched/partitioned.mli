@@ -1,0 +1,25 @@
+(** Partitioned scheduling baseline (first-fit decreasing density + EDF).
+
+    The paper's introduction distinguishes global from partitioned
+    multiprocessor scheduling, and its conclusion lists "partitioning or
+    mixed approaches" as alternatives worth comparing against; this module
+    is that comparator.  Tasks are sorted by decreasing density
+    [C / min(D,T)] and placed first-fit on the first processor whose
+    partition stays EDF-schedulable (EDF is optimal on one processor, and
+    the {!Sim} horizon [O_max + 2T] makes the per-processor test exact for
+    constrained-deadline systems).
+
+    Partitioned placement can fail on systems that are globally feasible —
+    e.g. three tasks of utilization 2/3 on two processors — which is
+    exactly the gap the CSP approach closes. *)
+
+type result = {
+  assignment : int array;  (** task -> processor, or −1 when placement failed. *)
+  ok : bool;  (** Every task placed. *)
+}
+
+val partition : Rt_model.Taskset.t -> m:int -> result
+
+val schedule : Rt_model.Taskset.t -> m:int -> Rt_model.Schedule.t option
+(** When placement succeeds, the combined per-processor EDF schedules over
+    [[0, O_max + 2T)] (same grid semantics as {!Sim.run}). *)

@@ -1,0 +1,19 @@
+(** Migration-reducing post-processing of feasible schedules.
+
+    On identical processors, permuting {e which processor} runs each task
+    within one slot never affects feasibility (that is the symmetry the
+    paper's rule (10) exploits to prune the search).  The CSP solvers
+    return one canonical representative — typically a migration-heavy one,
+    since they re-pack tasks in ascending order every slot.
+
+    [minimize_migrations] walks the slots in order and greedily keeps every
+    task on the processor it occupied in the previous slot, assigning the
+    remaining tasks to the freed processors.  The task multiset per slot is
+    unchanged, so verification is preserved exactly; only the
+    processor-assignment within slots changes.  The pass never increases
+    adjacent-slot migrations and typically removes most of them. *)
+
+val minimize_migrations : Rt_model.Schedule.t -> Rt_model.Schedule.t
+(** Returns a fresh schedule; the input is not modified.  Valid for
+    identical platforms only (on heterogeneous platforms processor identity
+    matters — do not polish those schedules). *)

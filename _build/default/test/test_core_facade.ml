@@ -1,0 +1,153 @@
+(* Tests for the Core facade: solver dispatch, schedule verification on
+   return, the transparent clone reduction for arbitrary deadlines, and
+   the minimal-processor search. *)
+
+open Rt_model
+
+let check = Alcotest.check
+let qtest = Test_util.qtest
+
+let running = Examples.running_example
+
+let test_all_solvers_running_example () =
+  List.iter
+    (fun solver ->
+      match Core.solve ~solver running ~m:2 with
+      | Core.Feasible _, elapsed ->
+        Alcotest.(check bool)
+          (Core.solver_name solver ^ " time sane")
+          true (elapsed >= 0.)
+      | (Core.Infeasible | Core.Limit | Core.Memout _), _ ->
+        Alcotest.failf "%s failed on the running example" (Core.solver_name solver))
+    Core.all_solvers
+
+let test_complete_solvers_prove_infeasibility () =
+  List.iter
+    (fun solver ->
+      match Core.solve ~solver running ~m:1 with
+      | Core.Infeasible, _ -> ()
+      | (Core.Feasible _ | Core.Limit | Core.Memout _), _ ->
+        Alcotest.failf "%s should refute m=1" (Core.solver_name solver))
+    [ Core.Csp1_generic; Core.Csp1_sat; Core.Csp2_generic; Core.default_solver ]
+
+let test_feasible_helper () =
+  Alcotest.(check (option bool)) "m=2" (Some true) (Core.feasible running ~m:2);
+  Alcotest.(check (option bool)) "m=1" (Some false) (Core.feasible running ~m:1);
+  Alcotest.(check (option bool)) "tiny budget -> None" None
+    (Core.feasible ~solver:Core.Csp1_generic
+       ~budget:(Prelude.Timer.budget ~nodes:1 ())
+       (fst (Gen.Generator.generate (Prelude.Prng.create ~seed:8)
+               (Gen.Generator.default ~n:10 ~m:(Gen.Generator.Fixed_m 5) ~tmax:7)))
+       ~m:5)
+
+let test_solver_names () =
+  Alcotest.(check string) "default" "csp2+D-C" (Core.solver_name Core.default_solver);
+  Alcotest.(check string) "csp1" "csp1" (Core.solver_name Core.Csp1_generic);
+  Alcotest.(check string) "sat" "csp1-sat" (Core.solver_name Core.Csp1_sat)
+
+let test_platform_mismatch_rejected () =
+  let platform = Platform.identical ~m:3 in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Core.solve ~platform running ~m:2);
+       false
+     with Invalid_argument _ -> true)
+
+let test_sat_rejects_heterogeneous () =
+  let ts, platform = Examples.dedicated in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Core.solve ~solver:Core.Csp1_sat ~platform ts ~m:2);
+       false
+     with Invalid_argument _ -> true)
+
+let test_arbitrary_deadline_reduction () =
+  let ts = Examples.arbitrary_deadline in
+  match Core.solve ts ~m:2 with
+  | Core.Feasible sched, _ ->
+    (* The mapped schedule speaks original task ids over the clone
+       hyperperiod. *)
+    let clone_hp = Taskset.hyperperiod (Clone.cloned (Clone.transform ts)) in
+    check Alcotest.int "horizon is the clone hyperperiod" clone_hp (Schedule.horizon sched);
+    let n = Taskset.size ts in
+    let ok = ref true in
+    for j = 0 to 1 do
+      for t = 0 to Schedule.horizon sched - 1 do
+        let v = Schedule.get sched ~proc:j ~time:t in
+        if v <> Schedule.idle && (v < 0 || v >= n) then ok := false
+      done
+    done;
+    Alcotest.(check bool) "original ids" true !ok
+  | (Core.Infeasible | Core.Limit | Core.Memout _), _ ->
+    Alcotest.fail "the arbitrary-deadline example is feasible on 2 processors"
+
+let prop_arbitrary_deadline_agreement =
+  (* Verdicts must be consistent (never Feasible vs Infeasible); the CDCL
+     reference refutes high-utilization clone systems quickly. *)
+  qtest ~count:30 "clone reduction: complete solvers are consistent on D>T systems"
+    (Test_util.loose_taskset_gen ~nmax:3 ~tmax:3 ())
+    (fun ts ->
+      let m = 2 in
+      let budget () = Prelude.Timer.budget ~wall_s:2.0 () in
+      let a = fst (Core.solve ~solver:Core.Csp1_sat ~budget:(budget ()) ts ~m) in
+      let b = fst (Core.solve ~solver:Core.default_solver ~budget:(budget ()) ts ~m) in
+      Encodings.Outcome.agree a b
+      (* and the dedicated path must decide: its refutations are fast. *)
+      && (match b with Core.Feasible _ | Core.Infeasible -> true | _ -> false))
+
+let test_min_processors () =
+  Alcotest.(check (option int)) "running example" (Some 2) (Core.min_processors running);
+  Alcotest.(check (option int)) "trap" (Some 2) (Core.min_processors Examples.edf_trap);
+  (* An infeasible-at-any-m system does not exist with C <= D, so check the
+     max_m cutoff instead. *)
+  Alcotest.(check (option int)) "cutoff" None (Core.min_processors ~max_m:1 running)
+
+let prop_min_processors_bounds =
+  qtest ~count:30 "min_processors lies between ceil(U) and n"
+    (Test_util.taskset_gen ~nmax:4 ~tmax:4 ())
+    (fun ts ->
+      match Core.min_processors ts with
+      | Some m -> m >= Taskset.min_processors ts && m <= max 1 (Taskset.size ts)
+      | None -> true)
+
+let prop_verify_guard_all_solvers =
+  (* Core.solve with verify=true must never return an unverified schedule;
+     exercising it across solvers is an end-to-end soundness sweep. *)
+  qtest ~count:30 "facade schedules are always verified"
+    (Test_util.instance_gen ~nmax:4 ~tmax:4 ())
+    (fun (ts, m) ->
+      List.for_all
+        (fun solver ->
+          match
+            Core.solve ~solver ~budget:(Prelude.Timer.budget ~wall_s:5.0 ()) ts ~m
+          with
+          | Core.Feasible sched, _ -> Verify.is_feasible ts sched
+          | (Core.Infeasible | Core.Limit | Core.Memout _), _ -> true)
+        [ Core.Csp1_generic; Core.Csp1_sat; Core.Csp2_generic; Core.default_solver ])
+
+let () =
+  Alcotest.run "core"
+    [
+      ( "facade",
+        [
+          Alcotest.test_case "all solvers solve the example" `Quick
+            test_all_solvers_running_example;
+          Alcotest.test_case "complete solvers refute" `Quick
+            test_complete_solvers_prove_infeasibility;
+          Alcotest.test_case "feasible helper" `Quick test_feasible_helper;
+          Alcotest.test_case "solver names" `Quick test_solver_names;
+          Alcotest.test_case "platform mismatch" `Quick test_platform_mismatch_rejected;
+          Alcotest.test_case "sat rejects heterogeneous" `Quick test_sat_rejects_heterogeneous;
+          prop_verify_guard_all_solvers;
+        ] );
+      ( "arbitrary deadlines",
+        [
+          Alcotest.test_case "clone reduction" `Quick test_arbitrary_deadline_reduction;
+          prop_arbitrary_deadline_agreement;
+        ] );
+      ( "capacity",
+        [
+          Alcotest.test_case "min_processors" `Quick test_min_processors;
+          prop_min_processors_bounds;
+        ] );
+    ]

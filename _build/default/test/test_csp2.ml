@@ -1,0 +1,235 @@
+(* Tests for the dedicated CSP2 solvers (identical and heterogeneous):
+   agreement with the generic encodings, heuristic behaviour, determinism,
+   wrap-around handling, and the heterogeneous idle-necessity regression. *)
+
+open Rt_model
+module O = Encodings.Outcome
+
+let check = Alcotest.check
+let qtest = Test_util.qtest
+
+let running = Examples.running_example
+let budget () = Prelude.Timer.budget ~wall_s:5.0 ()
+let decided = function O.Feasible _ | O.Infeasible -> true | O.Limit | O.Memout _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Heuristic module                                                     *)
+
+let test_heuristic_keys () =
+  let t = Task.make ~offset:0 ~wcet:2 ~deadline:3 ~period:5 () in
+  check Alcotest.int "RM" 5 (Csp2.Heuristic.key Csp2.Heuristic.RM t);
+  check Alcotest.int "DM" 3 (Csp2.Heuristic.key Csp2.Heuristic.DM t);
+  check Alcotest.int "TC" 3 (Csp2.Heuristic.key Csp2.Heuristic.TC t);
+  check Alcotest.int "DC" 1 (Csp2.Heuristic.key Csp2.Heuristic.DC t)
+
+let test_heuristic_order () =
+  (* DC keys for the running example: τ1: 2-1=1, τ2: 4-3=1, τ3: 2-2=0. *)
+  Alcotest.(check (array int)) "DC order" [| 2; 0; 1 |]
+    (Csp2.Heuristic.order Csp2.Heuristic.DC running);
+  let ranks = Csp2.Heuristic.rank Csp2.Heuristic.DC running in
+  check Alcotest.int "τ3 first" 0 ranks.(2);
+  (* Ranks are a permutation. *)
+  let sorted = Array.copy ranks in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" [| 0; 1; 2 |] sorted
+
+let test_heuristic_strings () =
+  List.iter
+    (fun h ->
+      match Csp2.Heuristic.of_string (Csp2.Heuristic.to_string h) with
+      | Some h' -> Alcotest.(check bool) "roundtrip" true (h = h')
+      | None -> Alcotest.fail "roundtrip failed")
+    Csp2.Heuristic.all;
+  Alcotest.(check bool) "unknown" true (Csp2.Heuristic.of_string "zzz" = None)
+
+(* ------------------------------------------------------------------ *)
+(* Identical-platform solver                                            *)
+
+let test_running_example_all_heuristics () =
+  List.iter
+    (fun h ->
+      match Csp2.Solver.solve ~heuristic:h running ~m:2 with
+      | O.Feasible sched, _ ->
+        Alcotest.(check bool)
+          (Printf.sprintf "verified (%s)" (Csp2.Heuristic.to_string h))
+          true (Verify.is_feasible running sched)
+      | (O.Infeasible | O.Limit | O.Memout _), _ -> Alcotest.fail "running example is feasible")
+    Csp2.Heuristic.all
+
+let test_infeasible_proof () =
+  match Csp2.Solver.solve running ~m:1 with
+  | O.Infeasible, _ -> ()
+  | (O.Feasible _ | O.Limit | O.Memout _), _ -> Alcotest.fail "m=1 is infeasible (r > 1)"
+
+let test_deterministic () =
+  let run () =
+    match Csp2.Solver.solve running ~m:2 with
+    | O.Feasible sched, stats -> (sched, stats.Csp2.Solver.nodes)
+    | _ -> Alcotest.fail "feasible"
+  in
+  let s1, n1 = run () and s2, n2 = run () in
+  Alcotest.(check bool) "same schedule" true (Schedule.equal s1 s2);
+  check Alcotest.int "same node count" n1 n2
+
+let test_budget_limit () =
+  (* A hard instance: r close to 1 with many tasks. *)
+  let params = Gen.Generator.default ~n:10 ~m:(Gen.Generator.Fixed_m 5) ~tmax:7 in
+  let instances = Gen.Generator.batch ~seed:5 ~count:30 params in
+  let limited = ref false in
+  Array.iter
+    (fun (ts, m) ->
+      match Csp2.Solver.solve ~budget:(Prelude.Timer.budget ~nodes:50 ()) ts ~m with
+      | O.Limit, _ -> limited := true
+      | (O.Feasible _ | O.Infeasible | O.Memout _), _ -> ())
+    instances;
+  Alcotest.(check bool) "some run hits the node budget" true !limited
+
+let test_edf_trap_feasible () =
+  match Csp2.Solver.solve Examples.edf_trap ~m:Examples.edf_trap_m with
+  | O.Feasible sched, _ ->
+    Alcotest.(check bool) "verified" true (Verify.is_feasible Examples.edf_trap sched)
+  | (O.Infeasible | O.Limit | O.Memout _), _ -> Alcotest.fail "the trap is feasible"
+
+let test_wrapped_window_instance () =
+  (* Offsets force a wrapped window; solver must handle the head/tail
+     split.  τ: O=2, C=2, D=3, T=3 over hyperperiod 3: window {2,0,1}. *)
+  let ts = Taskset.of_tuples [ (2, 2, 3, 3); (0, 1, 3, 3) ] in
+  match Csp2.Solver.solve ts ~m:1 with
+  | O.Feasible sched, _ -> Alcotest.(check bool) "verified" true (Verify.is_feasible ts sched)
+  | (O.Infeasible | O.Limit | O.Memout _), _ -> Alcotest.fail "feasible via wrap"
+
+let prop_agrees_with_csp1 =
+  (* Reference verdict from the CDCL path (fast on both SAT and UNSAT);
+     the dedicated chronological search must match it under every
+     heuristic and its schedules must verify. *)
+  qtest ~count:80 "dedicated CSP2 = CSP1/SAT on random instances, all heuristics"
+    (Test_util.instance_gen ~nmax:4 ~tmax:5 ())
+    (fun (ts, m) ->
+      let reference, _ = Encodings.Csp1_sat.solve ~budget:(budget ()) ts ~m in
+      decided reference
+      && List.for_all
+           (fun h ->
+             match Csp2.Solver.solve ~heuristic:h ~budget:(budget ()) ts ~m with
+             | O.Feasible sched, _ ->
+               Verify.is_feasible ts sched && O.is_feasible reference
+             | O.Infeasible, _ -> not (O.is_feasible reference)
+             | (O.Limit | O.Memout _), _ -> false)
+           Csp2.Heuristic.all)
+
+let prop_stats_sane =
+  qtest ~count:60 "solver stats are consistent"
+    (Test_util.instance_gen ~nmax:4 ~tmax:4 ())
+    (fun (ts, m) ->
+      let _, stats = Csp2.Solver.solve ts ~m in
+      stats.Csp2.Solver.nodes >= 0
+      && stats.Csp2.Solver.fails >= 0
+      && stats.Csp2.Solver.max_time_reached <= Taskset.hyperperiod ts)
+
+let prop_no_urgency_agrees =
+  qtest ~count:60 "urgency propagation off: still sound and complete"
+    (Test_util.instance_gen ~nmax:4 ~tmax:4 ())
+    (fun (ts, m) ->
+      let strong, _ = Csp2.Solver.solve ~budget:(budget ()) ts ~m in
+      let weak, _ = Csp2.Solver.solve ~urgency:false ~budget:(budget ()) ts ~m in
+      decided strong && decided weak
+      && O.is_feasible strong = O.is_feasible weak
+      && (match weak with O.Feasible s -> Verify.is_feasible ts s | _ -> true))
+
+let test_no_urgency_weaker () =
+  (* Same instance, same verdict, but the weak search visits at least as
+     many nodes as the propagating one. *)
+  let ts = Examples.running_example in
+  let _, strong = Csp2.Solver.solve ts ~m:2 in
+  let _, weak = Csp2.Solver.solve ~urgency:false ts ~m:2 in
+  Alcotest.(check bool) "weak explores no fewer nodes" true
+    (weak.Csp2.Solver.nodes >= strong.Csp2.Solver.nodes)
+
+(* ------------------------------------------------------------------ *)
+(* Heterogeneous dedicated solver                                       *)
+
+let test_het_dedicated_example () =
+  let ts, platform = Examples.dedicated in
+  match Csp2.Het.solve ~platform ts with
+  | O.Feasible sched, _ ->
+    Alcotest.(check bool) "verified under rates" true (Verify.is_feasible ~platform ts sched)
+  | (O.Infeasible | O.Limit | O.Memout _), _ -> Alcotest.fail "dedicated example is feasible"
+
+let test_het_idle_necessity () =
+  (* Regression for the no-idle rule unsoundness with rates: C=5 within a
+     5-slot window on processors with rates (3, 2) completes only as
+     3 + 2 — three slots stay idle and in two of them a processor idles
+     while the task is still eligible on it, which the (forced) no-idle
+     rule would prune. *)
+  let ts = Taskset.of_tuples [ (0, 5, 5, 5) ] in
+  let platform = Platform.heterogeneous ~rates:[| [| 3; 2 |] |] in
+  match Csp2.Het.solve ~platform ts with
+  | O.Feasible sched, _ ->
+    Alcotest.(check bool) "verified" true (Verify.is_feasible ~platform ts sched)
+  | (O.Infeasible | O.Limit | O.Memout _), _ ->
+    Alcotest.fail "feasible only with an eligible-but-idle slot (no-idle must be off)"
+
+let test_het_exact_demand_overshoot () =
+  (* C=1 but the only processor has rate 2: every slot overshoots, so the
+     exact demand (12) makes the system infeasible. *)
+  let ts = Taskset.of_tuples [ (0, 1, 2, 2) ] in
+  let platform = Platform.heterogeneous ~rates:[| [| 2 |] |] in
+  match Csp2.Het.solve ~platform ts with
+  | O.Infeasible, _ -> ()
+  | (O.Feasible _ | O.Limit | O.Memout _), _ -> Alcotest.fail "rate-2-only C=1 is infeasible"
+
+let test_het_identical_platform_agrees () =
+  (* On an identical platform the heterogeneous solver must agree with the
+     fast path. *)
+  let platform = Platform.identical ~m:2 in
+  let a, _ = Csp2.Het.solve ~platform running in
+  let b, _ = Csp2.Solver.solve running ~m:2 in
+  Alcotest.(check bool) "same verdict" true (O.is_feasible a = O.is_feasible b)
+
+let prop_het_agrees_with_generic =
+  let gen =
+    let open QCheck2.Gen in
+    Test_util.taskset_gen ~nmax:3 ~tmax:3 () >>= fun ts ->
+    Test_util.platform_gen ~n:(Taskset.size ts) >>= fun platform -> return (ts, platform)
+  in
+  qtest ~count:60 "het dedicated = CSP2-fd on random heterogeneous instances" gen
+    (fun (ts, platform) ->
+      let m = Platform.processors platform in
+      let a, _ = Csp2.Het.solve ~platform ~budget:(budget ()) ts in
+      let b, _ = Encodings.Csp2_fd.solve ~platform ~budget:(budget ()) ts ~m in
+      decided a && decided b
+      && O.is_feasible a = O.is_feasible b
+      && match a with O.Feasible s -> Verify.is_feasible ~platform ts s | _ -> true)
+
+let () =
+  Alcotest.run "csp2"
+    [
+      ( "heuristic",
+        [
+          Alcotest.test_case "keys" `Quick test_heuristic_keys;
+          Alcotest.test_case "order and rank" `Quick test_heuristic_order;
+          Alcotest.test_case "string roundtrip" `Quick test_heuristic_strings;
+        ] );
+      ( "identical",
+        [
+          Alcotest.test_case "running example, all heuristics" `Quick
+            test_running_example_all_heuristics;
+          Alcotest.test_case "infeasibility proof" `Quick test_infeasible_proof;
+          Alcotest.test_case "deterministic" `Quick test_deterministic;
+          Alcotest.test_case "node budget" `Quick test_budget_limit;
+          Alcotest.test_case "EDF trap" `Quick test_edf_trap_feasible;
+          Alcotest.test_case "wrapped windows" `Quick test_wrapped_window_instance;
+          prop_agrees_with_csp1;
+          prop_stats_sane;
+          prop_no_urgency_agrees;
+          Alcotest.test_case "urgency off is weaker" `Quick test_no_urgency_weaker;
+        ] );
+      ( "heterogeneous",
+        [
+          Alcotest.test_case "dedicated example" `Quick test_het_dedicated_example;
+          Alcotest.test_case "idle necessity regression" `Quick test_het_idle_necessity;
+          Alcotest.test_case "overshoot infeasible" `Quick test_het_exact_demand_overshoot;
+          Alcotest.test_case "identical platform agreement" `Quick
+            test_het_identical_platform_agrees;
+          prop_het_agrees_with_generic;
+        ] );
+    ]

@@ -1,0 +1,254 @@
+(* Tests for the instance generator (Section VII-A) and the experiment
+   harness: campaign invariants, table computations, config parsing. *)
+
+open Rt_model
+
+let check = Alcotest.check
+
+(* ------------------------------------------------------------------ *)
+(* Generator                                                            *)
+
+let params = Gen.Generator.default ~n:10 ~m:(Gen.Generator.Fixed_m 5) ~tmax:7
+
+let test_generator_validity () =
+  let rng = Prelude.Prng.create ~seed:1 in
+  for _ = 1 to 100 do
+    let ts, m = Gen.Generator.generate rng params in
+    check Alcotest.int "n" 10 (Taskset.size ts);
+    check Alcotest.int "m" 5 m;
+    Array.iter
+      (fun (t : Task.t) ->
+        Alcotest.(check bool) "0 < C <= D <= T" true
+          (1 <= t.wcet && t.wcet <= t.deadline && t.deadline <= t.period);
+        Alcotest.(check bool) "T <= Tmax" true (t.period <= 7);
+        Alcotest.(check bool) "O < T" true (0 <= t.offset && t.offset < t.period))
+      (Taskset.tasks ts)
+  done
+
+let test_generator_determinism () =
+  let batch1 = Gen.Generator.batch ~seed:9 ~count:5 params in
+  let batch2 = Gen.Generator.batch ~seed:9 ~count:5 params in
+  Array.iteri
+    (fun i (ts1, m1) ->
+      let ts2, m2 = batch2.(i) in
+      check Alcotest.int "same m" m1 m2;
+      Alcotest.(check string) "same tasks" (Taskset.to_string ts1) (Taskset.to_string ts2))
+    batch1
+
+let test_generator_orderings_differ () =
+  (* C-first favours large periods, T-first short WCETs (Section VII-A). *)
+  let mean_of order field =
+    let rng = Prelude.Prng.create ~seed:4 in
+    let acc = ref 0 and count = ref 0 in
+    for _ = 1 to 200 do
+      let ts, _ = Gen.Generator.generate rng { params with Gen.Generator.order } in
+      Array.iter
+        (fun t ->
+          acc := !acc + field t;
+          incr count)
+        (Taskset.tasks ts)
+    done;
+    float_of_int !acc /. float_of_int !count
+  in
+  let period (t : Task.t) = t.period and wcet (t : Task.t) = t.wcet in
+  Alcotest.(check bool) "C-first has larger periods than T-first" true
+    (mean_of Gen.Generator.C_first period > mean_of Gen.Generator.T_first period);
+  Alcotest.(check bool) "T-first has smaller WCETs than C-first" true
+    (mean_of Gen.Generator.T_first wcet < mean_of Gen.Generator.C_first wcet)
+
+let test_generator_m_specs () =
+  let rng = Prelude.Prng.create ~seed:2 in
+  for _ = 1 to 50 do
+    let ts, m =
+      Gen.Generator.generate rng
+        { params with Gen.Generator.m = Gen.Generator.Min_processors }
+    in
+    check Alcotest.int "m = ceil(U)" (max 1 (Taskset.min_processors ts)) m
+  done;
+  for _ = 1 to 50 do
+    let _, m =
+      Gen.Generator.generate rng { params with Gen.Generator.m = Gen.Generator.Uniform_m }
+    in
+    Alcotest.(check bool) "1 <= m < n" true (1 <= m && m < 10)
+  done
+
+let test_generator_synchronous () =
+  let rng = Prelude.Prng.create ~seed:3 in
+  let ts, _ = Gen.Generator.generate rng { params with Gen.Generator.offsets = false } in
+  Array.iter (fun (t : Task.t) -> check Alcotest.int "O = 0" 0 t.offset) (Taskset.tasks ts)
+
+let test_generator_rejects_bad_params () =
+  Alcotest.(check bool) "n <= 2" true
+    (try
+       ignore (Gen.Generator.batch ~seed:1 ~count:1 (Gen.Generator.default ~n:2 ~m:(Gen.Generator.Fixed_m 1) ~tmax:5));
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "m >= n" true
+    (try
+       ignore (Gen.Generator.batch ~seed:1 ~count:1 (Gen.Generator.default ~n:4 ~m:(Gen.Generator.Fixed_m 4) ~tmax:5));
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Campaign and tables (small but real run)                             *)
+
+let small_config =
+  {
+    Experiments.Config.instances = 30;
+    limit_s = 0.02;
+    seed = 3;
+    table4_instances = 5;
+    table4_sizes = [ 4; 8 ];
+  }
+
+let campaign = lazy (Experiments.Campaign.run small_config)
+
+let test_campaign_consistency () =
+  let c = Lazy.force campaign in
+  check Alcotest.int "instances" 30 (Array.length c.Experiments.Campaign.instances);
+  check Alcotest.int "solver count" 6 (List.length c.Experiments.Campaign.solvers);
+  (* A solved instance is never also proved infeasible. *)
+  Array.iteri
+    (fun i solved ->
+      if solved then
+        Alcotest.(check bool) "consistency" false c.Experiments.Campaign.proved_infeasible.(i))
+    c.Experiments.Campaign.solved_by_any;
+  (* The filter agrees with Analysis. *)
+  Array.iteri
+    (fun i (ts, m) ->
+      Alcotest.(check bool) "filter" (Analysis.utilization_exceeds ts ~m)
+        c.Experiments.Campaign.filtered.(i))
+    c.Experiments.Campaign.instances
+
+let test_table1_totals () =
+  let c = Lazy.force campaign in
+  match Experiments.Tables.table1 c with
+  | [ solved; unsolved ] ->
+    check Alcotest.int "classes partition instances" 30
+      (solved.Experiments.Tables.total + unsolved.Experiments.Tables.total);
+    List.iter
+      (fun (_, overruns) ->
+        Alcotest.(check bool) "bounded" true
+          (overruns >= 0 && overruns <= solved.Experiments.Tables.total))
+      solved.Experiments.Tables.per_solver;
+    (* Solvers never overrun more often than the class size. *)
+    List.iter
+      (fun (_, overruns) ->
+        Alcotest.(check bool) "bounded" true
+          (overruns >= 0 && overruns <= unsolved.Experiments.Tables.total))
+      unsolved.Experiments.Tables.per_solver
+  | _ -> Alcotest.fail "table1 must have two rows"
+
+let test_table2_refines_table1 () =
+  let c = Lazy.force campaign in
+  match (Experiments.Tables.table1 c, Experiments.Tables.table2 c) with
+  | [ _; unsolved ], ([ filtered; unfiltered ], proved) ->
+    check Alcotest.int "filtered + unfiltered = unsolved"
+      unsolved.Experiments.Tables.total
+      (filtered.Experiments.Tables.total + unfiltered.Experiments.Tables.total);
+    List.iteri
+      (fun idx (name, overruns) ->
+        let fname, fo = List.nth filtered.Experiments.Tables.per_solver idx in
+        let uname, uo = List.nth unfiltered.Experiments.Tables.per_solver idx in
+        Alcotest.(check string) "same column" name fname;
+        Alcotest.(check string) "same column" name uname;
+        check Alcotest.int (name ^ " overruns split") overruns (fo + uo))
+      unsolved.Experiments.Tables.per_solver;
+    Alcotest.(check bool) "proved bounded" true
+      (proved >= 0 && proved <= unfiltered.Experiments.Tables.total)
+  | _ -> Alcotest.fail "unexpected table shapes"
+
+let test_table3_buckets () =
+  let c = Lazy.force campaign in
+  let rows = Experiments.Tables.table3 c in
+  let total = List.fold_left (fun acc r -> acc + r.Experiments.Tables.count) 0 rows in
+  check Alcotest.int "buckets partition instances" 30 total;
+  List.iter
+    (fun (r : Experiments.Tables.bucket_row) ->
+      Alcotest.(check bool) "time bounded by limit" true
+        (r.Experiments.Tables.mean_time >= 0.
+        && r.Experiments.Tables.mean_time <= small_config.Experiments.Config.limit_s +. 1e-6))
+    rows
+
+let test_table4_rows () =
+  let rows = Experiments.Tables.table4 small_config in
+  check Alcotest.int "two sizes" 2 (List.length rows);
+  List.iter
+    (fun (r : Experiments.Tables.table4_row) ->
+      Alcotest.(check bool) "r sane" true (r.Experiments.Tables.mean_r > 0.);
+      Alcotest.(check bool) "m at least lower bound" true (r.Experiments.Tables.mean_m >= 1.);
+      let pct = r.Experiments.Tables.csp2_dc.Experiments.Tables.solved_pct in
+      Alcotest.(check bool) "solved% in range" true (pct >= 0. && pct <= 100.))
+    rows
+
+let test_figure1_mentions_tasks () =
+  let fig = Experiments.Tables.figure1 () in
+  Alcotest.(check bool) "non-empty" true (String.length fig > 40)
+
+let test_renderers_produce_tables () =
+  let c = Lazy.force campaign in
+  let t1 = Experiments.Tables.render_table1 (Experiments.Tables.table1 c) in
+  let t2 = Experiments.Tables.render_table2 (Experiments.Tables.table2 c) in
+  let t3 = Experiments.Tables.render_bucket_rows (Experiments.Tables.table3 c) in
+  List.iter
+    (fun s -> Alcotest.(check bool) "rendered" true (String.length s > 80))
+    [ t1; t2; t3 ]
+
+let test_ablation_rows () =
+  let rows = Experiments.Ablation.run { small_config with Experiments.Config.instances = 10 } in
+  check Alcotest.int "solver rows" Experiments.Ablation.solver_count (List.length rows);
+  List.iter
+    (fun r ->
+      check Alcotest.int
+        (r.Experiments.Ablation.solver ^ " accounts for all instances")
+        10
+        (r.Experiments.Ablation.solved + r.Experiments.Ablation.infeasible
+       + r.Experiments.Ablation.overruns))
+    rows
+
+let test_variance_rows () =
+  let config = { small_config with Experiments.Config.limit_s = 0.01 } in
+  let rows = Experiments.Variance.run ~instances:3 ~seeds:5 config in
+  Alcotest.(check bool) "some rows" true (List.length rows > 0);
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "ordered stats" true
+        (r.Experiments.Variance.min_time <= r.Experiments.Variance.median_time
+        && r.Experiments.Variance.median_time <= r.Experiments.Variance.max_time);
+      Alcotest.(check bool) "overrun bound" true
+        (r.Experiments.Variance.overruns >= 0
+        && r.Experiments.Variance.overruns < r.Experiments.Variance.seeds))
+    rows
+
+let test_config_env () =
+  let base = Experiments.Config.default in
+  check Alcotest.int "default instances" 500 base.Experiments.Config.instances;
+  Alcotest.(check bool) "budget works" true
+    (not (Prelude.Timer.exceeded (Experiments.Config.budget base) ~nodes:0))
+
+let () =
+  Alcotest.run "experiments"
+    [
+      ( "generator",
+        [
+          Alcotest.test_case "validity constraints" `Quick test_generator_validity;
+          Alcotest.test_case "determinism" `Quick test_generator_determinism;
+          Alcotest.test_case "ordering distributions" `Quick test_generator_orderings_differ;
+          Alcotest.test_case "m specifications" `Quick test_generator_m_specs;
+          Alcotest.test_case "synchronous option" `Quick test_generator_synchronous;
+          Alcotest.test_case "parameter validation" `Quick test_generator_rejects_bad_params;
+        ] );
+      ( "campaign",
+        [
+          Alcotest.test_case "consistency" `Quick test_campaign_consistency;
+          Alcotest.test_case "table I totals" `Quick test_table1_totals;
+          Alcotest.test_case "table II refines table I" `Quick test_table2_refines_table1;
+          Alcotest.test_case "table III buckets" `Quick test_table3_buckets;
+          Alcotest.test_case "table IV rows" `Quick test_table4_rows;
+          Alcotest.test_case "figure 1" `Quick test_figure1_mentions_tasks;
+          Alcotest.test_case "renderers" `Quick test_renderers_produce_tables;
+          Alcotest.test_case "ablation accounting" `Quick test_ablation_rows;
+          Alcotest.test_case "variance rows" `Quick test_variance_rows;
+          Alcotest.test_case "config" `Quick test_config_env;
+        ] );
+    ]

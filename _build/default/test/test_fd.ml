@@ -1,0 +1,417 @@
+(* Tests for the generic finite-domain solver: engine mechanics (domains,
+   trail, propagation), each constraint against brute-force solution
+   counts, and the search strategies on classic CSPs. *)
+
+module E = Fd.Engine
+module C = Fd.Constraints
+module S = Fd.Search
+
+let check = Alcotest.check
+let qtest = Test_util.qtest
+
+(* ------------------------------------------------------------------ *)
+(* Engine                                                               *)
+
+let test_domain_ops () =
+  let eng = E.create () in
+  let v = E.new_var eng ~lo:(-2) ~hi:5 () in
+  check Alcotest.int "size" 8 (E.size v);
+  check Alcotest.int "min" (-2) (E.vmin v);
+  check Alcotest.int "max" 5 (E.vmax v);
+  Alcotest.(check bool) "mem -2" true (E.mem v (-2));
+  Alcotest.(check bool) "mem 6" false (E.mem v 6);
+  Alcotest.(check bool) "remove ok" true (E.remove eng v 0);
+  Alcotest.(check bool) "mem 0 gone" false (E.mem v 0);
+  Alcotest.(check bool) "remove_below" true (E.remove_below eng v 1);
+  check Alcotest.int "new min" 1 (E.vmin v);
+  Alcotest.(check bool) "remove_above" true (E.remove_above eng v 3);
+  check Alcotest.int "new max" 3 (E.vmax v);
+  Alcotest.(check (list int)) "values" [ 1; 2; 3 ] (E.values v);
+  Alcotest.(check bool) "assign" true (E.assign eng v 2);
+  Alcotest.(check (option int)) "value" (Some 2) (E.value v)
+
+let test_domain_wipeout () =
+  let eng = E.create () in
+  let v = E.new_var eng ~lo:0 ~hi:1 () in
+  Alcotest.(check bool) "remove 0" true (E.remove eng v 0);
+  Alcotest.(check bool) "remove 1 fails" false (E.remove eng v 1);
+  Alcotest.(check bool) "engine failed" true (E.failed eng)
+
+let test_new_var_of () =
+  let eng = E.create () in
+  let v = E.new_var_of eng [ -1; 2; 7 ] in
+  check Alcotest.int "size" 3 (E.size v);
+  Alcotest.(check bool) "mem -1" true (E.mem v (-1));
+  Alcotest.(check bool) "no 0" false (E.mem v 0);
+  Alcotest.(check bool) "mem 7" true (E.mem v 7)
+
+let test_trail_restores () =
+  let eng = E.create () in
+  let v = E.new_var eng ~lo:0 ~hi:9 () in
+  let w = E.new_var eng ~lo:0 ~hi:9 () in
+  E.push_level eng;
+  ignore (E.remove eng v 3);
+  ignore (E.assign eng w 5);
+  E.push_level eng;
+  ignore (E.remove_below eng v 7);
+  check Alcotest.int "deep min" 7 (E.vmin v);
+  E.backtrack eng;
+  check Alcotest.int "level-1 min" 0 (E.vmin v);
+  Alcotest.(check bool) "still no 3" false (E.mem v 3);
+  Alcotest.(check (option int)) "w still assigned" (Some 5) (E.value w);
+  E.backtrack eng;
+  Alcotest.(check bool) "3 back" true (E.mem v 3);
+  Alcotest.(check bool) "w free" false (E.is_assigned w);
+  Alcotest.check_raises "root backtrack" (Invalid_argument "Engine.backtrack: at root level")
+    (fun () -> E.backtrack eng)
+
+let test_var_budget () =
+  let eng = E.create ~var_budget:2 () in
+  ignore (E.new_var eng ~lo:0 ~hi:1 ());
+  ignore (E.new_var eng ~lo:0 ~hi:1 ());
+  Alcotest.(check bool) "third raises" true
+    (try
+       ignore (E.new_var eng ~lo:0 ~hi:1 ());
+       false
+     with E.Too_large _ -> true)
+
+let test_propagation_chain () =
+  (* x <= y <= z with z assigned low: chain reaction fixes everything. *)
+  let eng = E.create () in
+  let x = E.new_var eng ~lo:0 ~hi:5 () in
+  let y = E.new_var eng ~lo:0 ~hi:5 () in
+  let z = E.new_var eng ~lo:0 ~hi:5 () in
+  Alcotest.(check bool) "post xy" true (C.leq eng x y);
+  Alcotest.(check bool) "post yz" true (C.leq eng y z);
+  Alcotest.(check bool) "assign z" true (E.assign eng z 0);
+  Alcotest.(check bool) "propagate" true (E.propagate eng);
+  Alcotest.(check (option int)) "x forced" (Some 0) (E.value x);
+  Alcotest.(check (option int)) "y forced" (Some 0) (E.value y)
+
+(* ------------------------------------------------------------------ *)
+(* Constraints: each checked by exhaustive solution counting.           *)
+
+(* Brute-force count over explicit domains. *)
+let brute_count domains pred =
+  let rec go acc assignment = function
+    | [] -> if pred (List.rev assignment) then acc + 1 else acc
+    | dom :: rest ->
+      List.fold_left (fun acc v -> go acc (v :: assignment) rest) acc dom
+  in
+  go 0 [] domains
+
+let test_bool_sum_le () =
+  let eng = E.create () in
+  let xs = Array.init 4 (fun _ -> E.new_var eng ~lo:0 ~hi:1 ()) in
+  Alcotest.(check bool) "post" true (C.bool_sum_le eng xs 2);
+  let expected =
+    brute_count [ [0;1]; [0;1]; [0;1]; [0;1] ] (fun vs -> List.fold_left ( + ) 0 vs <= 2)
+  in
+  check Alcotest.int "counts" expected (S.count_solutions eng)
+
+let test_bool_sum_eq () =
+  let eng = E.create () in
+  let xs = Array.init 5 (fun _ -> E.new_var eng ~lo:0 ~hi:1 ()) in
+  Alcotest.(check bool) "post" true (C.bool_sum_eq eng xs 3);
+  check Alcotest.int "C(5,3)" 10 (S.count_solutions eng)
+
+let test_bool_sum_eq_impossible () =
+  let eng = E.create () in
+  let xs = Array.init 3 (fun _ -> E.new_var eng ~lo:0 ~hi:1 ()) in
+  Alcotest.(check bool) "post fails" false (C.bool_sum_eq eng xs 4)
+
+let test_linear_le () =
+  let eng = E.create () in
+  let x = E.new_var eng ~lo:0 ~hi:4 () in
+  let y = E.new_var eng ~lo:0 ~hi:4 () in
+  Alcotest.(check bool) "post" true (C.linear_le eng ~coeffs:[| 2; 3 |] [| x; y |] 10);
+  let expected =
+    brute_count [ [0;1;2;3;4]; [0;1;2;3;4] ] (function [ a; b ] -> (2*a) + (3*b) <= 10 | _ -> false)
+  in
+  check Alcotest.int "counts" expected (S.count_solutions eng)
+
+let test_linear_le_negative_coeffs () =
+  let eng = E.create () in
+  let x = E.new_var eng ~lo:0 ~hi:4 () in
+  let y = E.new_var eng ~lo:0 ~hi:4 () in
+  (* x - y <= -2, i.e. y >= x + 2 *)
+  Alcotest.(check bool) "post" true (C.linear_le eng ~coeffs:[| 1; -1 |] [| x; y |] (-2));
+  let expected =
+    brute_count [ [0;1;2;3;4]; [0;1;2;3;4] ] (function [ a; b ] -> a - b <= -2 | _ -> false)
+  in
+  check Alcotest.int "counts" expected (S.count_solutions eng)
+
+let test_linear_eq () =
+  let eng = E.create () in
+  let x = E.new_var eng ~lo:0 ~hi:6 () in
+  let y = E.new_var eng ~lo:0 ~hi:6 () in
+  let z = E.new_var eng ~lo:0 ~hi:6 () in
+  Alcotest.(check bool) "post" true (C.linear_eq eng ~coeffs:[| 1; 2; 1 |] [| x; y; z |] 6);
+  let dom = [0;1;2;3;4;5;6] in
+  let expected =
+    brute_count [ dom; dom; dom ] (function [ a; b; c ] -> a + (2*b) + c = 6 | _ -> false)
+  in
+  check Alcotest.int "counts" expected (S.count_solutions eng)
+
+let test_count_eq () =
+  let eng = E.create () in
+  let xs = Array.init 4 (fun _ -> E.new_var eng ~lo:(-1) ~hi:2 ()) in
+  Alcotest.(check bool) "post" true (C.count_eq eng xs ~value:0 2);
+  let dom = [ -1; 0; 1; 2 ] in
+  let expected =
+    brute_count [ dom; dom; dom; dom ]
+      (fun vs -> List.length (List.filter (fun v -> v = 0) vs) = 2)
+  in
+  check Alcotest.int "counts" expected (S.count_solutions eng)
+
+let test_count_weighted_eq () =
+  let eng = E.create () in
+  let xs = Array.init 3 (fun _ -> E.new_var eng ~lo:0 ~hi:1 ()) in
+  (* weights 2,1,3 on value 1; want total 3: {x0,x1} or {x2}. *)
+  Alcotest.(check bool) "post" true
+    (C.count_weighted_eq eng xs ~value:1 ~weights:[| 2; 1; 3 |] 3);
+  let expected =
+    brute_count [ [0;1]; [0;1]; [0;1] ]
+      (function
+        | [ a; b; c ] -> (2*a) + b + (3*c) = 3
+        | _ -> false)
+  in
+  check Alcotest.int "counts" expected (S.count_solutions eng)
+
+let test_neq_leq () =
+  let eng = E.create () in
+  let x = E.new_var eng ~lo:0 ~hi:3 () in
+  let y = E.new_var eng ~lo:0 ~hi:3 () in
+  Alcotest.(check bool) "neq" true (C.neq eng x y);
+  Alcotest.(check bool) "leq" true (C.leq eng x y);
+  let dom = [0;1;2;3] in
+  let expected = brute_count [ dom; dom ] (function [ a; b ] -> a <> b && a <= b | _ -> false) in
+  check Alcotest.int "counts" expected (S.count_solutions eng)
+
+let test_alldiff_except () =
+  let eng = E.create () in
+  let xs = Array.init 3 (fun _ -> E.new_var eng ~lo:(-1) ~hi:1 ()) in
+  Alcotest.(check bool) "post" true (C.alldiff_except eng xs ~except:(-1));
+  let dom = [ -1; 0; 1 ] in
+  let expected =
+    brute_count [ dom; dom; dom ]
+      (fun vs ->
+        let non_idle = List.filter (fun v -> v <> -1) vs in
+        List.length non_idle = List.length (List.sort_uniq compare non_idle))
+  in
+  check Alcotest.int "counts" expected (S.count_solutions eng)
+
+let test_clause () =
+  let eng = E.create () in
+  let a = E.new_var eng ~lo:0 ~hi:1 () in
+  let b = E.new_var eng ~lo:0 ~hi:1 () in
+  let c = E.new_var eng ~lo:0 ~hi:1 () in
+  (* (a ∨ ¬b ∨ c) *)
+  Alcotest.(check bool) "post" true (C.clause eng ~pos:[ a; c ] ~neg:[ b ]);
+  let expected =
+    brute_count [ [0;1]; [0;1]; [0;1] ]
+      (function [ x; y; z ] -> x = 1 || y = 0 || z = 1 | _ -> false)
+  in
+  check Alcotest.int "counts" expected (S.count_solutions eng)
+
+let test_clause_unit_propagation () =
+  let eng = E.create () in
+  let a = E.new_var eng ~lo:0 ~hi:1 () in
+  let b = E.new_var eng ~lo:0 ~hi:1 () in
+  Alcotest.(check bool) "post" true (C.clause eng ~pos:[ a ] ~neg:[ b ]);
+  Alcotest.(check bool) "assign b" true (E.assign eng b 1);
+  Alcotest.(check bool) "propagate" true (E.propagate eng);
+  Alcotest.(check (option int)) "a forced true" (Some 1) (E.value a)
+
+(* ------------------------------------------------------------------ *)
+(* Search                                                               *)
+
+let queens_model n =
+  let eng = E.create () in
+  let qs = Array.init n (fun i -> E.new_var eng ~name:(Printf.sprintf "q%d" i) ~lo:0 ~hi:(n - 1) ()) in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      ignore (C.neq eng qs.(i) qs.(j));
+      let d = j - i in
+      ignore
+        (E.post eng ~name:"diag" ~wake:[ qs.(i); qs.(j) ] ~propagate:(fun () ->
+             match (E.value qs.(i), E.value qs.(j)) with
+             | Some a, Some b -> a - b <> d && b - a <> d
+             | Some a, None -> E.remove eng qs.(j) (a + d) && E.remove eng qs.(j) (a - d)
+             | None, Some b -> E.remove eng qs.(i) (b + d) && E.remove eng qs.(i) (b - d)
+             | None, None -> true))
+    done
+  done;
+  eng
+
+let test_queens_counts () =
+  List.iter
+    (fun (n, solutions) ->
+      check Alcotest.int (Printf.sprintf "%d-queens" n) solutions
+        (S.count_solutions (queens_model n)))
+    [ (4, 2); (5, 10); (6, 4); (7, 40) ]
+
+let test_queens_all_heuristics () =
+  List.iter
+    (fun vh ->
+      List.iter
+        (fun valh ->
+          let result = S.solve ~var_heuristic:vh ~value_heuristic:valh ~seed:3 (queens_model 6) in
+          match result.S.outcome with
+          | S.Sat _ -> ()
+          | S.Unsat | S.Limit -> Alcotest.fail "6-queens is satisfiable")
+        [ S.Min_value; S.Max_value; S.Random_value ])
+    [ S.Input_order; S.Min_dom; S.Min_dom_random; S.Random_var ]
+
+let test_dom_wdeg_weights_accumulate () =
+  (* Failing propagators bump their scope's weights; weights survive
+     backtracking. *)
+  let eng = E.create () in
+  let x = E.new_var eng ~lo:0 ~hi:2 () in
+  let y = E.new_var eng ~lo:0 ~hi:2 () in
+  let z = E.new_var eng ~lo:0 ~hi:2 () in
+  ignore (C.neq eng x y);
+  ignore (C.neq eng y z);
+  ignore (C.neq eng x z);
+  let before = E.weight y in
+  (match (S.solve ~var_heuristic:S.Dom_over_wdeg ~value_heuristic:S.Min_value eng).S.outcome with
+  | S.Sat valuation ->
+    Alcotest.(check bool) "valid coloring" true
+      (valuation x <> valuation y && valuation y <> valuation z && valuation x <> valuation z)
+  | S.Unsat | S.Limit -> Alcotest.fail "3-coloring of a triangle with 3 colors is SAT");
+  Alcotest.(check bool) "weights never decrease" true (E.weight y >= before)
+
+let test_dom_wdeg_solves_and_refutes () =
+  (match (S.solve ~var_heuristic:S.Dom_over_wdeg (queens_model 6)).S.outcome with
+  | S.Sat _ -> ()
+  | S.Unsat | S.Limit -> Alcotest.fail "6-queens SAT under dom/wdeg");
+  let eng = E.create () in
+  let ps = Array.init 5 (fun _ -> E.new_var eng ~lo:0 ~hi:3 ()) in
+  for i = 0 to 4 do
+    for j = i + 1 to 4 do
+      ignore (C.neq eng ps.(i) ps.(j))
+    done
+  done;
+  match (S.solve ~var_heuristic:S.Dom_over_wdeg eng).S.outcome with
+  | S.Unsat -> ()
+  | S.Sat _ | S.Limit -> Alcotest.fail "PHP(5,4) UNSAT under dom/wdeg"
+
+let test_pigeonhole_unsat () =
+  let eng = E.create () in
+  let ps = Array.init 5 (fun _ -> E.new_var eng ~lo:0 ~hi:3 ()) in
+  for i = 0 to 4 do
+    for j = i + 1 to 4 do
+      ignore (C.neq eng ps.(i) ps.(j))
+    done
+  done;
+  match (S.solve eng).S.outcome with
+  | S.Unsat -> ()
+  | S.Sat _ | S.Limit -> Alcotest.fail "PHP(5,4) must be UNSAT"
+
+let test_budget_limit () =
+  let eng = queens_model 10 in
+  let result = S.solve ~budget:(Prelude.Timer.budget ~nodes:5 ()) eng in
+  match result.S.outcome with
+  | S.Limit -> Alcotest.(check bool) "few nodes" true (result.S.stats.S.nodes <= 1024 + 5)
+  | S.Sat _ | S.Unsat -> Alcotest.fail "expected a budget stop"
+
+let test_restarts_complete_on_sat () =
+  let result = S.solve ~restarts:true ~seed:1 (queens_model 7) in
+  match result.S.outcome with
+  | S.Sat _ -> ()
+  | S.Unsat | S.Limit -> Alcotest.fail "7-queens with restarts must solve"
+
+let test_ordered_value_heuristic () =
+  let eng = E.create () in
+  let x = E.new_var eng ~lo:0 ~hi:5 () in
+  let preferred = [ 4; 2 ] in
+  let result = S.solve ~value_heuristic:(S.Ordered (fun _ -> preferred)) eng in
+  match result.S.outcome with
+  | S.Sat valuation -> check Alcotest.int "first preferred wins" 4 (valuation x)
+  | S.Unsat | S.Limit -> Alcotest.fail "trivially satisfiable"
+
+let test_solution_extraction_stable () =
+  let eng = E.create () in
+  let x = E.new_var eng ~lo:0 ~hi:2 () in
+  let y = E.new_var eng ~lo:0 ~hi:2 () in
+  ignore (C.neq eng x y);
+  match (S.solve ~value_heuristic:S.Min_value eng).S.outcome with
+  | S.Sat valuation ->
+    Alcotest.(check bool) "valid" true (valuation x <> valuation y)
+  | S.Unsat | S.Limit -> Alcotest.fail "satisfiable"
+
+let prop_random_binary_csp_agrees_with_brute_force =
+  (* Random binary CSPs over 3 vars with domain {0..3}: compare the solver's
+     solution count with brute force. *)
+  let open QCheck2.Gen in
+  let forbidden_pair = pair (int_range 0 3) (int_range 0 3) in
+  let constraint_gen =
+    pair (pair (int_range 0 2) (int_range 0 2)) (list_size (int_range 0 6) forbidden_pair)
+  in
+  qtest ~count:150 "random binary CSP counts match brute force"
+    (list_size (int_range 0 5) constraint_gen)
+    (fun constraints ->
+      let eng = E.create () in
+      let vars = Array.init 3 (fun _ -> E.new_var eng ~lo:0 ~hi:3 ()) in
+      List.iter
+        (fun ((i, j), forbidden) ->
+          if i <> j then
+            ignore
+              (E.post eng ~name:"table" ~wake:[ vars.(i); vars.(j) ]
+                 ~propagate:(fun () ->
+                   match (E.value vars.(i), E.value vars.(j)) with
+                   | Some a, Some b -> not (List.mem (a, b) forbidden)
+                   | _ -> true)))
+        constraints;
+      let dom = [ 0; 1; 2; 3 ] in
+      let expected =
+        brute_count [ dom; dom; dom ]
+          (fun vs ->
+            let arr = Array.of_list vs in
+            List.for_all
+              (fun ((i, j), forbidden) -> i = j || not (List.mem (arr.(i), arr.(j)) forbidden))
+              constraints)
+      in
+      S.count_solutions eng = expected)
+
+let () =
+  Alcotest.run "fd"
+    [
+      ( "engine",
+        [
+          Alcotest.test_case "domain operations" `Quick test_domain_ops;
+          Alcotest.test_case "wipeout fails" `Quick test_domain_wipeout;
+          Alcotest.test_case "sparse domains" `Quick test_new_var_of;
+          Alcotest.test_case "trail restores" `Quick test_trail_restores;
+          Alcotest.test_case "variable budget" `Quick test_var_budget;
+          Alcotest.test_case "propagation chain" `Quick test_propagation_chain;
+        ] );
+      ( "constraints",
+        [
+          Alcotest.test_case "bool_sum_le" `Quick test_bool_sum_le;
+          Alcotest.test_case "bool_sum_eq" `Quick test_bool_sum_eq;
+          Alcotest.test_case "bool_sum_eq impossible" `Quick test_bool_sum_eq_impossible;
+          Alcotest.test_case "linear_le" `Quick test_linear_le;
+          Alcotest.test_case "linear_le negative coeffs" `Quick test_linear_le_negative_coeffs;
+          Alcotest.test_case "linear_eq" `Quick test_linear_eq;
+          Alcotest.test_case "count_eq" `Quick test_count_eq;
+          Alcotest.test_case "count_weighted_eq" `Quick test_count_weighted_eq;
+          Alcotest.test_case "neq + leq" `Quick test_neq_leq;
+          Alcotest.test_case "alldiff_except" `Quick test_alldiff_except;
+          Alcotest.test_case "clause" `Quick test_clause;
+          Alcotest.test_case "clause unit propagation" `Quick test_clause_unit_propagation;
+        ] );
+      ( "search",
+        [
+          Alcotest.test_case "n-queens counts" `Quick test_queens_counts;
+          Alcotest.test_case "all heuristics solve" `Quick test_queens_all_heuristics;
+          Alcotest.test_case "pigeonhole unsat" `Quick test_pigeonhole_unsat;
+          Alcotest.test_case "dom/wdeg weights" `Quick test_dom_wdeg_weights_accumulate;
+          Alcotest.test_case "dom/wdeg solves and refutes" `Quick test_dom_wdeg_solves_and_refutes;
+          Alcotest.test_case "budget limit" `Quick test_budget_limit;
+          Alcotest.test_case "restarts still solve" `Quick test_restarts_complete_on_sat;
+          Alcotest.test_case "ordered value heuristic" `Quick test_ordered_value_heuristic;
+          Alcotest.test_case "extraction" `Quick test_solution_extraction_stable;
+          prop_random_binary_csp_agrees_with_brute_force;
+        ] );
+    ]

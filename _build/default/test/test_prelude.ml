@@ -1,0 +1,357 @@
+(* Unit and property tests for the prelude: exact integer math, PRNG,
+   bitsets, combinations, tables, accumulators. *)
+
+open Prelude
+
+let check = Alcotest.check
+let qtest = Test_util.qtest
+
+(* ------------------------------------------------------------------ *)
+(* Intmath                                                             *)
+
+let test_gcd_basics () =
+  check Alcotest.int "gcd 12 18" 6 (Intmath.gcd 12 18);
+  check Alcotest.int "gcd 0 5" 5 (Intmath.gcd 0 5);
+  check Alcotest.int "gcd 5 0" 5 (Intmath.gcd 5 0);
+  check Alcotest.int "gcd 0 0" 0 (Intmath.gcd 0 0);
+  check Alcotest.int "gcd negatives" 6 (Intmath.gcd (-12) 18)
+
+let test_lcm_basics () =
+  check Alcotest.int "lcm 4 6" 12 (Intmath.lcm 4 6);
+  check Alcotest.int "lcm 1..7" 420 (Intmath.lcm_list [ 1; 2; 3; 4; 5; 6; 7 ]);
+  check Alcotest.int "lcm 1..15" 360360 (Intmath.lcm_list [ 1;2;3;4;5;6;7;8;9;10;11;12;13;14;15 ]);
+  check Alcotest.int "lcm_list empty" 1 (Intmath.lcm_list []);
+  check Alcotest.int "lcm 0" 0 (Intmath.lcm 0 9)
+
+let test_lcm_overflow () =
+  Alcotest.check_raises "overflow" (Intmath.Overflow "Intmath.lcm") (fun () ->
+      ignore (Intmath.lcm max_int (max_int - 1)))
+
+let prop_gcd_divides =
+  qtest "gcd divides both"
+    QCheck2.Gen.(pair (int_range 1 100000) (int_range 1 100000))
+    (fun (a, b) ->
+      let g = Intmath.gcd a b in
+      g > 0 && a mod g = 0 && b mod g = 0)
+
+let prop_lcm_gcd =
+  qtest "gcd * lcm = a * b"
+    QCheck2.Gen.(pair (int_range 1 10000) (int_range 1 10000))
+    (fun (a, b) -> Intmath.gcd a b * Intmath.lcm a b = a * b)
+
+let test_cdiv () =
+  check Alcotest.int "cdiv 7 2" 4 (Intmath.cdiv 7 2);
+  check Alcotest.int "cdiv 8 2" 4 (Intmath.cdiv 8 2);
+  check Alcotest.int "cdiv 0 3" 0 (Intmath.cdiv 0 3);
+  check Alcotest.int "cdiv 1 5" 1 (Intmath.cdiv 1 5);
+  Alcotest.check_raises "cdiv by 0" (Invalid_argument "Intmath.cdiv: non-positive divisor")
+    (fun () -> ignore (Intmath.cdiv 3 0))
+
+let test_pow () =
+  check Alcotest.int "2^10" 1024 (Intmath.pow 2 10);
+  check Alcotest.int "7^0" 1 (Intmath.pow 7 0);
+  check Alcotest.int "1^big" 1 (Intmath.pow 1 60);
+  check Alcotest.int "0^3" 0 (Intmath.pow 0 3)
+
+let test_imod () =
+  check Alcotest.int "imod -1 12" 11 (Intmath.imod (-1) 12);
+  check Alcotest.int "imod 13 12" 1 (Intmath.imod 13 12);
+  check Alcotest.int "imod -12 12" 0 (Intmath.imod (-12) 12)
+
+let test_luby () =
+  let expected = [ 1; 1; 2; 1; 1; 2; 4; 1; 1; 2; 1; 1; 2; 4; 8 ] in
+  List.iteri
+    (fun i want -> check Alcotest.int (Printf.sprintf "luby %d" (i + 1)) want (Intmath.luby (i + 1)))
+    expected
+
+let test_clamp () =
+  check Alcotest.int "inside" 5 (Intmath.clamp ~lo:0 ~hi:10 5);
+  check Alcotest.int "below" 0 (Intmath.clamp ~lo:0 ~hi:10 (-3));
+  check Alcotest.int "above" 10 (Intmath.clamp ~lo:0 ~hi:10 42)
+
+(* ------------------------------------------------------------------ *)
+(* Prng                                                                *)
+
+let test_prng_deterministic () =
+  let a = Prng.create ~seed:42 and b = Prng.create ~seed:42 in
+  for _ = 1 to 100 do
+    check Alcotest.int "same stream" (Prng.int a 1000) (Prng.int b 1000)
+  done
+
+let test_prng_seeds_differ () =
+  let a = Prng.create ~seed:1 and b = Prng.create ~seed:2 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Prng.int a 1_000_000 = Prng.int b 1_000_000 then incr same
+  done;
+  Alcotest.(check bool) "streams differ" true (!same < 8)
+
+let prop_prng_range =
+  qtest "int g b in [0,b)"
+    QCheck2.Gen.(pair (int_range 0 10000) (int_range 1 1000))
+    (fun (seed, bound) ->
+      let g = Prng.create ~seed in
+      let v = Prng.int g bound in
+      v >= 0 && v < bound)
+
+let prop_in_range =
+  qtest "in_range inclusive"
+    QCheck2.Gen.(pair small_int (pair (int_range (-50) 50) (int_range 0 100)))
+    (fun (seed, (lo, span)) ->
+      let g = Prng.create ~seed in
+      let v = Prng.in_range g ~lo ~hi:(lo + span) in
+      v >= lo && v <= lo + span)
+
+let test_prng_uniformity () =
+  (* Coarse chi-squared-ish check: 10 buckets, 10k draws. *)
+  let g = Prng.create ~seed:7 in
+  let buckets = Array.make 10 0 in
+  for _ = 1 to 10_000 do
+    let v = Prng.int g 10 in
+    buckets.(v) <- buckets.(v) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      Alcotest.(check bool) (Printf.sprintf "bucket %d near 1000 (%d)" i c) true
+        (c > 850 && c < 1150))
+    buckets
+
+let test_shuffle_permutation () =
+  let g = Prng.create ~seed:3 in
+  let a = Array.init 50 Fun.id in
+  Prng.shuffle g a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 50 Fun.id) sorted
+
+let test_split_independent () =
+  let g = Prng.create ~seed:5 in
+  let child = Prng.split g in
+  (* Child and parent continue without interfering deterministically. *)
+  let c1 = Prng.int child 1000 and p1 = Prng.int g 1000 in
+  let g' = Prng.create ~seed:5 in
+  let child' = Prng.split g' in
+  check Alcotest.int "child reproducible" c1 (Prng.int child' 1000);
+  check Alcotest.int "parent reproducible" p1 (Prng.int g' 1000)
+
+let test_float_range () =
+  let g = Prng.create ~seed:11 in
+  for _ = 1 to 1000 do
+    let f = Prng.float g in
+    Alcotest.(check bool) "in [0,1)" true (f >= 0. && f < 1.)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Bitset                                                              *)
+
+let ref_of_list l = List.sort_uniq compare l
+
+let prop_bitset_model =
+  (* Apply a random op sequence; compare against a sorted-list model. *)
+  let open QCheck2.Gen in
+  let op = int_range 0 199 >>= fun v -> int_range 0 3 >>= fun k -> return (k, v) in
+  qtest ~count:200 "bitset matches reference model"
+    (list_size (int_range 0 60) op)
+    (fun ops ->
+      let set = Prelude.Bitset.create 200 in
+      let model = ref [] in
+      List.iter
+        (fun (k, v) ->
+          match k with
+          | 0 ->
+            Prelude.Bitset.add set v;
+            model := ref_of_list (v :: !model)
+          | 1 ->
+            Prelude.Bitset.remove set v;
+            model := List.filter (fun x -> x <> v) !model
+          | 2 -> Prelude.Bitset.remove_below set v;
+            model := List.filter (fun x -> x >= v) !model
+          | _ -> Prelude.Bitset.remove_above set v;
+            model := List.filter (fun x -> x <= v) !model)
+        ops;
+      Prelude.Bitset.elements set = !model
+      && Prelude.Bitset.cardinal set = List.length !model
+      && (match !model with
+         | [] -> Prelude.Bitset.is_empty set
+         | first :: _ ->
+           Prelude.Bitset.min_elt set = first
+           && Prelude.Bitset.max_elt set = List.nth !model (List.length !model - 1)))
+
+let test_bitset_full () =
+  let s = Prelude.Bitset.full 67 in
+  check Alcotest.int "cardinal" 67 (Prelude.Bitset.cardinal s);
+  check Alcotest.int "min" 0 (Prelude.Bitset.min_elt s);
+  check Alcotest.int "max" 66 (Prelude.Bitset.max_elt s);
+  Alcotest.(check bool) "no 67" false (Prelude.Bitset.mem s 67)
+
+let test_bitset_next_from () =
+  let s = Prelude.Bitset.create 128 in
+  List.iter (Prelude.Bitset.add s) [ 3; 64; 100 ];
+  check Alcotest.int "from 0" 3 (Prelude.Bitset.next_from s 0);
+  check Alcotest.int "from 3" 3 (Prelude.Bitset.next_from s 3);
+  check Alcotest.int "from 4" 64 (Prelude.Bitset.next_from s 4);
+  check Alcotest.int "from 65" 100 (Prelude.Bitset.next_from s 65);
+  Alcotest.check_raises "from 101" Not_found (fun () ->
+      ignore (Prelude.Bitset.next_from s 101))
+
+let test_bitset_blit_clear () =
+  let a = Prelude.Bitset.full 100 and b = Prelude.Bitset.create 100 in
+  Prelude.Bitset.blit ~src:a ~dst:b;
+  Alcotest.(check bool) "equal after blit" true (Prelude.Bitset.equal a b);
+  Prelude.Bitset.clear b;
+  Alcotest.(check bool) "empty after clear" true (Prelude.Bitset.is_empty b)
+
+let test_bitset_singleton () =
+  let s = Prelude.Bitset.create 10 in
+  Alcotest.(check (option int)) "empty" None (Prelude.Bitset.singleton_value s);
+  Prelude.Bitset.add s 4;
+  Alcotest.(check (option int)) "singleton" (Some 4) (Prelude.Bitset.singleton_value s);
+  Prelude.Bitset.add s 7;
+  Alcotest.(check (option int)) "pair" None (Prelude.Bitset.singleton_value s)
+
+(* ------------------------------------------------------------------ *)
+(* Combi                                                               *)
+
+let test_combi_exhaustive () =
+  let seen = ref [] in
+  Prelude.Combi.iter ~n:5 ~k:3 (fun c -> seen := Array.to_list c :: !seen);
+  let seen = List.rev !seen in
+  check Alcotest.int "C(5,3)" 10 (List.length seen);
+  check Alcotest.int "count agrees" 10 (Prelude.Combi.count ~n:5 ~k:3);
+  (* Lexicographic order. *)
+  Alcotest.(check (list (list int))) "prefix"
+    [ [ 0; 1; 2 ]; [ 0; 1; 3 ]; [ 0; 1; 4 ]; [ 0; 2; 3 ] ]
+    [ List.nth seen 0; List.nth seen 1; List.nth seen 2; List.nth seen 3 ]
+
+let test_combi_edge () =
+  Alcotest.(check (option (array int))) "k=0" (Some [||]) (Prelude.Combi.first ~n:4 ~k:0);
+  Alcotest.(check (option (array int))) "k>n" None (Prelude.Combi.first ~n:2 ~k:3);
+  check Alcotest.int "count k>n" 0 (Prelude.Combi.count ~n:2 ~k:3);
+  check Alcotest.int "count k=n" 1 (Prelude.Combi.count ~n:4 ~k:4)
+
+let prop_combi_count =
+  qtest "iter visits count combos"
+    QCheck2.Gen.(pair (int_range 0 8) (int_range 0 8))
+    (fun (n, k) ->
+      let visits = ref 0 in
+      Prelude.Combi.iter ~n ~k (fun _ -> incr visits);
+      !visits = Prelude.Combi.count ~n ~k)
+
+(* ------------------------------------------------------------------ *)
+(* Ascii_table, Welford, Bool_vec, Timer                                *)
+
+let contains haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+let test_ascii_table () =
+  let t = Prelude.Ascii_table.create ~headers:[ "a"; "bb" ] in
+  Prelude.Ascii_table.add_row t [ "1"; "22" ];
+  Prelude.Ascii_table.add_sep t;
+  Prelude.Ascii_table.add_row t [ "333"; "4" ];
+  let out = Prelude.Ascii_table.render t in
+  Alcotest.(check bool) "contains header" true (contains out " a ");
+  Alcotest.(check bool) "contains wide cell" true (contains out "333");
+  Alcotest.check_raises "arity" (Invalid_argument "Ascii_table.add_row") (fun () ->
+      Prelude.Ascii_table.add_row t [ "only one" ])
+
+let test_welford () =
+  let w = Prelude.Welford.create () in
+  List.iter (Prelude.Welford.add w) [ 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. ];
+  check Alcotest.int "count" 8 (Prelude.Welford.count w);
+  Alcotest.(check (float 1e-9)) "mean" 5.0 (Prelude.Welford.mean w);
+  Alcotest.(check (float 1e-9)) "variance" (32. /. 7.) (Prelude.Welford.variance w);
+  Alcotest.(check (float 1e-9)) "min" 2.0 (Prelude.Welford.min w);
+  Alcotest.(check (float 1e-9)) "max" 9.0 (Prelude.Welford.max w)
+
+let test_bool_vec () =
+  let v = Prelude.Bool_vec.create () in
+  Alcotest.(check bool) "unset" false (Prelude.Bool_vec.get v 1000);
+  Prelude.Bool_vec.set v 1000 true;
+  Alcotest.(check bool) "set" true (Prelude.Bool_vec.get v 1000);
+  Prelude.Bool_vec.clear v;
+  Alcotest.(check bool) "cleared" false (Prelude.Bool_vec.get v 1000)
+
+let test_prng_copy () =
+  let a = Prng.create ~seed:13 in
+  ignore (Prng.int a 100);
+  let b = Prng.copy a in
+  for _ = 1 to 20 do
+    check Alcotest.int "copies coincide" (Prng.int a 1000) (Prng.int b 1000)
+  done
+
+let test_welford_degenerate () =
+  let w = Welford.create () in
+  Alcotest.(check (float 0.)) "empty mean" 0. (Welford.mean w);
+  Alcotest.(check (float 0.)) "empty variance" 0. (Welford.variance w);
+  Welford.add w 7.;
+  Alcotest.(check (float 0.)) "single mean" 7. (Welford.mean w);
+  Alcotest.(check (float 0.)) "single variance" 0. (Welford.variance w)
+
+let test_pow_overflow () =
+  Alcotest.(check bool) "2^80 overflows" true
+    (try ignore (Intmath.pow 2 80); false with Intmath.Overflow _ -> true);
+  Alcotest.check_raises "negative exponent" (Invalid_argument "Intmath.pow: negative exponent")
+    (fun () -> ignore (Intmath.pow 2 (-1)))
+
+let test_budget () =
+  let b = Timer.budget ~nodes:100 () in
+  Alcotest.(check bool) "below" false (Timer.exceeded b ~nodes:99);
+  Alcotest.(check bool) "at" true (Timer.exceeded b ~nodes:100);
+  let b2 = Timer.budget ~wall_s:3600. () in
+  Alcotest.(check bool) "time far away" false (Timer.exceeded b2 ~nodes:0);
+  Alcotest.(check bool) "unlimited" false (Timer.exceeded Timer.unlimited ~nodes:max_int)
+
+let () =
+  Alcotest.run "prelude"
+    [
+      ( "intmath",
+        [
+          Alcotest.test_case "gcd basics" `Quick test_gcd_basics;
+          Alcotest.test_case "lcm basics" `Quick test_lcm_basics;
+          Alcotest.test_case "lcm overflow" `Quick test_lcm_overflow;
+          Alcotest.test_case "cdiv" `Quick test_cdiv;
+          Alcotest.test_case "pow" `Quick test_pow;
+          Alcotest.test_case "imod" `Quick test_imod;
+          Alcotest.test_case "luby" `Quick test_luby;
+          Alcotest.test_case "clamp" `Quick test_clamp;
+          prop_gcd_divides;
+          prop_lcm_gcd;
+        ] );
+      ( "prng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
+          Alcotest.test_case "seeds differ" `Quick test_prng_seeds_differ;
+          Alcotest.test_case "uniformity" `Quick test_prng_uniformity;
+          Alcotest.test_case "shuffle permutation" `Quick test_shuffle_permutation;
+          Alcotest.test_case "split" `Quick test_split_independent;
+          Alcotest.test_case "float range" `Quick test_float_range;
+          prop_prng_range;
+          prop_in_range;
+        ] );
+      ( "bitset",
+        [
+          Alcotest.test_case "full" `Quick test_bitset_full;
+          Alcotest.test_case "next_from" `Quick test_bitset_next_from;
+          Alcotest.test_case "blit/clear" `Quick test_bitset_blit_clear;
+          Alcotest.test_case "singleton" `Quick test_bitset_singleton;
+          prop_bitset_model;
+        ] );
+      ( "combi",
+        [
+          Alcotest.test_case "exhaustive C(5,3)" `Quick test_combi_exhaustive;
+          Alcotest.test_case "edge cases" `Quick test_combi_edge;
+          prop_combi_count;
+        ] );
+      ( "misc",
+        [
+          Alcotest.test_case "ascii table" `Quick test_ascii_table;
+          Alcotest.test_case "welford" `Quick test_welford;
+          Alcotest.test_case "bool_vec" `Quick test_bool_vec;
+          Alcotest.test_case "budget" `Quick test_budget;
+          Alcotest.test_case "prng copy" `Quick test_prng_copy;
+          Alcotest.test_case "welford degenerate" `Quick test_welford_degenerate;
+          Alcotest.test_case "pow overflow" `Quick test_pow_overflow;
+        ] );
+    ]

@@ -1,0 +1,164 @@
+(* Tests for the probabilistic extension: distributions, static waste
+   analysis and the Monte-Carlo miss estimator. *)
+
+open Rt_model
+
+let check = Alcotest.check
+let qtest = Test_util.qtest
+
+(* ------------------------------------------------------------------ *)
+(* Dist                                                                 *)
+
+let test_dist_normalization () =
+  let d = Prob.Dist.of_list [ (2, 2.); (1, 1.); (3, 1.) ] in
+  Alcotest.(check (list int)) "support sorted" [ 1; 2; 3 ] (Prob.Dist.support d);
+  Alcotest.(check (float 1e-9)) "prob 2" 0.5 (Prob.Dist.prob d 2);
+  Alcotest.(check (float 1e-9)) "prob 4" 0. (Prob.Dist.prob d 4);
+  check Alcotest.int "min" 1 (Prob.Dist.min_value d);
+  check Alcotest.int "max" 3 (Prob.Dist.max_value d);
+  Alcotest.(check (float 1e-9)) "mean" 2.0 (Prob.Dist.mean d);
+  Alcotest.(check (float 1e-9)) "cdf 2" 0.75 (Prob.Dist.cdf d 2);
+  Alcotest.(check (float 1e-9)) "cdf 3" 1.0 (Prob.Dist.cdf d 3)
+
+let test_dist_point_uniform () =
+  let p = Prob.Dist.point 4 in
+  Alcotest.(check (float 1e-9)) "point mean" 4.0 (Prob.Dist.mean p);
+  Alcotest.(check (float 1e-9)) "point scale" 1.0 (Prob.Dist.scale_wcet p);
+  let u = Prob.Dist.uniform ~lo:1 ~hi:4 in
+  Alcotest.(check (float 1e-9)) "uniform mean" 2.5 (Prob.Dist.mean u);
+  Alcotest.(check (float 1e-9)) "uniform prob" 0.25 (Prob.Dist.prob u 3)
+
+let test_dist_validation () =
+  let invalid f = Alcotest.(check bool) "rejected" true (try ignore (f ()); false with Invalid_argument _ -> true) in
+  invalid (fun () -> Prob.Dist.of_list []);
+  invalid (fun () -> Prob.Dist.of_list [ (0, 1.) ]);
+  invalid (fun () -> Prob.Dist.of_list [ (1, -1.) ]);
+  invalid (fun () -> Prob.Dist.of_list [ (1, 1.); (1, 1.) ]);
+  invalid (fun () -> Prob.Dist.uniform ~lo:3 ~hi:2)
+
+let test_dist_sampling_frequencies () =
+  let d = Prob.Dist.of_list [ (1, 0.25); (2, 0.75) ] in
+  let rng = Prelude.Prng.create ~seed:5 in
+  let ones = ref 0 in
+  let draws = 20_000 in
+  for _ = 1 to draws do
+    match Prob.Dist.sample rng d with
+    | 1 -> incr ones
+    | 2 -> ()
+    | other -> Alcotest.failf "sampled %d outside the support" other
+  done;
+  let freq = float_of_int !ones /. float_of_int draws in
+  Alcotest.(check bool) (Printf.sprintf "frequency %.3f near 0.25" freq) true
+    (freq > 0.22 && freq < 0.28)
+
+let prop_sample_in_support =
+  qtest ~count:100 "samples always land in the support"
+    QCheck2.Gen.(pair small_int (list_size (int_range 1 5) (pair (int_range 1 9) (int_range 1 10))))
+    (fun (seed, pairs) ->
+      let pairs = List.map (fun (v, w) -> (v, float_of_int w)) pairs in
+      match Prob.Dist.of_list pairs with
+      | exception Invalid_argument _ -> true (* duplicate values: rejected input *)
+      | d ->
+        let rng = Prelude.Prng.create ~seed in
+        let ok = ref true in
+        for _ = 1 to 50 do
+          if not (List.mem (Prob.Dist.sample rng d) (Prob.Dist.support d)) then ok := false
+        done;
+        !ok)
+
+(* ------------------------------------------------------------------ *)
+(* Robustness                                                           *)
+
+let running = Examples.running_example
+
+let test_profile_validation () =
+  Alcotest.(check bool) "max must equal C" true
+    (try
+       ignore (Prob.Robustness.profile running [| Prob.Dist.point 2; Prob.Dist.point 3; Prob.Dist.point 2 |]);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "arity" true
+    (try
+       ignore (Prob.Robustness.profile running [| Prob.Dist.point 1 |]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_static_waste_degenerate () =
+  (* Point distributions at the WCET: nothing is wasted. *)
+  let w = Prob.Robustness.static_waste (Prob.Robustness.degenerate running) in
+  check Alcotest.int "reserved = total demand" (Taskset.total_demand running)
+    w.Prob.Robustness.reserved;
+  Alcotest.(check (float 1e-9)) "no idle" 0.0 w.Prob.Robustness.expected_idle;
+  Alcotest.(check (float 1e-9)) "utilizations equal" w.Prob.Robustness.utilization_budgeted
+    w.Prob.Robustness.utilization_expected
+
+let test_static_waste_shorter () =
+  let dists = [| Prob.Dist.point 1; Prob.Dist.of_list [ (1, 1.); (3, 1.) ]; Prob.Dist.point 2 |] in
+  let w = Prob.Robustness.static_waste (Prob.Robustness.profile running dists) in
+  (* τ2 contributes 3 jobs × (3 − 2) expected unused slots. *)
+  Alcotest.(check (float 1e-9)) "expected idle" 3.0 w.Prob.Robustness.expected_idle;
+  Alcotest.(check bool) "expected utilization lower" true
+    (w.Prob.Robustness.utilization_expected < w.Prob.Robustness.utilization_budgeted)
+
+let test_monte_carlo_wcet_trap () =
+  (* With degenerate (worst-case) distributions the trap always misses. *)
+  let est =
+    Prob.Robustness.monte_carlo_misses ~seed:1 ~runs:200
+      (Prob.Robustness.degenerate Examples.edf_trap) ~m:2
+  in
+  check Alcotest.int "all runs miss" est.Prob.Robustness.runs est.Prob.Robustness.runs_with_miss;
+  Alcotest.(check (float 1e-9)) "probability 1" 1.0 est.Prob.Robustness.miss_probability;
+  Alcotest.(check (float 1e-9)) "stderr 0" 0.0 est.Prob.Robustness.stderr
+
+let test_monte_carlo_feasible_system () =
+  (* A lightly loaded system never misses under EDF regardless of times. *)
+  let ts = Taskset.of_tuples [ (0, 1, 4, 4); (0, 1, 4, 4) ] in
+  let est = Prob.Robustness.monte_carlo_misses ~seed:2 ~runs:300 (Prob.Robustness.degenerate ts) ~m:2 in
+  check Alcotest.int "no run misses" 0 est.Prob.Robustness.runs_with_miss
+
+let test_monte_carlo_monotone_in_load () =
+  (* Shorter execution times can only reduce the trap's miss rate. *)
+  let trap = Examples.edf_trap in
+  let estimate mix =
+    (Prob.Robustness.monte_carlo_misses ~seed:7 ~runs:1500
+       (Prob.Robustness.profile trap (Array.make 3 (Prob.Dist.of_list mix)))
+       ~m:2)
+      .Prob.Robustness.miss_probability
+  in
+  let heavy = estimate [ (1, 0.1); (2, 0.9) ] in
+  let light = estimate [ (1, 0.9); (2, 0.1) ] in
+  Alcotest.(check bool)
+    (Printf.sprintf "miss probability decreases with load (%.3f > %.3f)" heavy light)
+    true (heavy > light)
+
+let test_monte_carlo_deterministic_seed () =
+  let profile =
+    Prob.Robustness.profile Examples.edf_trap
+      (Array.make 3 (Prob.Dist.of_list [ (1, 0.5); (2, 0.5) ]))
+  in
+  let a = Prob.Robustness.monte_carlo_misses ~seed:9 ~runs:200 profile ~m:2 in
+  let b = Prob.Robustness.monte_carlo_misses ~seed:9 ~runs:200 profile ~m:2 in
+  check Alcotest.int "same counts" a.Prob.Robustness.runs_with_miss b.Prob.Robustness.runs_with_miss
+
+let () =
+  Alcotest.run "prob"
+    [
+      ( "dist",
+        [
+          Alcotest.test_case "normalization" `Quick test_dist_normalization;
+          Alcotest.test_case "point and uniform" `Quick test_dist_point_uniform;
+          Alcotest.test_case "validation" `Quick test_dist_validation;
+          Alcotest.test_case "sampling frequencies" `Quick test_dist_sampling_frequencies;
+          prop_sample_in_support;
+        ] );
+      ( "robustness",
+        [
+          Alcotest.test_case "profile validation" `Quick test_profile_validation;
+          Alcotest.test_case "degenerate waste" `Quick test_static_waste_degenerate;
+          Alcotest.test_case "shorter executions" `Quick test_static_waste_shorter;
+          Alcotest.test_case "worst-case trap" `Quick test_monte_carlo_wcet_trap;
+          Alcotest.test_case "feasible system" `Quick test_monte_carlo_feasible_system;
+          Alcotest.test_case "monotone in load" `Quick test_monte_carlo_monotone_in_load;
+          Alcotest.test_case "seed determinism" `Quick test_monte_carlo_deterministic_seed;
+        ] );
+    ]

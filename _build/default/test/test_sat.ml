@@ -1,0 +1,280 @@
+(* Tests for the CDCL SAT solver, the cardinality encodings and DIMACS
+   I/O.  The centrepiece is a randomized cross-check against brute-force
+   model counting. *)
+
+module S = Sat.Solver
+
+let check = Alcotest.check
+let qtest = Test_util.qtest
+
+(* ------------------------------------------------------------------ *)
+(* Literals                                                             *)
+
+let test_literals () =
+  let l = S.pos 3 in
+  check Alcotest.int "var" 3 (S.var_of_lit l);
+  Alcotest.(check bool) "pos" true (S.is_pos l);
+  Alcotest.(check bool) "negate" false (S.is_pos (S.negate l));
+  check Alcotest.int "negate var" 3 (S.var_of_lit (S.negate l));
+  check Alcotest.int "dimacs +4" 3 (S.var_of_lit (S.lit_of_int 4));
+  Alcotest.(check bool) "dimacs -4 sign" false (S.is_pos (S.lit_of_int (-4)));
+  Alcotest.check_raises "zero" (Invalid_argument "Solver.lit_of_int: zero") (fun () ->
+      ignore (S.lit_of_int 0))
+
+(* ------------------------------------------------------------------ *)
+(* Small hand cases                                                     *)
+
+let test_empty_formula_sat () =
+  let s = S.create () in
+  ignore (S.new_var s);
+  match fst (S.solve s) with
+  | S.Sat model -> check Alcotest.int "one var" 1 (Array.length model)
+  | S.Unsat | S.Unknown -> Alcotest.fail "empty formula is SAT"
+
+let test_unit_contradiction () =
+  let s = S.create () in
+  let v = S.new_var s in
+  S.add_clause s [ S.pos v ];
+  S.add_clause s [ S.neg v ];
+  match fst (S.solve s) with
+  | S.Unsat -> ()
+  | S.Sat _ | S.Unknown -> Alcotest.fail "x ∧ ¬x is UNSAT"
+
+let test_empty_clause () =
+  let s = S.create () in
+  ignore (S.new_var s);
+  S.add_clause s [];
+  match fst (S.solve s) with
+  | S.Unsat -> ()
+  | S.Sat _ | S.Unknown -> Alcotest.fail "empty clause is UNSAT"
+
+let test_tautology_dropped () =
+  let s = S.create () in
+  let v = S.new_var s in
+  S.add_clause s [ S.pos v; S.neg v ];
+  match fst (S.solve s) with
+  | S.Sat _ -> ()
+  | S.Unsat | S.Unknown -> Alcotest.fail "a tautology constrains nothing"
+
+let test_implication_chain () =
+  (* x0 ∧ (x0→x1) ∧ ... ∧ (x_{k-1}→x_k): all forced true. *)
+  let s = S.create () in
+  let k = 30 in
+  let vs = Array.init (k + 1) (fun _ -> S.new_var s) in
+  S.add_clause s [ S.pos vs.(0) ];
+  for i = 0 to k - 1 do
+    S.add_clause s [ S.neg vs.(i); S.pos vs.(i + 1) ]
+  done;
+  match fst (S.solve s) with
+  | S.Sat model -> Alcotest.(check bool) "all true" true (Array.for_all Fun.id model)
+  | S.Unsat | S.Unknown -> Alcotest.fail "chain is SAT"
+
+let php ~pigeons ~holes =
+  let s = S.create () in
+  let p = Array.init pigeons (fun _ -> Array.init holes (fun _ -> S.new_var s)) in
+  for i = 0 to pigeons - 1 do
+    S.add_clause s (List.init holes (fun j -> S.pos p.(i).(j)))
+  done;
+  for j = 0 to holes - 1 do
+    Sat.Cardinality.at_most s ~k:1 (List.init pigeons (fun i -> S.pos p.(i).(j)))
+  done;
+  s
+
+let test_pigeonhole () =
+  (match fst (S.solve (php ~pigeons:5 ~holes:4)) with
+  | S.Unsat -> ()
+  | S.Sat _ | S.Unknown -> Alcotest.fail "PHP(5,4) is UNSAT");
+  (match fst (S.solve (php ~pigeons:6 ~holes:5)) with
+  | S.Unsat -> ()
+  | S.Sat _ | S.Unknown -> Alcotest.fail "PHP(6,5) is UNSAT");
+  match fst (S.solve (php ~pigeons:4 ~holes:4)) with
+  | S.Sat _ -> ()
+  | S.Unsat | S.Unknown -> Alcotest.fail "PHP(4,4) is SAT"
+
+let test_budget_unknown () =
+  let s = php ~pigeons:9 ~holes:8 in
+  match fst (S.solve ~budget:(Prelude.Timer.budget ~nodes:3 ()) s) with
+  | S.Unknown -> ()
+  | S.Sat _ -> Alcotest.fail "PHP(9,8) is not SAT"
+  | S.Unsat -> Alcotest.fail "3 conflicts cannot refute PHP(9,8)"
+
+(* ------------------------------------------------------------------ *)
+(* Randomized cross-check vs brute force                                *)
+
+let eval_clause model clause =
+  List.exists
+    (fun l ->
+      let v = abs l - 1 in
+      if l > 0 then model land (1 lsl v) <> 0 else model land (1 lsl v) = 0)
+    clause
+
+let brute_sat nv clauses =
+  let rec go m = m < 1 lsl nv && (List.for_all (eval_clause m) clauses || go (m + 1)) in
+  go 0
+
+let cnf_gen =
+  let open QCheck2.Gen in
+  int_range 1 7 >>= fun nv ->
+  let lit = int_range 1 nv >>= fun v -> bool >>= fun s -> return (if s then v else -v) in
+  let clause = list_size (int_range 1 3) lit in
+  list_size (int_range 1 25) clause >>= fun clauses -> return (nv, clauses)
+
+let prop_agrees_with_brute_force =
+  qtest ~count:300 "CDCL agrees with brute force on random CNF" cnf_gen
+    (fun (nv, clauses) ->
+      let s = S.create () in
+      Sat.Dimacs.load s { Sat.Dimacs.num_vars = nv; clauses };
+      match fst (S.solve s) with
+      | S.Sat model ->
+        (* The model must actually satisfy the formula. *)
+        List.for_all
+          (fun clause ->
+            List.exists
+              (fun l -> if l > 0 then model.(l - 1) else not model.(abs l - 1))
+              clause)
+          clauses
+      | S.Unsat -> not (brute_sat nv clauses)
+      | S.Unknown -> false)
+
+let prop_seeds_agree =
+  qtest ~count:100 "verdict independent of the seed" cnf_gen
+    (fun (nv, clauses) ->
+      let solve seed =
+        let s = S.create () in
+        Sat.Dimacs.load s { Sat.Dimacs.num_vars = nv; clauses };
+        match fst (S.solve ~seed s) with
+        | S.Sat _ -> true
+        | S.Unsat -> false
+        | S.Unknown -> failwith "unexpected budget stop"
+      in
+      solve 1 = solve 99)
+
+(* ------------------------------------------------------------------ *)
+(* Cardinality encodings                                                *)
+
+(* Count models of the encoded constraint projected on the original
+   variables by repeatedly solving with blocking clauses. *)
+let count_projected_models build n =
+  let s = S.create () in
+  let xs = List.init n (fun _ -> S.new_var s) in
+  build s xs;
+  (* Enumerate by decision: try all 2^n assignments via assumptions is not
+     supported, so brute force each candidate with a fresh solver. *)
+  let count = ref 0 in
+  for m = 0 to (1 lsl n) - 1 do
+    let s = S.create () in
+    let xs = List.init n (fun _ -> S.new_var s) in
+    build s xs;
+    List.iteri
+      (fun i v -> S.add_clause s [ (if m land (1 lsl i) <> 0 then S.pos v else S.neg v) ])
+      xs;
+    match fst (S.solve s) with
+    | S.Sat _ -> incr count
+    | S.Unsat -> ()
+    | S.Unknown -> failwith "unexpected"
+  done;
+  !count
+
+let binomial n k = Prelude.Combi.count ~n ~k
+
+let test_at_most_counts () =
+  List.iter
+    (fun (n, k) ->
+      let expected = List.fold_left (fun acc i -> acc + binomial n i) 0 (List.init (k + 1) Fun.id) in
+      let got =
+        count_projected_models
+          (fun s xs -> Sat.Cardinality.at_most s ~k (List.map S.pos xs))
+          n
+      in
+      check Alcotest.int (Printf.sprintf "at_most %d of %d" k n) expected got)
+    [ (4, 1); (4, 2); (5, 3); (6, 1) ]
+
+let test_at_least_counts () =
+  List.iter
+    (fun (n, k) ->
+      let expected =
+        List.fold_left (fun acc i -> acc + (if i >= k then binomial n i else 0)) 0
+          (List.init (n + 1) Fun.id)
+      in
+      let got =
+        count_projected_models
+          (fun s xs -> Sat.Cardinality.at_least s ~k (List.map S.pos xs))
+          n
+      in
+      check Alcotest.int (Printf.sprintf "at_least %d of %d" k n) expected got)
+    [ (4, 2); (5, 4); (5, 1) ]
+
+let test_exactly_counts () =
+  List.iter
+    (fun (n, k) ->
+      let got =
+        count_projected_models
+          (fun s xs -> Sat.Cardinality.exactly s ~k (List.map S.pos xs))
+          n
+      in
+      check Alcotest.int (Printf.sprintf "exactly %d of %d" k n) (binomial n k) got)
+    [ (4, 0); (4, 2); (5, 3); (6, 6); (5, 5) ]
+
+let test_at_least_more_than_n () =
+  let s = S.create () in
+  let xs = List.init 3 (fun _ -> S.new_var s) in
+  Sat.Cardinality.at_least s ~k:4 (List.map S.pos xs);
+  match fst (S.solve s) with
+  | S.Unsat -> ()
+  | S.Sat _ | S.Unknown -> Alcotest.fail "at_least 4 of 3 is UNSAT"
+
+(* ------------------------------------------------------------------ *)
+(* DIMACS                                                               *)
+
+let test_dimacs_roundtrip () =
+  let cnf = { Sat.Dimacs.num_vars = 3; clauses = [ [ 1; -2 ]; [ 2; 3 ]; [ -1 ] ] } in
+  let parsed = Sat.Dimacs.of_string (Sat.Dimacs.to_string cnf) in
+  check Alcotest.int "vars" 3 parsed.Sat.Dimacs.num_vars;
+  Alcotest.(check (list (list int))) "clauses" cnf.Sat.Dimacs.clauses parsed.Sat.Dimacs.clauses
+
+let test_dimacs_comments () =
+  let text = "c a comment\np cnf 2 2\n1 2 0\nc mid comment\n-1 -2 0\n" in
+  let parsed = Sat.Dimacs.of_string text in
+  check Alcotest.int "clauses" 2 (List.length parsed.Sat.Dimacs.clauses)
+
+let test_dimacs_export () =
+  let s = S.create () in
+  let a = S.new_var s and b = S.new_var s in
+  S.add_clause s [ S.pos a; S.neg b ];
+  S.add_clause s [ S.pos b ];
+  let clauses = S.export_clauses s in
+  (* The unit clause lands on the trail, the binary one in the store. *)
+  Alcotest.(check bool) "has unit" true (List.mem [ 2 ] clauses);
+  Alcotest.(check bool) "has binary" true
+    (List.exists (fun c -> List.sort compare c = [ -2; 1 ]) clauses)
+
+let () =
+  Alcotest.run "sat"
+    [
+      ( "solver",
+        [
+          Alcotest.test_case "literal encoding" `Quick test_literals;
+          Alcotest.test_case "empty formula" `Quick test_empty_formula_sat;
+          Alcotest.test_case "unit contradiction" `Quick test_unit_contradiction;
+          Alcotest.test_case "empty clause" `Quick test_empty_clause;
+          Alcotest.test_case "tautology" `Quick test_tautology_dropped;
+          Alcotest.test_case "implication chain" `Quick test_implication_chain;
+          Alcotest.test_case "pigeonhole" `Quick test_pigeonhole;
+          Alcotest.test_case "budget -> unknown" `Quick test_budget_unknown;
+          prop_agrees_with_brute_force;
+          prop_seeds_agree;
+        ] );
+      ( "cardinality",
+        [
+          Alcotest.test_case "at_most model counts" `Quick test_at_most_counts;
+          Alcotest.test_case "at_least model counts" `Quick test_at_least_counts;
+          Alcotest.test_case "exactly model counts" `Quick test_exactly_counts;
+          Alcotest.test_case "at_least > n" `Quick test_at_least_more_than_n;
+        ] );
+      ( "dimacs",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_dimacs_roundtrip;
+          Alcotest.test_case "comments" `Quick test_dimacs_comments;
+          Alcotest.test_case "export" `Quick test_dimacs_export;
+        ] );
+    ]

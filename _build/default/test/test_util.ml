@@ -1,0 +1,64 @@
+(* Shared helpers for the test suites: QCheck generators for task systems
+   and instances, and glue to register QCheck properties as alcotest
+   cases. *)
+
+open Rt_model
+
+let qtest ?(count = 100) name gen law =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen law)
+
+(* A small task: parameters bounded so hyperperiods stay tiny and
+   exhaustive cross-checks remain fast. *)
+let task_gen ~tmax =
+  let open QCheck2.Gen in
+  int_range 1 tmax >>= fun period ->
+  int_range 1 period >>= fun deadline ->
+  int_range 1 deadline >>= fun wcet ->
+  int_range 0 (period - 1) >>= fun offset ->
+  return (Task.make ~offset ~wcet ~deadline ~period ())
+
+let taskset_gen ?(nmax = 5) ?(tmax = 5) () =
+  let open QCheck2.Gen in
+  int_range 1 nmax >>= fun n ->
+  list_size (return n) (task_gen ~tmax) >>= fun tasks ->
+  return (Taskset.of_tasks tasks)
+
+(* An instance pairs a task set with a processor count 1 <= m <= n+1. *)
+let instance_gen ?(nmax = 5) ?(tmax = 5) () =
+  let open QCheck2.Gen in
+  taskset_gen ~nmax ~tmax () >>= fun ts ->
+  int_range 1 (Taskset.size ts + 1) >>= fun m ->
+  return (ts, m)
+
+let print_taskset ts = Taskset.to_string ts
+let print_instance (ts, m) = Printf.sprintf "m=%d %s" m (Taskset.to_string ts)
+
+(* An arbitrary-deadline task (D may exceed T). *)
+let loose_task_gen ~tmax =
+  let open QCheck2.Gen in
+  int_range 1 tmax >>= fun period ->
+  int_range 1 (2 * tmax) >>= fun deadline ->
+  int_range 1 deadline >>= fun wcet ->
+  int_range 0 (period - 1) >>= fun offset ->
+  return (Task.make ~offset ~wcet ~deadline ~period ())
+
+let loose_taskset_gen ?(nmax = 4) ?(tmax = 4) () =
+  let open QCheck2.Gen in
+  int_range 1 nmax >>= fun n ->
+  list_size (return n) (loose_task_gen ~tmax) >>= fun tasks ->
+  return (Taskset.of_tasks tasks)
+
+(* A heterogeneous platform for [n] tasks: every task keeps at least one
+   positive rate. *)
+let platform_gen ~n =
+  let open QCheck2.Gen in
+  int_range 1 3 >>= fun m ->
+  let row =
+    list_size (return m) (int_range 0 2) >>= fun rates ->
+    if List.for_all (fun r -> r = 0) rates then
+      int_range 0 (m - 1) >>= fun lucky ->
+      return (List.mapi (fun j r -> if j = lucky then 1 else r) rates)
+    else return rates
+  in
+  list_size (return n) row >>= fun rows ->
+  return (Platform.heterogeneous ~rates:(Array.of_list (List.map Array.of_list rows)))
