@@ -48,6 +48,22 @@ let () =
   let rows = Tables.table4 ~progress:(fun i -> progress_every 1 "size" i) config in
   print_string (Tables.render_table4 rows);
 
+  section "PORTFOLIO (Domains race vs its sequential arms)";
+  let portfolio_solvers =
+    [
+      List.find (fun s -> s.Runner.name = "+(D-C)") Runner.csp2_variants;
+      Runner.csp1_sat;
+      Runner.local_search;
+      Runner.portfolio ();
+    ]
+  in
+  let portfolio_campaign =
+    Campaign.run ~solvers:portfolio_solvers ~progress:(progress_every 100 "instance") config
+  in
+  print_string (Tables.render_table1 (Tables.table1 portfolio_campaign));
+  print_newline ();
+  print_string (Tables.render_bucket_rows (Tables.table3 portfolio_campaign));
+
   section "RANDOMNESS (Section VII-B)";
   print_string (Variance.render (Variance.run config));
 

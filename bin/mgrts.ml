@@ -50,6 +50,8 @@ let solver_conv =
     | "csp1-sat" | "sat" -> Ok Core.Csp1_sat
     | "csp2-generic" -> Ok Core.Csp2_generic
     | "local" | "local-search" -> Ok Core.Local_search
+    (* The job count is a placeholder here; [solve] substitutes --jobs. *)
+    | "portfolio" -> Ok (Core.Portfolio 0)
     | other -> (
       match
         if String.length other > 5 && String.sub other 0 5 = "csp2+" then
@@ -65,9 +67,13 @@ let solver_conv =
 let solver_arg =
   let doc =
     "Solver path: csp1, csp1-sat, csp2-generic, csp2, csp2+rm, csp2+dm, csp2+tc, csp2+dc, \
-     local-search."
+     local-search, portfolio."
   in
   Arg.(value & opt solver_conv Core.default_solver & info [ "solver" ] ~docv:"SOLVER" ~doc)
+
+let jobs_arg =
+  let doc = "Domains for --solver portfolio (0 = all available cores)." in
+  Arg.(value & opt int 0 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
 
 (* ------------------------------------------------------------------ *)
 (* Commands.                                                           *)
@@ -107,24 +113,37 @@ let gen_cmd =
     Term.(const run $ n $ m $ tmax $ seed_arg $ count $ offsets $ order)
 
 let solve_cmd =
-  let run file m solver limit seed quiet =
+  let run file m solver jobs limit seed quiet =
     let ts = read_taskset file in
-    let verdict, elapsed =
-      Core.solve ~solver ~budget:(budget_of_limit limit) ~seed ts ~m
+    let budget = budget_of_limit limit in
+    let verdict, report =
+      match solver with
+      | Core.Portfolio _ ->
+        let jobs = if jobs > 0 then Some jobs else None in
+        let r = Core.solve_portfolio ?jobs ~budget ~seed ts ~m in
+        (r.Portfolio.verdict, Some (Portfolio.summary r))
+      | _ ->
+        let verdict, elapsed =
+          Core.solve ~solver ~budget ~seed ts ~m
+        in
+        (match verdict with
+        | Core.Feasible _ ->
+          Printf.printf "feasible (%.4fs, %s)\n" elapsed (Core.solver_name solver)
+        | Core.Infeasible -> Printf.printf "infeasible (%.4fs, proof)\n" elapsed
+        | Core.Limit -> Printf.printf "limit reached (%.4fs): undecided\n" elapsed
+        | Core.Memout reason -> Printf.printf "model too large: %s\n" reason);
+        (verdict, None)
     in
+    Option.iter print_endline report;
     (match verdict with
-    | Core.Feasible sched ->
-      Printf.printf "feasible (%.4fs, %s)\n" elapsed (Core.solver_name solver);
-      if not quiet then Format.printf "%a@." Schedule.pp sched
-    | Core.Infeasible -> Printf.printf "infeasible (%.4fs, proof)\n" elapsed
-    | Core.Limit -> Printf.printf "limit reached (%.4fs): undecided\n" elapsed
-    | Core.Memout reason -> Printf.printf "model too large: %s\n" reason);
+    | Core.Feasible sched -> if not quiet then Format.printf "%a@." Schedule.pp sched
+    | Core.Infeasible | Core.Limit | Core.Memout _ -> ());
     match verdict with Core.Feasible _ | Core.Infeasible -> 0 | _ -> 2
   in
   let quiet = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Do not print the schedule.") in
   Cmd.v
     (Cmd.info "solve" ~doc:"Decide feasibility of a task-set file.")
-    Term.(const run $ file_arg $ m_arg $ solver_arg $ limit_arg $ seed_arg $ quiet)
+    Term.(const run $ file_arg $ m_arg $ solver_arg $ jobs_arg $ limit_arg $ seed_arg $ quiet)
 
 let fig1_cmd =
   let run () =
@@ -210,10 +229,27 @@ let minproc_cmd =
   let run file solver limit =
     let ts = read_taskset file in
     let budget_per_m = if limit > 0. then Some (Prelude.Timer.budget ~wall_s:limit ()) else None in
-    (match Core.min_processors ~solver ~budget_per_m ts with
-    | Some m -> Printf.printf "schedulable on %d processor(s) (lower bound %d)\n" m (Taskset.min_processors ts)
-    | None -> Printf.printf "not schedulable on up to %d processors\n" (Taskset.size ts));
-    0
+    match Core.min_processors ~solver ~budget_per_m ts with
+    | Core.Exact m ->
+      Printf.printf "schedulable on %d processor(s) (lower bound %d)\n" m
+        (Taskset.min_processors ts);
+      0
+    | Core.All_infeasible ->
+      Printf.printf "not schedulable on up to %d processors\n" (Taskset.size ts);
+      0
+    | Core.Inconclusive { first_limit; feasible } ->
+      (match feasible with
+      | Some upper ->
+        Printf.printf
+          "inconclusive: schedulable on %d processor(s), but m=%d was undecided within the \
+           budget (true minimum is in [%d, %d])\n"
+          upper first_limit first_limit upper
+      | None ->
+        Printf.printf
+          "inconclusive: m=%d was undecided within the budget and no larger m was proved \
+           schedulable\n"
+          first_limit);
+      2
   in
   Cmd.v
     (Cmd.info "minproc" ~doc:"Find the smallest feasible processor count (Section VII-E).")

@@ -34,7 +34,7 @@ let () =
     let lower = Taskset.min_processors ts in
     let budget_per_m = Some (Prelude.Timer.budget ~wall_s:0.5 ()) in
     match Core.min_processors ~budget_per_m ~max_m:8 ts with
-    | Some exact ->
+    | Core.Exact exact ->
       let part = min_m_partitioned ts ~max_m:8 in
       incr shown;
       Format.printf "#%d        %5.2f  %5d  %5d  %s@." !shown (Taskset.utilization ts) lower
@@ -46,5 +46,6 @@ let () =
       | Some p when p > exact ->
         Format.printf "           (partitioning wastes %d processor(s) vs global)@." (p - exact)
       | Some _ | None -> ())
-    | None -> ()  (* undecided within budget: skip, keep the output clean *)
+    | Core.Inconclusive _ | Core.All_infeasible ->
+      ()  (* undecided within budget or unschedulable: skip, keep the output clean *)
   done

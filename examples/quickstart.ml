@@ -39,5 +39,8 @@ let () =
 
   (* The smallest platform that works. *)
   match Core.min_processors ts with
-  | Some m_min -> Format.printf "@.Minimum processors for feasibility: %d@." m_min
-  | None -> Format.printf "@.Not schedulable on any platform up to n processors@."
+  | Core.Exact m_min -> Format.printf "@.Minimum processors for feasibility: %d@." m_min
+  | Core.Inconclusive { first_limit; _ } ->
+    Format.printf "@.Undecided at m=%d within the budget@." first_limit
+  | Core.All_infeasible ->
+    Format.printf "@.Not schedulable on any platform up to n processors@."

@@ -7,6 +7,7 @@ type solver =
   | Csp2_generic
   | Csp2_dedicated of Csp2.Heuristic.t
   | Local_search
+  | Portfolio of int
 
 let default_solver = Csp2_dedicated Csp2.Heuristic.DC
 
@@ -16,9 +17,17 @@ let solver_name = function
   | Csp2_generic -> "csp2-generic"
   | Csp2_dedicated h -> "csp2+" ^ Csp2.Heuristic.to_string h
   | Local_search -> "local-search"
+  | Portfolio jobs -> Printf.sprintf "portfolio(%d)" jobs
 
 let all_solvers =
-  [ Csp1_generic; Csp1_sat; Csp2_generic; Csp2_dedicated Csp2.Heuristic.DC; Local_search ]
+  [
+    Csp1_generic;
+    Csp1_sat;
+    Csp2_generic;
+    Csp2_dedicated Csp2.Heuristic.DC;
+    Local_search;
+    Portfolio 4;
+  ]
 
 type verdict = Encodings.Outcome.t =
   | Feasible of Rt_model.Schedule.t
@@ -40,6 +49,9 @@ let dispatch solver ~platform ~budget ~seed ts ~m =
   | Local_search ->
     if not identical then invalid_arg "Core.solve: Local_search requires an identical platform";
     fst (Localsearch.Min_conflicts.solve ~seed ~budget ts ~m)
+  | Portfolio jobs ->
+    if not identical then invalid_arg "Core.solve: Portfolio requires an identical platform";
+    (Portfolio.solve ~jobs ~budget ~seed ts ~m).Portfolio.verdict
 
 let solve ?(solver = default_solver) ?platform ?(budget = Timer.unlimited) ?(seed = 0)
     ?(verify = true) ts ~m =
@@ -88,12 +100,61 @@ let feasible ?solver ?budget ts ~m =
   | Infeasible -> Some false
   | Limit | Memout _ -> None
 
+let solve_portfolio ?specs ?jobs ?(budget = Timer.unlimited) ?(seed = 0) ?(verify = true) ts
+    ~m =
+  let platform = Platform.identical ~m in
+  let fail_invalid v =
+    failwith
+      (Format.asprintf "Core.solve_portfolio: solver produced an invalid schedule: %a"
+         Verify.pp_violation v)
+  in
+  let check ~platform ts schedule =
+    if verify then
+      match Verify.check ~platform ts schedule with
+      | Ok () -> ()
+      | Error (v :: _) -> fail_invalid v
+      | Error [] -> assert false
+  in
+  if Taskset.is_constrained ts then begin
+    let r = Portfolio.solve ?specs ?jobs ~budget ~seed ts ~m in
+    (match r.Portfolio.verdict with
+     | Feasible schedule -> check ~platform ts schedule
+     | Infeasible | Limit | Memout _ -> ());
+    r
+  end
+  else begin
+    let reduction = Clone.transform ts in
+    let cloned = Clone.cloned reduction in
+    let clone_platform = Clone.map_platform reduction platform in
+    let r = Portfolio.solve ?specs ?jobs ~budget ~seed cloned ~m in
+    match r.Portfolio.verdict with
+    | Feasible clone_schedule ->
+      check ~platform:clone_platform cloned clone_schedule;
+      { r with Portfolio.verdict = Feasible (Clone.map_schedule reduction clone_schedule) }
+    | Infeasible | Limit | Memout _ -> r
+  end
+
+type min_processors_outcome = Analysis.min_processors_outcome =
+  | Exact of int
+  | Inconclusive of { first_limit : int; feasible : int option }
+  | All_infeasible
+
 let min_processors ?solver ?(budget_per_m = None) ?max_m ts =
   let max_m = match max_m with Some v -> v | None -> Taskset.size ts in
   let solve_m ~m =
     let budget = match budget_per_m with Some b -> b | None -> Timer.unlimited in
     match fst (solve ?solver ~budget ts ~m) with
-    | Feasible _ -> true
-    | Infeasible | Limit | Memout _ -> false
+    | Feasible _ -> `Feasible
+    | Infeasible -> `Infeasible
+    | Limit | Memout _ -> `Undecided
   in
   Analysis.min_processors_feasible ~solve:solve_m ts ~max_m
+
+let min_processors_exn ?solver ?budget_per_m ?max_m ts =
+  match min_processors ?solver ?budget_per_m ?max_m ts with
+  | Exact m -> Some m
+  | All_infeasible -> None
+  | Inconclusive { first_limit; _ } ->
+    invalid_arg
+      (Printf.sprintf
+         "Core.min_processors_exn: undecided at m=%d (raise the budget)" first_limit)

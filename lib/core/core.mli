@@ -29,6 +29,9 @@ type solver =
   | Csp2_dedicated of Csp2.Heuristic.t
       (** The paper's hand-written chronological search (Section V). *)
   | Local_search  (** Min-conflicts (future work #1); cannot prove infeasibility. *)
+  | Portfolio of int
+      (** Race the {!Portfolio.default_specs} backends on the given number
+          of domains; first decisive verdict wins, losers are cancelled. *)
 
 val default_solver : solver
 (** [Csp2_dedicated DC] — the paper's overall winner. *)
@@ -36,7 +39,8 @@ val default_solver : solver
 val solver_name : solver -> string
 
 val all_solvers : solver list
-(** One of each family, with the D−C heuristic for the dedicated path. *)
+(** One of each family (D−C heuristic for the dedicated path, four jobs
+    for the portfolio). *)
 
 type verdict = Encodings.Outcome.t =
   | Feasible of Rt_model.Schedule.t
@@ -68,10 +72,41 @@ val solve :
 val feasible : ?solver:solver -> ?budget:Prelude.Timer.budget -> Rt_model.Taskset.t -> m:int -> bool option
 (** [Some true]/[Some false] when decided, [None] on limit/memout. *)
 
+val solve_portfolio :
+  ?specs:Portfolio.spec list ->
+  ?jobs:int ->
+  ?budget:Prelude.Timer.budget ->
+  ?seed:int ->
+  ?verify:bool ->
+  Rt_model.Taskset.t ->
+  m:int ->
+  Portfolio.result
+(** Like [solve ~solver:(Portfolio jobs)] but returns the full race result
+    — per-backend outcome, node/fail counts, times and the winner — for
+    callers that report statistics ({!Portfolio.summary} renders it as one
+    line).  Applies the same clone transform and schedule verification as
+    {!solve}; identical platforms only. *)
+
+type min_processors_outcome = Rt_model.Analysis.min_processors_outcome =
+  | Exact of int  (** True minimum: every smaller [m] was refuted. *)
+  | Inconclusive of { first_limit : int; feasible : int option }
+      (** A budgeted run was undecided at [first_limit] before the search
+          could prove a minimum; [feasible], when present, is only an upper
+          bound. *)
+  | All_infeasible  (** Refuted for every [m <= max_m]. *)
+
 val min_processors :
   ?solver:solver -> ?budget_per_m:Prelude.Timer.budget option -> ?max_m:int ->
-  Rt_model.Taskset.t -> int option
+  Rt_model.Taskset.t -> min_processors_outcome
 (** Smallest [m] for which a schedule is found, starting from [⌈U⌉]
-    (Section VII-E's closing suggestion).  [None] if none up to [max_m]
-    (default [n]).  Note a [Limit] verdict is treated as "not schedulable
-    on this m", so with tight budgets this is an upper-bound search. *)
+    (Section VII-E's closing suggestion), scanning up to [max_m]
+    (default [n]).  With [budget_per_m], a [Limit]/[Memout] verdict at some
+    [m] no longer masquerades as infeasibility: the result degrades to
+    {!Inconclusive} carrying the smallest undecided [m]. *)
+
+val min_processors_exn :
+  ?solver:solver -> ?budget_per_m:Prelude.Timer.budget option -> ?max_m:int ->
+  Rt_model.Taskset.t -> int option
+(** Convenience wrapper for unbudgeted use: [Some m] for {!Exact},
+    [None] for {!All_infeasible}.
+    @raise Invalid_argument on an {!Inconclusive} outcome. *)

@@ -64,9 +64,13 @@ let solve ?(heuristic = Heuristic.DC) ?(budget = Timer.unlimited) ~platform ts =
   let nodes = ref 0 in
   let fails = ref 0 in
   let max_time = ref 0 in
+  (* Every node increment is followed by a [decide_slot] entry, so the
+     masked wall-clock check fires once per 256 nodes; the stop flag is an
+     atomic read and is polled unconditionally for prompt cancellation. *)
   let check_budget () =
     if
       Timer.nodes_exceeded budget ~nodes:!nodes
+      || Timer.cancelled budget
       || (!nodes land 255 = 0 && Timer.exceeded budget ~nodes:!nodes)
     then raise Stop_limit
   in

@@ -31,6 +31,7 @@ type search = {
   wcet : int array;
   deadline : int array;
   urgency : bool;  (* forced inclusion of zero-laxity tasks (Section V-C3) *)
+  budget : Timer.budget;
   mutable nodes : int;
   mutable fails : int;
   mutable max_time : int;
@@ -49,7 +50,7 @@ let remaining_slots s ~task ~k ~t =
     if t <= head_end then head_end - t + 1 + (s.horizon - release) else s.horizon - t
   end
 
-type step = Applied | Exhausted
+type step = Applied | Exhausted | Stopped
 
 let undo s f =
   if f.has_applied then begin
@@ -118,7 +119,13 @@ let advance s f =
       s.rem.(g) <- s.rem.(g) - 1;
       Bitset.add f.applied i
     in
-    (* Iterate combinations until one passes the post-checks. *)
+    (* Iterate combinations until one passes the post-checks.  Without
+       urgency propagation this loop can reject C(n_free, k) subsets in a
+       single [advance] call, so the budget must be polled here: the outer
+       search loop alone would let one call run arbitrarily past the wall
+       limit.  The check fires on every 256th node — tested on each
+       increment, so it cannot be skipped over — plus a per-node atomic
+       read of the stop flag for prompt cross-domain cancellation. *)
     let rec attempt () =
       let next_ok =
         if f.fresh then begin
@@ -137,7 +144,14 @@ let advance s f =
         Array.iter (fun idx -> schedule free_arr.(idx)) f.combo;
         f.has_applied <- true;
         s.nodes <- s.nodes + 1;
-        if s.urgency || expiry_ok s ~avail:!avail then Applied
+        if
+          Timer.cancelled s.budget
+          || (s.nodes land 255 = 0 && Timer.exceeded s.budget ~nodes:s.nodes)
+        then begin
+          undo s f;
+          Stopped
+        end
+        else if s.urgency || expiry_ok s ~avail:!avail then Applied
         else begin
           (* A window closed unfinished: reject this subset locally. *)
           s.fails <- s.fails + 1;
@@ -187,6 +201,7 @@ let solve ?(heuristic = Heuristic.DC) ?(budget = Timer.unlimited) ?(urgency = tr
       wcet;
       deadline;
       urgency;
+      budget;
       nodes = 0;
       fails = 0;
       max_time = 0;
@@ -207,12 +222,14 @@ let solve ?(heuristic = Heuristic.DC) ?(budget = Timer.unlimited) ?(urgency = tr
     if !depth = 0 then outcome := Some Encodings.Outcome.Infeasible
     else if
       Timer.nodes_exceeded budget ~nodes:s.nodes
+      || Timer.cancelled budget
       || (s.nodes land 255 = 0 && Timer.exceeded budget ~nodes:s.nodes)
     then outcome := Some Encodings.Outcome.Limit
     else begin
       let f = frames.(!depth - 1) in
       match advance s f with
       | Exhausted -> decr depth
+      | Stopped -> outcome := Some Encodings.Outcome.Limit
       | Applied ->
         if f.time > s.max_time then s.max_time <- f.time;
         if f.time + 1 = horizon then

@@ -33,11 +33,14 @@ let from_env () =
       let parsed = String.split_on_char ',' s |> List.filter_map int_of_string_opt in
       if parsed = [] then default.table4_sizes else parsed
   in
+  let instances = int_var "MGRTS_INSTANCES" default.instances in
   {
-    instances = int_var "MGRTS_INSTANCES" default.instances;
+    instances;
     limit_s = float_var "MGRTS_LIMIT" default.limit_s;
     seed = int_var "MGRTS_SEED" default.seed;
-    table4_instances = int_var "MGRTS_T4_INSTANCES" default.table4_instances;
+    (* Scaling MGRTS_INSTANCES down (CI smoke runs) scales Table IV with
+       it unless MGRTS_T4_INSTANCES pins it explicitly. *)
+    table4_instances = int_var "MGRTS_T4_INSTANCES" (min default.table4_instances instances);
     table4_sizes = sizes;
   }
 

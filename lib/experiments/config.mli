@@ -22,7 +22,9 @@ val default : t
 val from_env : unit -> t
 (** {!default} overridden by [MGRTS_INSTANCES], [MGRTS_LIMIT],
     [MGRTS_SEED], [MGRTS_T4_INSTANCES], [MGRTS_T4_SIZES] (comma-separated)
-    when present. *)
+    when present.  Lowering [MGRTS_INSTANCES] below 100 also lowers the
+    Table IV per-size count to match (CI smoke runs stay short) unless
+    [MGRTS_T4_INSTANCES] pins it. *)
 
 val budget : t -> Prelude.Timer.budget
 (** Fresh per-run budget honouring [limit_s]. *)

@@ -92,6 +92,19 @@ let local_search =
       (fun ts ~m ~budget ~seed -> fst (Localsearch.Min_conflicts.solve ~seed ~budget ts ~m));
   }
 
+let portfolio ?jobs () =
+  let name =
+    match jobs with
+    | Some j -> Printf.sprintf "portfolio(%d)" j
+    | None -> "portfolio"
+  in
+  {
+    name;
+    run =
+      (fun ts ~m ~budget ~seed ->
+        (Portfolio.solve ?jobs ~budget ~seed ts ~m).Portfolio.verdict);
+  }
+
 type run = {
   outcome : Encodings.Outcome.t;
   time_s : float;

@@ -36,6 +36,12 @@ val csp1_sat : solver
 val csp2_generic : ?symmetry:bool -> ?dc_value_order:bool -> unit -> solver
 val local_search : solver
 
+val portfolio : ?jobs:int -> unit -> solver
+(** The Domains-based parallel race over {!Portfolio.default_specs};
+    [jobs] defaults to the machine's recommended domain count.  Lets the
+    table reproductions report a portfolio column next to the sequential
+    backends it races. *)
+
 type run = {
   outcome : Encodings.Outcome.t;
   time_s : float;  (** Wall clock, capped at the budget for overruns. *)

@@ -43,9 +43,11 @@ exception Restart_now
 
 let check_budget s =
   (* The node limit is exact (cheap integer test); the wall clock is only
-     consulted every 1024 nodes. *)
+     consulted every 1024 nodes.  The cancellation flag is a single atomic
+     read, polled on every node so a portfolio cancel lands promptly. *)
   if
     Timer.nodes_exceeded s.budget ~nodes:s.nodes
+    || Timer.cancelled s.budget
     || (s.nodes land 1023 = 0 && Timer.exceeded s.budget ~nodes:s.nodes)
   then raise Stop_limit
 

@@ -171,7 +171,11 @@ let solve ?(seed = 0) ?(noise = 0.08) ?(budget = Timer.unlimited) ?restart_every
       done;
       result := Some (Encodings.Outcome.Feasible sched)
     end
-    else if Timer.exceeded budget ~nodes:!iterations then result := Some Encodings.Outcome.Limit
+    else if
+      Timer.cancelled budget
+      || Timer.nodes_exceeded budget ~nodes:!iterations
+      || (!iterations land 63 = 0 && Timer.exceeded budget ~nodes:!iterations)
+    then result := Some Encodings.Outcome.Limit
     else begin
       incr iterations;
       if !iterations mod restart_every = 0 then begin

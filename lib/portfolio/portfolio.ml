@@ -1,0 +1,184 @@
+open Prelude
+
+type spec =
+  | Csp2 of Csp2.Heuristic.t
+  | Csp1_sat
+  | Local_search
+
+let spec_name = function
+  | Csp2 h -> "csp2+" ^ Csp2.Heuristic.to_string h
+  | Csp1_sat -> "csp1-sat"
+  | Local_search -> "local-search"
+
+(* Complementarity first: the paper's best heuristic, then the ones that win
+   on other instances, then the two different solver families.  With [jobs]
+   below the list length the prefix runs first and the tail backfills as
+   arms finish or lose. *)
+let default_specs =
+  [
+    Csp2 Csp2.Heuristic.DC;
+    Csp2 Csp2.Heuristic.RM;
+    Csp1_sat;
+    Local_search;
+    Csp2 Csp2.Heuristic.DM;
+    Csp2 Csp2.Heuristic.TC;
+    Csp2 Csp2.Heuristic.Id;
+  ]
+
+type backend_stats = {
+  name : string;
+  outcome : Encodings.Outcome.t option;
+  nodes : int;
+  fails : int;
+  time_s : float;
+  winner : bool;
+}
+
+type result = {
+  verdict : Encodings.Outcome.t;
+  winner : string option;
+  time_s : float;
+  backends : backend_stats list;
+}
+
+(* Uniform (outcome, nodes, fails) view of each backend's native stats:
+   SAT decisions/conflicts and local-search iterations/restarts play the
+   roles of nodes/fails. *)
+let run_spec spec ~budget ~seed ts ~m =
+  match spec with
+  | Csp2 heuristic ->
+    let outcome, st = Csp2.Solver.solve ~heuristic ~budget ts ~m in
+    (outcome, st.Csp2.Solver.nodes, st.Csp2.Solver.fails)
+  | Csp1_sat ->
+    let outcome, st = Encodings.Csp1_sat.solve ~budget ~seed ts ~m in
+    let nodes = match st with Some s -> s.Sat.Solver.decisions | None -> 0 in
+    let fails = match st with Some s -> s.Sat.Solver.conflicts | None -> 0 in
+    (outcome, nodes, fails)
+  | Local_search ->
+    let outcome, st = Localsearch.Min_conflicts.solve ~seed ~budget ts ~m in
+    (outcome, st.Localsearch.Min_conflicts.iterations, st.Localsearch.Min_conflicts.restarts)
+
+let solve ?(specs = default_specs) ?jobs ?(budget = Timer.unlimited) ?(seed = 0) ts ~m =
+  if m < 1 then invalid_arg "Portfolio.solve: m must be >= 1";
+  if specs = [] then invalid_arg "Portfolio.solve: empty backend list";
+  let specs = Array.of_list specs in
+  let n = Array.length specs in
+  let jobs =
+    let requested =
+      match jobs with Some j -> j | None -> Domain.recommended_domain_count ()
+    in
+    Intmath.clamp ~lo:1 ~hi:n requested
+  in
+  let t0 = Timer.start () in
+  (* One shared stop flag: the first decisive arm raises it, every other
+     arm observes it through its budget poll and returns [Limit].  The
+     arms otherwise inherit the caller's wall/node limits. *)
+  let stop = Atomic.make false in
+  let arm_budget = Timer.with_stop budget stop in
+  let next = Atomic.make 0 in
+  let winner = Atomic.make (-1) in
+  let reports = Array.make n None in
+  let worker () =
+    let rec loop () =
+      if not (Atomic.get stop) then begin
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          let armed = Timer.start () in
+          let outcome, nodes, fails = run_spec specs.(i) ~budget:arm_budget ~seed:(seed + i) ts ~m in
+          let won =
+            Encodings.Outcome.is_decided outcome && Atomic.compare_and_set winner (-1) i
+          in
+          if won then Atomic.set stop true;
+          reports.(i) <-
+            Some
+              {
+                name = spec_name specs.(i);
+                outcome = Some outcome;
+                nodes;
+                fails;
+                time_s = Timer.elapsed armed;
+                winner = won;
+              };
+          loop ()
+        end
+      end
+    in
+    loop ()
+  in
+  let domains = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+  worker ();
+  Array.iter Domain.join domains;
+  let backends =
+    Array.to_list
+      (Array.mapi
+         (fun i report ->
+           match report with
+           | Some r -> r
+           | None ->
+             (* Never started: the race was over before this spec's turn. *)
+             {
+               name = spec_name specs.(i);
+               outcome = None;
+               nodes = 0;
+               fails = 0;
+               time_s = 0.;
+               winner = false;
+             })
+         reports)
+  in
+  (* Arms race on the same instance, so decisive verdicts must agree; a
+     Feasible alongside an Infeasible is a solver soundness bug. *)
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          match (a.outcome, b.outcome) with
+          | Some oa, Some ob when not (Encodings.Outcome.agree oa ob) ->
+            failwith
+              (Printf.sprintf "Portfolio.solve: %s and %s contradict each other" a.name b.name)
+          | _ -> ())
+        backends)
+    backends;
+  let verdict, winner_name =
+    match Atomic.get winner with
+    | -1 ->
+      (* Nobody decided.  Prefer reporting [Limit] over a backend-specific
+         [Memout]: some arm was cut short by the budget. *)
+      let memouts =
+        List.filter_map
+          (fun b -> match b.outcome with Some (Encodings.Outcome.Memout _ as o) -> Some o | _ -> None)
+          backends
+      in
+      let all_memout =
+        List.for_all
+          (fun b ->
+            match b.outcome with
+            | Some (Encodings.Outcome.Memout _) | None -> true
+            | Some _ -> false)
+          backends
+      in
+      ((match memouts with o :: _ when all_memout -> o | _ -> Encodings.Outcome.Limit), None)
+    | i ->
+      let r = Option.get reports.(i) in
+      (Option.get r.outcome, Some r.name)
+  in
+  { verdict; winner = winner_name; time_s = Timer.elapsed t0; backends }
+
+let summary r =
+  let outcome_tag = function
+    | Encodings.Outcome.Feasible _ -> "feasible"
+    | Encodings.Outcome.Infeasible -> "infeasible"
+    | Encodings.Outcome.Limit -> "limit"
+    | Encodings.Outcome.Memout _ -> "memout"
+  in
+  let backend b =
+    match b.outcome with
+    | None -> Printf.sprintf "%s -" b.name
+    | Some o ->
+      Printf.sprintf "%s%s %s n=%d f=%d %.4fs"
+        b.name (if b.winner then "*" else "") (outcome_tag o) b.nodes b.fails b.time_s
+  in
+  Printf.sprintf "portfolio: %s in %.4fs (winner %s) | %s"
+    (outcome_tag r.verdict) r.time_s
+    (match r.winner with Some w -> w | None -> "none")
+    (String.concat " | " (List.map backend r.backends))

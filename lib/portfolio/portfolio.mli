@@ -1,0 +1,83 @@
+(** Parallel solver portfolio on OCaml 5 domains.
+
+    Tables I–IV of the paper show no single strategy dominating: CSP1 wins
+    some instances, each CSP2 value-ordering heuristic wins others, and the
+    hard instances produce heavy-tailed overruns at the time limit.  The
+    classic answer is to {e race} complementary strategies on the same
+    instance and cancel the losers the moment one of them decides.
+
+    Every arm runs an unmodified sequential backend under a budget derived
+    from the caller's ({!Prelude.Timer.with_stop}): same wall/node limits,
+    one shared stop flag.  The first arm returning a decisive verdict
+    ([Feasible] or [Infeasible]) wins the compare-and-swap and raises the
+    flag; the other arms observe it at their next budget poll — every
+    backend polls at least each 256 search nodes — and return [Limit]
+    promptly.  [Limit]/[Memout] arms are never winners: a local-search arm
+    that gives up does not stop a complete solver mid-proof.
+
+    The race is {e sound} because each backend is: a [Feasible] schedule is
+    verified by the caller exactly as in the sequential paths, and an
+    [Infeasible] only comes from complete searches.  It is not
+    deterministic in {e which} arm wins a tie, but the verdict itself is
+    the same for any winner (decisive verdicts must agree; disagreement is
+    reported as a solver bug by raising [Failure]). *)
+
+type spec =
+  | Csp2 of Csp2.Heuristic.t
+      (** The dedicated chronological search (identical platforms,
+          urgency propagation on) under the given value ordering. *)
+  | Csp1_sat  (** CSP1 compiled to CNF for the in-house CDCL solver. *)
+  | Local_search  (** Min-conflicts; can win only with [Feasible]. *)
+
+val spec_name : spec -> string
+
+val default_specs : spec list
+(** [csp2+D-C, csp2+RM, csp1-sat, local-search, csp2+DM, csp2+T-C, csp2]
+    — most complementary strategies first, so truncating to the first
+    [jobs] arms keeps the strongest mix. *)
+
+type backend_stats = {
+  name : string;
+  outcome : Encodings.Outcome.t option;
+      (** [None] when the race ended before this arm started. *)
+  nodes : int;  (** Search nodes (SAT: decisions; local search: iterations). *)
+  fails : int;  (** Failures (SAT: conflicts; local search: restarts). *)
+  time_s : float;
+  winner : bool;
+}
+
+type result = {
+  verdict : Encodings.Outcome.t;
+      (** The winner's verdict, or [Limit] when no arm decided
+          ([Memout] only when every arm ran out of memory). *)
+  winner : string option;
+  time_s : float;  (** Wall clock of the whole race. *)
+  backends : backend_stats list;  (** One entry per spec, in spec order. *)
+}
+
+val solve :
+  ?specs:spec list ->
+  ?jobs:int ->
+  ?budget:Prelude.Timer.budget ->
+  ?seed:int ->
+  Rt_model.Taskset.t ->
+  m:int ->
+  result
+(** Race [specs] (default {!default_specs}) with at most [jobs] domains
+    (default [Domain.recommended_domain_count ()], clamped to the spec
+    count); with fewer domains than specs, idle domains pull the next spec
+    from the queue until a verdict lands.  Identical platforms and
+    constrained deadlines only, like the backends themselves ({!Core} runs
+    the clone transform before racing).  [seed + arm index] seeds the
+    randomized backends, so a single-job portfolio is deterministic.
+
+    The caller's [budget] wall/node limits apply to every arm; its own
+    stop flag is {e not} shared with the arms (the race installs a fresh
+    one), so cancel the race by its wall limit, not by [Timer.cancel] on
+    the original budget.
+    @raise Invalid_argument on [m < 1] or an empty [specs]. *)
+
+val summary : result -> string
+(** One line: overall verdict, wall time, winner, then per-arm
+    [name outcome n=<nodes> f=<fails> <time>s] cells ([*] marks the
+    winner, [-] an arm that never started). *)

@@ -5,16 +5,28 @@ type t = float
 let start () = now ()
 let elapsed t0 = now () -. t0
 
-type budget = { deadline : float option; node_limit : int option; started : float }
+type budget = {
+  deadline : float option;
+  node_limit : int option;
+  started : float;
+  stop : bool Atomic.t option;
+}
 
-let budget ?wall_s ?nodes () =
+let budget ?wall_s ?nodes ?stop () =
   let started = now () in
-  { deadline = Option.map (fun s -> started +. s) wall_s; node_limit = nodes; started }
+  let stop = match stop with Some _ as s -> s | None -> Some (Atomic.make false) in
+  { deadline = Option.map (fun s -> started +. s) wall_s; node_limit = nodes; started; stop }
 
-let unlimited = { deadline = None; node_limit = None; started = 0. }
+let unlimited = { deadline = None; node_limit = None; started = 0.; stop = None }
+
+let cancel b = match b.stop with Some flag -> Atomic.set flag true | None -> ()
+let cancelled b = match b.stop with Some flag -> Atomic.get flag | None -> false
+
+let with_stop b stop = { b with stop = Some stop }
 
 let exceeded b ~nodes =
-  (match b.node_limit with Some l -> nodes >= l | None -> false)
+  cancelled b
+  || (match b.node_limit with Some l -> nodes >= l | None -> false)
   || (match b.deadline with Some d -> now () >= d | None -> false)
 
 let nodes_exceeded b ~nodes =

@@ -3,7 +3,12 @@
     The paper gives every solver run a 30 s limit on a 2.4 GHz Core2Quad.
     We reproduce the mechanism with a deadline based on the monotonic-enough
     [Unix.gettimeofday], complemented by a node budget so that test-suite
-    runs stay fast and fully deterministic. *)
+    runs stay fast and fully deterministic.
+
+    A budget also carries a cooperative {e stop flag}: an [Atomic.t] that
+    another domain can raise with {!cancel} to make every solver polling the
+    budget return [Limit] promptly.  This is how the parallel portfolio
+    ({!Portfolio}) cancels losing backends. *)
 
 val now : unit -> float
 (** Seconds since the epoch, sub-millisecond resolution. *)
@@ -16,15 +21,34 @@ val elapsed : t -> float
 
 type budget
 
-val budget : ?wall_s:float -> ?nodes:int -> unit -> budget
-(** Missing components are unlimited. *)
+val budget : ?wall_s:float -> ?nodes:int -> ?stop:bool Atomic.t -> unit -> budget
+(** Missing components are unlimited.  When [stop] is omitted a fresh flag
+    is allocated, so {!cancel} works on every budget made here; pass a
+    shared flag to make several budgets cancellable together. *)
 
 val unlimited : budget
+(** No limits and no stop flag: {!cancel} on it is a no-op (it is a shared
+    constant; a cancellable unlimited budget is [budget ()]). *)
+
+val cancel : budget -> unit
+(** Raise the stop flag: every solver sharing it observes {!exceeded} at
+    its next poll and returns [Limit].  Safe to call from another domain;
+    idempotent. *)
+
+val cancelled : budget -> bool
+(** Stop-flag component only — one atomic read, cheap enough to call on
+    every search node (unlike the wall-clock read in {!exceeded}). *)
+
+val with_stop : budget -> bool Atomic.t -> budget
+(** Same limits, different stop flag.  Used to derive per-backend budgets
+    that share one cancellation point. *)
 
 val exceeded : budget -> nodes:int -> bool
-(** [exceeded b ~nodes] is true once either limit is hit.  The wall clock is
-    consulted lazily (every call), so callers should poll at a coarse
-    granularity (e.g. every 1024 search nodes). *)
+(** [exceeded b ~nodes] is true once either limit is hit or the stop flag
+    raised.  The wall clock is consulted lazily (every call), so callers
+    should poll at a coarse granularity (e.g. every 256 search nodes) —
+    but on {e every} increment of their node counter, so a masked check
+    such as [nodes land 255 = 0] cannot be skipped over. *)
 
 val nodes_exceeded : budget -> nodes:int -> bool
 (** Node-limit component only — no clock read, cheap enough to call on

@@ -20,5 +20,9 @@ let count t = t.n
 let mean t = if t.n = 0 then 0. else t.mean
 let variance t = if t.n < 2 then 0. else t.m2 /. float_of_int (t.n - 1)
 let stddev t = sqrt (variance t)
-let min t = t.mn
-let max t = t.mx
+
+(* The internal sentinels are +/-infinity; leaking them renders as "inf" in
+   tables, so an empty accumulator reports [nan] (detectable, never a
+   plausible-looking extremum). *)
+let min t = if t.n = 0 then nan else t.mn
+let max t = if t.n = 0 then nan else t.mx

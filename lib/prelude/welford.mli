@@ -17,7 +17,8 @@ val variance : t -> float
 
 val stddev : t -> float
 val min : t -> float
-(** [infinity] when empty. *)
+(** [nan] when empty (never the [infinity] sentinel, which would render as
+    a plausible-looking "inf" cell in the variance tables). *)
 
 val max : t -> float
-(** [neg_infinity] when empty. *)
+(** [nan] when empty. *)

@@ -452,6 +452,10 @@ let solve ?(budget = Timer.unlimited) ?(seed = 0) t =
     let restart_number = ref 1 in
     let conflicts_here = ref 0 in
     while !result = None do
+      (* Polled before propagation so a cancellation also lands during
+         conflict-heavy phases that never reach the decision branch. *)
+      if Timer.cancelled budget then result := Some Unknown
+      else begin
       let confl = propagate t in
       if confl >= 0 then begin
         t.n_conflicts <- t.n_conflicts + 1;
@@ -477,6 +481,7 @@ let solve ?(budget = Timer.unlimited) ?(seed = 0) t =
         (* All variables assigned and no conflict: model found. *)
         let model = Array.init t.nvars (fun v -> t.assigns.(v) = 1) in
         result := Some (Sat model)
+      end
       end
     done;
     (match !result with Some r -> (r, stats ()) | None -> assert false)

@@ -96,19 +96,37 @@ let prop_arbitrary_deadline_agreement =
       && (match b with Core.Feasible _ | Core.Infeasible -> true | _ -> false))
 
 let test_min_processors () =
-  Alcotest.(check (option int)) "running example" (Some 2) (Core.min_processors running);
-  Alcotest.(check (option int)) "trap" (Some 2) (Core.min_processors Examples.edf_trap);
+  Alcotest.(check bool) "running example" true
+    (Core.min_processors running = Core.Exact 2);
+  Alcotest.(check bool) "trap" true
+    (Core.min_processors Examples.edf_trap = Core.Exact 2);
   (* An infeasible-at-any-m system does not exist with C <= D, so check the
      max_m cutoff instead. *)
-  Alcotest.(check (option int)) "cutoff" None (Core.min_processors ~max_m:1 running)
+  Alcotest.(check bool) "cutoff" true
+    (Core.min_processors ~max_m:1 running = Core.All_infeasible);
+  Alcotest.(check (option int)) "exn wrapper" (Some 2) (Core.min_processors_exn running)
+
+let test_min_processors_inconclusive () =
+  (* A one-node budget times out at every m, so the search must admit it
+     cannot locate the minimum instead of inflating it. *)
+  let budget_per_m = Some (Prelude.Timer.budget ~nodes:1 ()) in
+  match Core.min_processors ~budget_per_m running with
+  | Core.Inconclusive { first_limit; feasible = None } ->
+    Alcotest.(check int) "first undecided m is the lower bound"
+      (Taskset.min_processors running) first_limit
+  | Core.Inconclusive { feasible = Some _; _ } ->
+    Alcotest.fail "nothing is decidable in one node"
+  | Core.Exact _ | Core.All_infeasible ->
+    Alcotest.fail "a one-node budget cannot decide anything"
 
 let prop_min_processors_bounds =
   qtest ~count:30 "min_processors lies between ceil(U) and n"
     (Test_util.taskset_gen ~nmax:4 ~tmax:4 ())
     (fun ts ->
       match Core.min_processors ts with
-      | Some m -> m >= Taskset.min_processors ts && m <= max 1 (Taskset.size ts)
-      | None -> true)
+      | Core.Exact m -> m >= Taskset.min_processors ts && m <= max 1 (Taskset.size ts)
+      | Core.All_infeasible -> true
+      | Core.Inconclusive _ -> false (* unbudgeted search is always decided *))
 
 let prop_verify_guard_all_solvers =
   (* Core.solve with verify=true must never return an unverified schedule;
@@ -148,6 +166,8 @@ let () =
       ( "capacity",
         [
           Alcotest.test_case "min_processors" `Quick test_min_processors;
+          Alcotest.test_case "min_processors inconclusive" `Quick
+            test_min_processors_inconclusive;
           prop_min_processors_bounds;
         ] );
     ]

@@ -84,6 +84,29 @@ let test_budget_limit () =
     instances;
   Alcotest.(check bool) "some run hits the node budget" true !limited
 
+let test_wall_budget_respected () =
+  (* Regression: with urgency propagation off, [advance] enumerates up to
+     C(n_free, k) candidate subsets between two outer-loop polls, so a
+     masked nodes-mod-256 check there let a 50 ms wall budget overshoot by
+     orders of magnitude (minutes on this very instance).  The budget is
+     now polled on every node, inside [attempt]. *)
+  let params = Gen.Generator.default ~n:12 ~m:(Gen.Generator.Fixed_m 4) ~tmax:7 in
+  let ts, m = (Gen.Generator.batch ~seed:2 ~count:1 params).(0) in
+  let wall = 0.05 in
+  let t0 = Prelude.Timer.start () in
+  let outcome, _ =
+    Csp2.Solver.solve ~urgency:false ~budget:(Prelude.Timer.budget ~wall_s:wall ()) ts ~m
+  in
+  let elapsed = Prelude.Timer.elapsed t0 in
+  (match outcome with
+  | O.Limit -> ()
+  | O.Feasible _ | O.Infeasible | O.Memout _ ->
+    Alcotest.fail "expected the wall budget to cut the search short");
+  Alcotest.(check bool)
+    (Printf.sprintf "returned within 2x the wall budget (took %.3fs)" elapsed)
+    true
+    (elapsed <= 2. *. wall)
+
 let test_edf_trap_feasible () =
   match Csp2.Solver.solve Examples.edf_trap ~m:Examples.edf_trap_m with
   | O.Feasible sched, _ ->
@@ -216,6 +239,7 @@ let () =
           Alcotest.test_case "infeasibility proof" `Quick test_infeasible_proof;
           Alcotest.test_case "deterministic" `Quick test_deterministic;
           Alcotest.test_case "node budget" `Quick test_budget_limit;
+          Alcotest.test_case "wall budget regression" `Quick test_wall_budget_respected;
           Alcotest.test_case "EDF trap" `Quick test_edf_trap_feasible;
           Alcotest.test_case "wrapped windows" `Quick test_wrapped_window_instance;
           prop_agrees_with_csp1;

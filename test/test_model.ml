@@ -346,13 +346,22 @@ let test_analysis_sparse_windows () =
   Alcotest.(check bool) "fine on two" false (Analysis.slot_capacity_shortfall ts ~m:2)
 
 let test_min_processors_search () =
-  let solve ~m = m >= 3 in
-  Alcotest.(check (option int)) "finds 3"
-    (Some 3)
-    (Analysis.min_processors_feasible ~solve running ~max_m:5);
-  let never ~m = ignore m; false in
-  Alcotest.(check (option int)) "none" None
-    (Analysis.min_processors_feasible ~solve:never running ~max_m:4)
+  let solve ~m = if m >= 3 then `Feasible else `Infeasible in
+  Alcotest.(check bool) "finds 3" true
+    (Analysis.min_processors_feasible ~solve running ~max_m:5 = Analysis.Exact 3);
+  let never ~m = ignore m; `Infeasible in
+  Alcotest.(check bool) "none" true
+    (Analysis.min_processors_feasible ~solve:never running ~max_m:4 = Analysis.All_infeasible);
+  (* A timeout below the first feasible m demotes the verdict: the reported
+     feasible m is only an upper bound, never presented as exact. *)
+  let limited ~m = if m = 2 then `Undecided else if m >= 4 then `Feasible else `Infeasible in
+  Alcotest.(check bool) "inconclusive" true
+    (Analysis.min_processors_feasible ~solve:limited running ~max_m:5
+    = Analysis.Inconclusive { first_limit = 2; feasible = Some 4 });
+  let all_limited ~m = ignore m; `Undecided in
+  Alcotest.(check bool) "inconclusive without upper bound" true
+    (Analysis.min_processors_feasible ~solve:all_limited running ~max_m:4
+    = Analysis.Inconclusive { first_limit = 2; feasible = None })
 
 (* ------------------------------------------------------------------ *)
 (* Metrics                                                              *)

@@ -1,0 +1,160 @@
+(* Tests for the Domains-based parallel portfolio: verdict agreement with
+   the sequential backends, prompt cooperative cancellation of losing
+   arms, the no-winner outcome, and the Core facade / summary line. *)
+
+open Rt_model
+module O = Encodings.Outcome
+module P = Portfolio
+
+let check = Alcotest.check
+let qtest = Test_util.qtest
+
+let running = Examples.running_example
+
+(* The regression workhorse: r > 1, so the only decisive verdict is an
+   exhaustive infeasibility proof — quick with urgency propagation on,
+   endless for local search. *)
+let hard_instance () =
+  let params = Gen.Generator.default ~n:12 ~m:(Gen.Generator.Fixed_m 4) ~tmax:7 in
+  (Gen.Generator.batch ~seed:1 ~count:1 params).(0)
+
+let test_feasible_matches_sequential () =
+  let r = P.solve running ~m:2 in
+  (match r.P.verdict with
+  | O.Feasible sched ->
+    Alcotest.(check bool) "verified" true (Verify.is_feasible running sched)
+  | O.Infeasible | O.Limit | O.Memout _ -> Alcotest.fail "running example is feasible on m=2");
+  Alcotest.(check bool) "a decisive arm won" true (r.P.winner <> None);
+  Alcotest.(check bool) "exactly one winner flag" true
+    (List.length (List.filter (fun (b : P.backend_stats) -> b.winner) r.P.backends) = 1)
+
+let test_infeasible_matches_sequential () =
+  let r = P.solve running ~m:1 in
+  (match r.P.verdict with
+  | O.Infeasible -> ()
+  | O.Feasible _ | O.Limit | O.Memout _ -> Alcotest.fail "running example is infeasible on m=1");
+  Alcotest.(check bool) "a decisive arm won" true (r.P.winner <> None)
+
+let test_job_counts_agree () =
+  (* Same verdict whatever the parallelism, including the sequential
+     single-domain race. *)
+  List.iter
+    (fun jobs ->
+      let r = P.solve ~jobs running ~m:2 in
+      Alcotest.(check bool)
+        (Printf.sprintf "feasible with %d job(s)" jobs)
+        true
+        (O.is_feasible r.P.verdict))
+    [ 1; 2; 4; 8 ]
+
+let test_cancellation_prompt () =
+  (* An infeasible instance under a generous backstop budget: the complete
+     arm refutes it quickly and must cancel the local-search arm (which
+     can never prove infeasibility and would otherwise spin until the
+     wall limit). *)
+  let ts, m = hard_instance () in
+  let backstop = 30. in
+  let t0 = Prelude.Timer.start () in
+  let r =
+    P.solve
+      ~specs:[ P.Csp2 Csp2.Heuristic.DC; P.Local_search ]
+      ~jobs:2
+      ~budget:(Prelude.Timer.budget ~wall_s:backstop ())
+      ts ~m
+  in
+  let elapsed = Prelude.Timer.elapsed t0 in
+  (match r.P.verdict with
+  | O.Infeasible -> ()
+  | O.Feasible _ | O.Limit | O.Memout _ -> Alcotest.fail "r > 1: expected an infeasibility proof");
+  check Alcotest.(option string) "complete arm wins" (Some "csp2+D-C") r.P.winner;
+  Alcotest.(check bool)
+    (Printf.sprintf "losers cancelled promptly (%.3fs)" elapsed)
+    true
+    (elapsed < backstop /. 3.)
+
+let test_no_winner_is_limit () =
+  (* One node per arm decides nothing; the race must degrade to [Limit]
+     with no winner rather than invent a verdict. *)
+  let ts, m = hard_instance () in
+  let r = P.solve ~budget:(Prelude.Timer.budget ~nodes:1 ()) ts ~m in
+  (match r.P.verdict with
+  | O.Limit -> ()
+  | O.Feasible _ | O.Infeasible | O.Memout _ -> Alcotest.fail "expected Limit");
+  Alcotest.(check bool) "no winner" true (r.P.winner = None);
+  Alcotest.(check bool) "no arm flagged" true
+    (List.for_all (fun (b : P.backend_stats) -> not b.winner) r.P.backends)
+
+let test_summary_line () =
+  let r = P.solve running ~m:2 in
+  let s = P.summary r in
+  let contains needle =
+    let nl = String.length needle and hl = String.length s in
+    let rec go i = i + nl <= hl && (String.sub s i nl = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "tagged" true (contains "portfolio: feasible");
+  Alcotest.(check bool) "winner marked" true (contains "*");
+  (* Every arm appears, started or not. *)
+  List.iter (fun b -> Alcotest.(check bool) b.P.name true (contains b.P.name)) r.P.backends
+
+let test_invalid_args () =
+  Alcotest.check_raises "empty specs" (Invalid_argument "Portfolio.solve: empty backend list")
+    (fun () -> ignore (P.solve ~specs:[] running ~m:2));
+  Alcotest.check_raises "m = 0" (Invalid_argument "Portfolio.solve: m must be >= 1") (fun () ->
+      ignore (P.solve running ~m:0))
+
+(* ------------------------------------------------------------------ *)
+(* Core facade                                                          *)
+
+let test_core_portfolio_solver () =
+  (match Core.solve ~solver:(Core.Portfolio 4) running ~m:2 with
+  | Core.Feasible _, _ -> ()
+  | (Core.Infeasible | Core.Limit | Core.Memout _), _ -> Alcotest.fail "feasible on m=2");
+  match Core.solve ~solver:(Core.Portfolio 4) running ~m:1 with
+  | Core.Infeasible, _ -> ()
+  | (Core.Feasible _ | Core.Limit | Core.Memout _), _ -> Alcotest.fail "infeasible on m=1"
+
+let test_core_solve_portfolio_arbitrary_deadlines () =
+  (* D > T forces the clone transform; the facade verifies the winning
+     clone schedule and maps it back to original task ids. *)
+  let ts = Examples.arbitrary_deadline in
+  let r = Core.solve_portfolio ts ~m:2 in
+  match r.P.verdict with
+  | O.Feasible sched ->
+    let clone_hp = Taskset.hyperperiod (Clone.cloned (Clone.transform ts)) in
+    check Alcotest.int "horizon is the clone hyperperiod" clone_hp (Schedule.horizon sched)
+  | O.Infeasible | O.Limit | O.Memout _ -> Alcotest.fail "arbitrary-deadline example is feasible"
+
+let prop_agrees_with_sat =
+  qtest ~count:30 "portfolio verdict = CSP1/SAT on random instances"
+    (Test_util.instance_gen ~nmax:4 ~tmax:4 ())
+    (fun (ts, m) ->
+      let budget = Prelude.Timer.budget ~wall_s:5.0 () in
+      let reference, _ = Encodings.Csp1_sat.solve ~budget ts ~m in
+      let r = P.solve ~jobs:2 ~budget ts ~m in
+      match (reference, r.P.verdict) with
+      | O.Feasible _, O.Feasible sched -> Verify.is_feasible ts sched
+      | O.Infeasible, O.Infeasible -> true
+      | _ -> false)
+
+let () =
+  Alcotest.run "portfolio"
+    [
+      ( "race",
+        [
+          Alcotest.test_case "feasible verdict" `Quick test_feasible_matches_sequential;
+          Alcotest.test_case "infeasible verdict" `Quick test_infeasible_matches_sequential;
+          Alcotest.test_case "job counts agree" `Quick test_job_counts_agree;
+          Alcotest.test_case "prompt cancellation" `Quick test_cancellation_prompt;
+          Alcotest.test_case "no winner = Limit" `Quick test_no_winner_is_limit;
+          Alcotest.test_case "summary line" `Quick test_summary_line;
+          Alcotest.test_case "invalid arguments" `Quick test_invalid_args;
+        ] );
+      ( "facade",
+        [
+          Alcotest.test_case "Core.Portfolio solver" `Quick test_core_portfolio_solver;
+          Alcotest.test_case "clone transform" `Quick
+            test_core_solve_portfolio_arbitrary_deadlines;
+          prop_agrees_with_sat;
+        ] );
+    ]

@@ -230,12 +230,20 @@ let test_combi_edge () =
   check Alcotest.int "count k=n" 1 (Prelude.Combi.count ~n:4 ~k:4)
 
 let prop_combi_count =
-  qtest "iter visits count combos"
+  qtest "iter visits count strictly-increasing combos"
     QCheck2.Gen.(pair (int_range 0 8) (int_range 0 8))
     (fun (n, k) ->
       let visits = ref 0 in
-      Prelude.Combi.iter ~n ~k (fun _ -> incr visits);
-      !visits = Prelude.Combi.count ~n ~k)
+      let well_formed = ref true in
+      Prelude.Combi.iter ~n ~k (fun c ->
+          incr visits;
+          if Array.length c <> k then well_formed := false;
+          Array.iteri
+            (fun i v ->
+              if v < 0 || v >= n then well_formed := false;
+              if i > 0 && c.(i - 1) >= v then well_formed := false)
+            c);
+      !well_formed && !visits = Prelude.Combi.count ~n ~k)
 
 (* ------------------------------------------------------------------ *)
 (* Ascii_table, Welford, Bool_vec, Timer                                *)
@@ -285,9 +293,14 @@ let test_welford_degenerate () =
   let w = Welford.create () in
   Alcotest.(check (float 0.)) "empty mean" 0. (Welford.mean w);
   Alcotest.(check (float 0.)) "empty variance" 0. (Welford.variance w);
+  (* No observations: nan, not the +/-infinity initializers. *)
+  Alcotest.(check bool) "empty min is nan" true (Float.is_nan (Welford.min w));
+  Alcotest.(check bool) "empty max is nan" true (Float.is_nan (Welford.max w));
   Welford.add w 7.;
   Alcotest.(check (float 0.)) "single mean" 7. (Welford.mean w);
-  Alcotest.(check (float 0.)) "single variance" 0. (Welford.variance w)
+  Alcotest.(check (float 0.)) "single variance" 0. (Welford.variance w);
+  Alcotest.(check (float 0.)) "single min" 7. (Welford.min w);
+  Alcotest.(check (float 0.)) "single max" 7. (Welford.max w)
 
 let test_pow_overflow () =
   Alcotest.(check bool) "2^80 overflows" true
@@ -302,6 +315,23 @@ let test_budget () =
   let b2 = Timer.budget ~wall_s:3600. () in
   Alcotest.(check bool) "time far away" false (Timer.exceeded b2 ~nodes:0);
   Alcotest.(check bool) "unlimited" false (Timer.exceeded Timer.unlimited ~nodes:max_int)
+
+let test_budget_cancel () =
+  let b = Timer.budget ~wall_s:3600. () in
+  Alcotest.(check bool) "fresh" false (Timer.cancelled b);
+  Timer.cancel b;
+  Alcotest.(check bool) "cancelled" true (Timer.cancelled b);
+  Alcotest.(check bool) "exceeded once cancelled" true (Timer.exceeded b ~nodes:0);
+  (* with_stop shares one flag across budgets. *)
+  let stop = Atomic.make false in
+  let a1 = Timer.with_stop (Timer.budget ~wall_s:3600. ()) stop in
+  let a2 = Timer.with_stop (Timer.budget ~nodes:1_000_000 ()) stop in
+  Alcotest.(check bool) "arm 1 fresh" false (Timer.cancelled a1);
+  Timer.cancel a2;
+  Alcotest.(check bool) "arm 1 sees arm 2's cancel" true (Timer.cancelled a1);
+  (* The shared unlimited budget is not cancellable. *)
+  Timer.cancel Timer.unlimited;
+  Alcotest.(check bool) "unlimited immune" false (Timer.cancelled Timer.unlimited)
 
 let () =
   Alcotest.run "prelude"
@@ -350,6 +380,7 @@ let () =
           Alcotest.test_case "welford" `Quick test_welford;
           Alcotest.test_case "bool_vec" `Quick test_bool_vec;
           Alcotest.test_case "budget" `Quick test_budget;
+          Alcotest.test_case "budget cancel" `Quick test_budget_cancel;
           Alcotest.test_case "prng copy" `Quick test_prng_copy;
           Alcotest.test_case "welford degenerate" `Quick test_welford_degenerate;
           Alcotest.test_case "pow overflow" `Quick test_pow_overflow;
