@@ -11,6 +11,33 @@ open Experiments
 let section title =
   Printf.printf "\n%s\n%s\n%!" title (String.make (String.length title) '=')
 
+(* MGRTS_SECTIONS=portfolio,analyze runs only the sections whose title
+   contains one of the comma-separated keys (case-insensitive); unset or
+   empty runs everything. *)
+let wanted =
+  match Sys.getenv_opt "MGRTS_SECTIONS" with
+  | None | Some "" -> fun _ -> true
+  | Some spec ->
+    let keys =
+      String.split_on_char ',' (String.lowercase_ascii spec)
+      |> List.map String.trim
+      |> List.filter (fun k -> k <> "")
+    in
+    let contains hay needle =
+      let h = String.length hay and n = String.length needle in
+      let rec at i = i + n <= h && (String.sub hay i n = needle || at (i + 1)) in
+      n = 0 || at 0
+    in
+    fun title ->
+      let t = String.lowercase_ascii title in
+      List.exists (contains t) keys
+
+let run_section title body =
+  if wanted title then begin
+    section title;
+    body ()
+  end
+
 let progress_every every label i =
   if (i + 1) mod every = 0 then Printf.printf "  .. %s %d\n%!" label (i + 1)
 
@@ -24,54 +51,55 @@ let () =
     config.Config.table4_instances
     (String.concat "," (List.map string_of_int config.Config.table4_sizes));
 
-  section "FIGURE 1";
-  print_string (Tables.figure1 ());
+  run_section "FIGURE 1" (fun () -> print_string (Tables.figure1 ()));
 
-  section "TABLES I-III (shared campaign: m=5, n=10, Tmax=7)";
-  let campaign = Campaign.run ~progress:(progress_every 100 "instance") config in
-  print_string (Tables.render_table1 (Tables.table1 campaign));
-  print_newline ();
-  print_string (Tables.render_table2 (Tables.table2 campaign));
-  print_newline ();
-  print_string (Tables.render_bucket_rows (Tables.table3 campaign));
+  run_section "TABLES I-III (shared campaign: m=5, n=10, Tmax=7)" (fun () ->
+      let campaign = Campaign.run ~progress:(progress_every 100 "instance") config in
+      print_string (Tables.render_table1 (Tables.table1 campaign));
+      print_newline ();
+      print_string (Tables.render_table2 (Tables.table2 campaign));
+      print_newline ();
+      print_string (Tables.render_bucket_rows (Tables.table3 campaign)));
 
-  section "TABLE I VARIANT (weak propagation: urgency off — the regime where the paper's heuristic ordering shows)";
-  let weak_campaign =
-    Campaign.run
-      ~solvers:Experiments.Runner.table1_weak_solvers
-      ~progress:(progress_every 100 "instance")
-      config
-  in
-  print_string (Tables.render_table1 (Tables.table1 weak_campaign));
+  run_section
+    "TABLE I VARIANT (weak propagation: urgency off — the regime where the paper's heuristic ordering shows)"
+    (fun () ->
+      let weak_campaign =
+        Campaign.run
+          ~solvers:Experiments.Runner.table1_weak_solvers
+          ~progress:(progress_every 100 "instance")
+          config
+      in
+      print_string (Tables.render_table1 (Tables.table1 weak_campaign)));
 
-  section "TABLE IV (scaling: Tmax=15, m minimal)";
-  let rows = Tables.table4 ~progress:(fun i -> progress_every 1 "size" i) config in
-  print_string (Tables.render_table4 rows);
+  run_section "TABLE IV (scaling: Tmax=15, m minimal)" (fun () ->
+      let rows = Tables.table4 ~progress:(fun i -> progress_every 1 "size" i) config in
+      print_string (Tables.render_table4 rows));
 
-  section "PORTFOLIO (Domains race vs its sequential arms)";
-  let portfolio_solvers =
-    [
-      List.find (fun s -> s.Runner.name = "+(D-C)") Runner.csp2_variants;
-      Runner.csp1_sat;
-      Runner.local_search;
-      Runner.portfolio ();
-    ]
-  in
-  let portfolio_campaign =
-    Campaign.run ~solvers:portfolio_solvers ~progress:(progress_every 100 "instance") config
-  in
-  print_string (Tables.render_table1 (Tables.table1 portfolio_campaign));
-  print_newline ();
-  print_string (Tables.render_bucket_rows (Tables.table3 portfolio_campaign));
+  run_section "PORTFOLIO (Domains race vs its sequential arms)" (fun () ->
+      let portfolio_solvers =
+        [
+          List.find (fun s -> s.Runner.name = "+(D-C)") Runner.csp2_variants;
+          Runner.csp1_sat;
+          Runner.local_search;
+          Runner.portfolio ();
+        ]
+      in
+      let portfolio_campaign =
+        Campaign.run ~solvers:portfolio_solvers ~progress:(progress_every 100 "instance") config
+      in
+      print_string (Tables.render_table1 (Tables.table1 portfolio_campaign));
+      print_newline ();
+      print_string (Tables.render_bucket_rows (Tables.table3 portfolio_campaign)));
 
-  section "RANDOMNESS (Section VII-B)";
-  print_string (Variance.render (Variance.run config));
+  run_section "ANALYZE (static pre-pass: decision rates, prune volume, csp2 node reduction)"
+    (fun () ->
+      print_string (Prepass.render (Prepass.run ~progress:(progress_every 100 "instance") config)));
 
-  section "ABLATIONS";
-  print_string (Ablation.render (Ablation.run config));
+  run_section "RANDOMNESS (Section VII-B)" (fun () -> print_string (Variance.render (Variance.run config)));
 
-  section "BASELINES";
-  print_string (Baselines.render (Baselines.run config));
+  run_section "ABLATIONS" (fun () -> print_string (Ablation.render (Ablation.run config)));
 
-  section "MICRO-BENCHMARKS (Bechamel)";
-  Micro.run ()
+  run_section "BASELINES" (fun () -> print_string (Baselines.render (Baselines.run config)));
+
+  run_section "MICRO-BENCHMARKS (Bechamel)" (fun () -> Micro.run ())

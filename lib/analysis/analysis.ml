@@ -1,0 +1,515 @@
+open Prelude
+open Rt_model
+
+module Domains = Domains
+module Certificate = Certificate
+
+type verdict =
+  | Infeasible of Certificate.t
+  | Trivially_feasible of Schedule.t
+  | Pruned of Domains.t
+
+type report = {
+  verdict : verdict;
+  m_lower : int;
+  skipped : string list;
+  time_s : float;
+}
+
+let default_work_budget = 10_000_000
+
+let utilization_exceeds ts ~m =
+  let num, den = Taskset.utilization_num_den ts in
+  num > m * den
+
+(* ------------------------------------------------------------------ *)
+(* Work budget: every window-based pass draws from a shared pool and, on
+   exhaustion, records WHY it stopped instead of silently degrading.    *)
+
+type budget = { mutable left : int; mutable notes : string list; wall : Timer.budget }
+
+let wall_note = "analysis stopped early: wall budget exhausted"
+
+let spend b cost ~note =
+  if Timer.cancelled b.wall || Timer.exceeded b.wall ~nodes:0 then begin
+    if not (List.mem wall_note b.notes) then b.notes <- wall_note :: b.notes;
+    false
+  end
+  else if cost <= b.left then begin
+    b.left <- b.left - cost;
+    true
+  end
+  else begin
+    b.notes <- note :: b.notes;
+    false
+  end
+
+(* Cost of building and sweeping the window tables: one n·T slot table
+   plus Σ (T/T_i)·D_i window cells. *)
+let window_work ts =
+  let t = Taskset.hyperperiod ts in
+  let n = Taskset.size ts in
+  let cells =
+    Array.fold_left
+      (fun acc (task : Task.t) -> acc + (t / task.period * task.deadline))
+      0 (Taskset.tasks ts)
+  in
+  (n * t) + cells
+
+(* ------------------------------------------------------------------ *)
+(* Fixpoint state at a fixed m.  [allowed] mirrors the replay state of
+   Certificate.validate: the analyzer records exactly the derivation steps
+   it applies, so a validator replay reconstructs the same matrices.     *)
+
+type fx = {
+  ts : Taskset.t;
+  m : int;
+  n : int;
+  horizon : int;
+  windows : Windows.t;
+  allowed : bool array array; (* [task].(slot), true only in-window *)
+  allowed_count : int array; (* per global job *)
+  forced : Bitset.t array; (* per slot *)
+  forced_job : bool array; (* per global job *)
+  saturated : bool array; (* per slot *)
+  mutable blocked_cells : int;
+  mutable steps_rev : Certificate.step list;
+}
+
+exception Contradiction of Certificate.step
+
+let make_fx ts ~m windows =
+  let n = Taskset.size ts in
+  let horizon = Windows.horizon windows in
+  let jobs = Windows.jobs windows in
+  let allowed = Array.make_matrix n horizon false in
+  Array.iter
+    (fun (job : Windows.job) -> Array.iter (fun s -> allowed.(job.task).(s) <- true) job.slots)
+    jobs;
+  {
+    ts;
+    m;
+    n;
+    horizon;
+    windows;
+    allowed;
+    allowed_count = Array.map (fun (job : Windows.job) -> Array.length job.slots) jobs;
+    forced = Array.init horizon (fun _ -> Bitset.create n);
+    forced_job = Array.make (Array.length jobs) false;
+    saturated = Array.make horizon false;
+    blocked_cells = 0;
+    steps_rev = [];
+  }
+
+let emit fx step = fx.steps_rev <- step :: fx.steps_rev
+
+let certificate fx terminal = { Certificate.m = fx.m; steps = List.rev (terminal :: fx.steps_rev) }
+
+(* Laxity-zero forcing + slot saturation, iterated to a fixed point.
+   Raises [Contradiction] with the terminal step on refutation. *)
+let run_fixpoint fx =
+  let jobs = Windows.jobs fx.windows in
+  let jobq = Queue.create () in
+  let slotq = Queue.create () in
+  Array.iteri (fun g _ -> Queue.push g jobq) jobs;
+  let process_job g =
+    if not fx.forced_job.(g) then begin
+      let job = jobs.(g) in
+      let wcet = (Taskset.task fx.ts job.task).wcet in
+      let c = fx.allowed_count.(g) in
+      if c < wcet then
+        raise (Contradiction (Certificate.Starved { task = job.task; k = job.index; allowed = c; wcet }))
+      else if c = wcet then begin
+        fx.forced_job.(g) <- true;
+        emit fx (Certificate.Forced { task = job.task; k = job.index });
+        Array.iter
+          (fun s ->
+            if fx.allowed.(job.task).(s) && not (Bitset.mem fx.forced.(s) job.task) then begin
+              Bitset.add fx.forced.(s) job.task;
+              Queue.push s slotq
+            end)
+          job.slots
+      end
+    end
+  in
+  let process_slot s =
+    let c = Bitset.cardinal fx.forced.(s) in
+    if c > fx.m then raise (Contradiction (Certificate.Slot_overload { time = s }))
+    else if c = fx.m && not fx.saturated.(s) then begin
+      fx.saturated.(s) <- true;
+      emit fx (Certificate.Saturated { time = s });
+      for i = 0 to fx.n - 1 do
+        if fx.allowed.(i).(s) && not (Bitset.mem fx.forced.(s) i) then begin
+          fx.allowed.(i).(s) <- false;
+          fx.blocked_cells <- fx.blocked_cells + 1;
+          let g = Windows.job_id_at fx.windows ~task:i ~time:s in
+          fx.allowed_count.(g) <- fx.allowed_count.(g) - 1;
+          Queue.push g jobq
+        end
+      done
+    end
+  in
+  while not (Queue.is_empty jobq && Queue.is_empty slotq) do
+    while not (Queue.is_empty jobq) do
+      process_job (Queue.pop jobq)
+    done;
+    if not (Queue.is_empty slotq) then process_slot (Queue.pop slotq)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* m-independent lower bounds (computed on the pristine windows only:
+   saturation-derived facts are conditional on the analyzed m, so they
+   must not leak into the bound). *)
+
+(* Max over slots of the number of laxity-zero tasks covering the slot:
+   all of them are forced to run there on any number of processors. *)
+let zero_laxity_bound ts windows =
+  let horizon = Windows.horizon windows in
+  let zl = Array.make horizon 0 in
+  Array.iter
+    (fun (job : Windows.job) ->
+      let task = Taskset.task ts job.task in
+      if task.wcet = task.deadline then Array.iter (fun s -> zl.(s) <- zl.(s) + 1) job.slots)
+    (Windows.jobs windows);
+  Array.fold_left max 0 zl
+
+(* Smallest m' whose hyperperiod supply Σ_t min(m', load t) covers the
+   total demand; [n + 1] when even unlimited parallelism falls short. *)
+let supply_bound ts windows =
+  let load = Windows.slot_load windows in
+  let n = Taskset.size ts in
+  let demand = Taskset.total_demand ts in
+  let counts = Array.make (n + 1) 0 in
+  Array.iter (fun l -> counts.(l) <- counts.(l) + 1) load;
+  let rec search m' =
+    if m' > n then n + 1
+    else begin
+      let supply = ref 0 in
+      Array.iteri (fun l c -> supply := !supply + (c * min m' l)) counts;
+      if !supply >= demand then m' else search (m' + 1)
+    end
+  in
+  search 1
+
+(* ------------------------------------------------------------------ *)
+(* Interval demand-bound tests.  Candidate intervals are the cyclic
+   [start, start+len) whose endpoints are window boundaries (release
+   instants and absolute deadlines folded mod T) — the only places where
+   a job's forced contribution max(0, C − slots outside) changes.       *)
+
+let boundary_points ts windows =
+  let horizon = Windows.horizon windows in
+  let starts = Array.make horizon false and ends = Array.make horizon false in
+  Array.iter
+    (fun (job : Windows.job) ->
+      let task = Taskset.task ts job.task in
+      starts.(Intmath.imod job.release horizon) <- true;
+      ends.(Intmath.imod (job.release + task.deadline) horizon) <- true)
+    (Windows.jobs windows);
+  let collect flags =
+    let acc = ref [] in
+    for s = horizon - 1 downto 0 do
+      if flags.(s) then acc := s :: !acc
+    done;
+    !acc
+  in
+  (collect starts, collect ends)
+
+let overlap a b c d = max 0 (min b d - max a c)
+
+(* Pristine slots of [job] inside the cyclic interval, in O(1): both the
+   window [r, r+D) and the interval live in [0, 2T), so three interval
+   copies (shifted by −T, 0, +T) cover every cyclic intersection. *)
+let pristine_inside ~horizon ~release ~deadline ~start ~len =
+  let r2 = release + deadline in
+  overlap release r2 (start - horizon) (start + len - horizon)
+  + overlap release r2 start (start + len)
+  + overlap release r2 (start + horizon) (start + len + horizon)
+
+(* Sweep all candidate intervals on the pristine windows.  Returns the max
+   lower bound ⌈demand/len⌉ and, when [detect_m] is given, the first
+   interval whose forced demand exceeds m·len. *)
+let pristine_interval_scan ts windows budget ?detect_m () =
+  let horizon = Windows.horizon windows in
+  let jobs = Windows.jobs windows in
+  let wcet = Array.map (fun (j : Windows.job) -> (Taskset.task ts j.task).wcet) jobs in
+  let deadline = Array.map (fun (j : Windows.job) -> (Taskset.task ts j.task).deadline) jobs in
+  let starts, ends = boundary_points ts windows in
+  let per_start = List.length ends * Array.length jobs in
+  let bound = ref 1 in
+  let hit = ref None in
+  (try
+     List.iter
+       (fun start ->
+         if
+           not
+             (spend budget per_start
+                ~note:"interval pass truncated: work budget exhausted mid-sweep")
+         then raise Exit;
+         List.iter
+           (fun e ->
+             let len = Intmath.imod (e - start) horizon in
+             (* len = 0 would be the full hyperperiod: that is exactly the
+                utilization test, already run. *)
+             if len > 0 then begin
+               let demand = ref 0 in
+               Array.iteri
+                 (fun g (job : Windows.job) ->
+                   let inside =
+                     pristine_inside ~horizon ~release:job.release ~deadline:deadline.(g)
+                       ~start ~len
+                   in
+                   demand := !demand + max 0 (wcet.(g) - (deadline.(g) - inside)))
+                 jobs;
+               if !demand > 0 then bound := max !bound (Intmath.cdiv !demand len);
+               match detect_m with
+               | Some m when !hit = None && !demand > m * len ->
+                 hit := Some (start, len, !demand)
+               | _ -> ()
+             end)
+           ends)
+       starts
+   with Exit -> ());
+  (!bound, !hit)
+
+(* Same detection on the post-fixpoint windows (needed once saturation has
+   blocked cells: demand can only grow, so this subsumes the pristine
+   detection).  Per-job counts scan the window slots, mirroring
+   Certificate.validate exactly. *)
+let post_interval_scan fx budget =
+  let horizon = fx.horizon in
+  let jobs = Windows.jobs fx.windows in
+  let wcet = Array.map (fun (j : Windows.job) -> (Taskset.task fx.ts j.task).wcet) jobs in
+  let starts, ends = boundary_points fx.ts fx.windows in
+  let window_cells = Array.fold_left (fun acc (j : Windows.job) -> acc + Array.length j.slots) 0 jobs in
+  let per_start = List.length ends * window_cells in
+  let hit = ref None in
+  (try
+     List.iter
+       (fun start ->
+         if
+           not
+             (spend budget per_start
+                ~note:"post-fixpoint interval pass truncated: work budget exhausted mid-sweep")
+         then raise Exit;
+         List.iter
+           (fun e ->
+             let len = Intmath.imod (e - start) horizon in
+             if len > 0 && !hit = None then begin
+               let demand = ref 0 in
+               Array.iteri
+                 (fun g (job : Windows.job) ->
+                   let inside = ref 0 and total = ref 0 in
+                   Array.iter
+                     (fun s ->
+                       if fx.allowed.(job.task).(s) then begin
+                         incr total;
+                         if Intmath.imod (s - start) horizon < len then incr inside
+                       end)
+                     job.slots;
+                   demand := !demand + max 0 (wcet.(g) - (!total - !inside)))
+                 jobs;
+               if !demand > fx.m * len then hit := Some (start, len, !demand)
+             end)
+           ends)
+       starts
+   with Exit -> ());
+  !hit
+
+(* ------------------------------------------------------------------ *)
+(* Post-fixpoint per-slot availability and supply.                      *)
+
+let availability fx =
+  let avail = Array.make fx.horizon 0 in
+  for s = 0 to fx.horizon - 1 do
+    for i = 0 to fx.n - 1 do
+      if fx.allowed.(i).(s) then avail.(s) <- avail.(s) + 1
+    done
+  done;
+  avail
+
+let post_supply fx avail = Array.fold_left (fun acc a -> acc + min fx.m a) 0 avail
+
+(* ------------------------------------------------------------------ *)
+(* Trivially-feasible pass: first-fit-decreasing-density partitioning with
+   a per-processor EDF packing over an unrolled double hyperperiod (so
+   wrapped windows are served in release order).  The witness is accepted
+   only if every job is fully served — and re-checked by Verify before the
+   verdict is trusted. *)
+
+let try_partition fx budget =
+  let ts = fx.ts and m = fx.m and horizon = fx.horizon in
+  let jobs = Windows.jobs fx.windows in
+  let cost = 2 * horizon * (Array.length jobs + fx.n) in
+  if not (spend budget cost ~note:"partitioned-fit pass skipped: work budget exhausted") then
+    None
+  else begin
+    let order = Array.init fx.n (fun i -> i) in
+    Array.sort
+      (fun a b ->
+        let da = Task.density (Taskset.task ts a) and db = Task.density (Taskset.task ts b) in
+        if da <> db then compare db da else compare a b)
+      order;
+    let bin_demand = Array.make m 0 in
+    let assign = Array.make fx.n (-1) in
+    let fits = ref true in
+    Array.iter
+      (fun i ->
+        let task = Taskset.task ts i in
+        let d = Taskset.jobs_per_hyperperiod ts i * task.wcet in
+        let rec place j =
+          if j >= m then fits := false
+          else if bin_demand.(j) + d <= horizon then begin
+            bin_demand.(j) <- bin_demand.(j) + d;
+            assign.(i) <- j
+          end
+          else place (j + 1)
+        in
+        place 0)
+      order;
+    if not !fits then None
+    else begin
+      let rem = Array.map (fun (j : Windows.job) -> (Taskset.task ts j.task).wcet) jobs in
+      let sched = Schedule.create ~m ~horizon in
+      for proc = 0 to m - 1 do
+        let mine =
+          Array.to_list jobs |> List.filter (fun (j : Windows.job) -> assign.(j.task) = proc)
+        in
+        for x = 0 to (2 * horizon) - 1 do
+          let t = Intmath.imod x horizon in
+          if Schedule.get sched ~proc ~time:t = Schedule.idle then begin
+            let best = ref None in
+            List.iter
+              (fun (j : Windows.job) ->
+                let d = (Taskset.task ts j.task).deadline in
+                let g = Windows.global_index fx.windows ~task:j.task ~index:j.index in
+                if rem.(g) > 0 && j.release <= x && x < j.release + d then
+                  match !best with
+                  | Some (key, _) when key <= (j.release + d, j.task, j.index) -> ()
+                  | _ -> best := Some ((j.release + d, j.task, j.index), g))
+              mine;
+            match !best with
+            | Some ((_, task, _), g) ->
+              Schedule.set sched ~proc ~time:t task;
+              rem.(g) <- rem.(g) - 1
+            | None -> ()
+          end
+        done
+      done;
+      if Array.for_all (fun r -> r = 0) rem && Verify.is_feasible ts sched then Some sched
+      else None
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+
+let build_domains fx ~m_lower avail =
+  let d = Domains.create ~n:fx.n ~m:fx.m ~horizon:fx.horizon in
+  for s = 0 to fx.horizon - 1 do
+    Bitset.iter (fun task -> Domains.force d ~task ~time:s) fx.forced.(s);
+    if avail.(s) = 0 then Domains.mark_dead d ~time:s
+  done;
+  if fx.blocked_cells > 0 then begin
+    let jobs = Windows.jobs fx.windows in
+    Array.iter
+      (fun (job : Windows.job) ->
+        Array.iter
+          (fun s -> if not (fx.allowed.(job.task).(s)) then Domains.block d ~task:job.task ~time:s)
+          job.slots)
+      jobs
+  end;
+  Domains.set_m_lower d m_lower;
+  d
+
+let check_args name ts ~m =
+  if m < 1 then invalid_arg (name ^ ": m must be >= 1");
+  if not (Taskset.is_constrained ts) then
+    invalid_arg (name ^ ": arbitrary-deadline task set (reduce with Clone first)")
+
+let analyze ?(work_budget = default_work_budget) ?(wall = Timer.unlimited) ts ~m =
+  check_args "Analysis.analyze" ts ~m;
+  let t0 = Timer.now () in
+  let finish ~m_lower ~skipped verdict =
+    { verdict; m_lower; skipped; time_s = Timer.now () -. t0 }
+  in
+  let num, den = Taskset.utilization_num_den ts in
+  let u_bound = Intmath.cdiv num den in
+  if num > m * den then
+    finish ~m_lower:u_bound ~skipped:[]
+      (Infeasible { Certificate.m; steps = [ Certificate.Utilization { demand = num; supply = m * den } ] })
+  else begin
+    let budget = { left = work_budget; notes = []; wall } in
+    let n = Taskset.size ts in
+    let horizon = Taskset.hyperperiod ts in
+    if
+      not
+        (spend budget (window_work ts)
+           ~note:
+             (Printf.sprintf
+                "window passes skipped: instance cost %d exceeds work budget %d (n=%d, T=%d)"
+                (window_work ts) work_budget n horizon))
+    then
+      (* Too large to inspect slot-by-slot: report the skip (the old
+         slot_capacity_shortfall guard was silent here) and fall back to
+         the utilization bound alone. *)
+      finish ~m_lower:u_bound ~skipped:budget.notes
+        (Pruned
+           (let d = Domains.create ~n ~m ~horizon in
+            Domains.set_m_lower d u_bound;
+            d))
+    else begin
+      let windows = Windows.build ts in
+      let fx = make_fx ts ~m windows in
+      let m_low = ref u_bound in
+      m_low := max !m_low (zero_laxity_bound ts windows);
+      m_low := max !m_low (supply_bound ts windows);
+      match run_fixpoint fx with
+      | exception Contradiction terminal ->
+        finish ~m_lower:!m_low ~skipped:budget.notes (Infeasible (certificate fx terminal))
+      | () -> (
+        let avail = availability fx in
+        let cap = post_supply fx avail in
+        let demand = Taskset.total_demand ts in
+        if cap < demand then
+          finish ~m_lower:!m_low ~skipped:budget.notes
+            (Infeasible (certificate fx (Certificate.Supply_shortfall { demand; supply = cap })))
+        else begin
+          (* Pristine sweep: lower bounds always; direct detection doubles
+             as the certificate source while no cell is blocked. *)
+          let detect_m = if fx.blocked_cells = 0 then Some m else None in
+          let bound, pristine_hit = pristine_interval_scan ts windows budget ?detect_m () in
+          m_low := max !m_low bound;
+          let hit =
+            match pristine_hit with
+            | Some _ -> pristine_hit
+            | None -> if fx.blocked_cells > 0 then post_interval_scan fx budget else None
+          in
+          match hit with
+          | Some (start, len, demand) ->
+            finish ~m_lower:!m_low ~skipped:budget.notes
+              (Infeasible
+                 (certificate fx
+                    (Certificate.Interval_demand { start; len; demand; supply = m * len })))
+          | None -> (
+            match try_partition fx budget with
+            | Some sched ->
+              finish ~m_lower:!m_low ~skipped:budget.notes (Trivially_feasible sched)
+            | None ->
+              finish ~m_lower:!m_low ~skipped:budget.notes
+                (Pruned (build_domains fx ~m_lower:!m_low avail)))
+        end)
+    end
+  end
+
+let m_lower_bound ?(work_budget = default_work_budget) ts =
+  if not (Taskset.is_constrained ts) then
+    invalid_arg "Analysis.m_lower_bound: arbitrary-deadline task set (reduce with Clone first)";
+  let num, den = Taskset.utilization_num_den ts in
+  let u_bound = Intmath.cdiv num den in
+  let budget = { left = work_budget; notes = []; wall = Timer.unlimited } in
+  if not (spend budget (window_work ts) ~note:"") then u_bound
+  else begin
+    let windows = Windows.build ts in
+    let bound, _ = pristine_interval_scan ts windows budget () in
+    max (max u_bound (zero_laxity_bound ts windows)) (max (supply_bound ts windows) bound)
+  end

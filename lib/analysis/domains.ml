@@ -1,0 +1,108 @@
+open Prelude
+open Rt_model
+
+(* Rows and per-slot sets are allocated on first write: an analysis that was
+   budget-skipped on a Table IV-sized instance (n·T ≈ 10^8) still returns a
+   Domains.t without materializing n·T cells. *)
+type t = {
+  n : int;
+  m : int;
+  horizon : int;
+  forced : Bitset.t option array; (* per slot: tasks that must run there *)
+  blocked : bool array option array; (* [task]: in-window but excluded slots *)
+  dead : bool array; (* per slot: no task may run *)
+  mutable m_lower : int;
+}
+
+let create ~n ~m ~horizon =
+  if n < 1 || m < 1 || horizon < 1 then invalid_arg "Domains.create";
+  {
+    n;
+    m;
+    horizon;
+    forced = Array.make horizon None;
+    blocked = Array.make n None;
+    dead = Array.make horizon false;
+    m_lower = 1;
+  }
+
+let slot t time =
+  if time < 0 || time >= t.horizon then invalid_arg "Domains: slot out of range";
+  time
+
+let task_id t task = if task < 0 || task >= t.n then invalid_arg "Domains: bad task id" else task
+
+let forced_set t time =
+  match t.forced.(time) with
+  | Some set -> set
+  | None ->
+    let set = Bitset.create t.n in
+    t.forced.(time) <- Some set;
+    set
+
+let blocked_row t task =
+  match t.blocked.(task) with
+  | Some row -> row
+  | None ->
+    let row = Array.make t.horizon false in
+    t.blocked.(task) <- Some row;
+    row
+
+let force t ~task ~time = Bitset.add (forced_set t (slot t time)) (task_id t task)
+let block t ~task ~time = (blocked_row t (task_id t task)).(slot t time) <- true
+let mark_dead t ~time = t.dead.(slot t time) <- true
+let set_m_lower t v = if v > t.m_lower then t.m_lower <- v
+
+let n t = t.n
+let m t = t.m
+let horizon t = t.horizon
+let matches t ~n ~m ~horizon = t.n = n && t.m = m && t.horizon = horizon
+
+let is_forced t ~task ~time =
+  let task = task_id t task in
+  match t.forced.(slot t time) with None -> false | Some set -> Bitset.mem set task
+
+let is_blocked t ~task ~time =
+  let time = slot t time in
+  match t.blocked.(task_id t task) with None -> false | Some row -> row.(time)
+
+let is_dead t ~time = t.dead.(slot t time)
+
+let forced_at t ~time =
+  match t.forced.(slot t time) with None -> [] | Some set -> Bitset.elements set
+
+let forced_count t ~time =
+  match t.forced.(slot t time) with None -> 0 | Some set -> Bitset.cardinal set
+
+let m_lower t = t.m_lower
+
+let forced_cells t =
+  Array.fold_left
+    (fun acc -> function None -> acc | Some set -> acc + Bitset.cardinal set)
+    0 t.forced
+
+let blocked_cells t =
+  Array.fold_left
+    (fun acc -> function
+      | None -> acc
+      | Some row -> Array.fold_left (fun acc b -> if b then acc + 1 else acc) acc row)
+    0 t.blocked
+
+let dead_slots t = Array.fold_left (fun acc d -> if d then acc + 1 else acc) 0 t.dead
+
+let respects t sched =
+  if Schedule.horizon sched <> t.horizon then invalid_arg "Domains.respects: horizon mismatch";
+  let ok = ref true in
+  for time = 0 to t.horizon - 1 do
+    let running = Schedule.tasks_at sched ~time in
+    (match t.forced.(time) with
+    | None -> ()
+    | Some set -> Bitset.iter (fun task -> if not (List.mem task running) then ok := false) set);
+    List.iter (fun task -> if task < t.n && is_blocked t ~task ~time then ok := false) running
+  done;
+  !ok
+
+let pp ppf t =
+  Format.fprintf ppf
+    "domains (m=%d): %d forced cell(s), %d blocked cell(s), %d dead slot(s), m >= %d" t.m
+    (forced_cells t) (blocked_cells t) (dead_slots t) t.m_lower

@@ -1,0 +1,72 @@
+(** Pruned slot domains produced by the static analyzer.
+
+    The analyzer derives two kinds of facts about a task set on [m]
+    identical processors, both quantified over {e every} feasible schedule:
+
+    - {b forced} cells: task [i] runs at slot [t] in every feasible
+      schedule (its job has no slack left once the blocked slots are
+      discounted);
+    - {b blocked} cells: task [i] runs at slot [t] in no feasible schedule
+      (the slot is saturated by [m] forced tasks), even though the slot
+      lies inside one of the task's availability windows.
+
+    Because the facts hold for every feasible schedule, seeding any
+    complete backend with them preserves the solution set exactly: search
+    only sheds branches that could not have led to a feasible schedule.
+    The soundness property — every {!Rt_model.Verify}-accepted schedule
+    {!respects} the domains — is property-tested in
+    [test/test_analysis.ml].
+
+    A value of this type is tied to the task set, horizon and processor
+    count it was derived for; backends check the fingerprint with
+    {!matches} before using it. *)
+
+type t
+
+val create : n:int -> m:int -> horizon:int -> t
+(** Empty domains (no facts, [m_lower = 1]); populated by the analyzer. *)
+
+(** {2 Construction (analyzer-side)} *)
+
+val force : t -> task:int -> time:int -> unit
+val block : t -> task:int -> time:int -> unit
+val mark_dead : t -> time:int -> unit
+val set_m_lower : t -> int -> unit
+(** Raise the lower bound (keeps the maximum seen). *)
+
+(** {2 Queries (backend-side)} *)
+
+val n : t -> int
+val m : t -> int
+val horizon : t -> int
+
+val matches : t -> n:int -> m:int -> horizon:int -> bool
+(** Fingerprint check: the domains were derived for this instance shape. *)
+
+val is_forced : t -> task:int -> time:int -> bool
+val is_blocked : t -> task:int -> time:int -> bool
+val is_dead : t -> time:int -> bool
+
+val forced_at : t -> time:int -> int list
+(** Tasks forced at the slot, ascending ids. *)
+
+val forced_count : t -> time:int -> int
+
+val m_lower : t -> int
+(** Lower bound on any feasible processor count for the task set (derived
+    from m-independent arguments only, so it is valid for every [m]). *)
+
+(** {2 Reporting} *)
+
+val forced_cells : t -> int
+val blocked_cells : t -> int
+val dead_slots : t -> int
+
+val respects : t -> Rt_model.Schedule.t -> bool
+(** [respects d sched] checks that the schedule runs every forced task at
+    its forced slot and never uses a blocked cell — the contract every
+    feasible schedule satisfies when the analyzer is sound.
+    @raise Invalid_argument on a horizon mismatch. *)
+
+val pp : Format.formatter -> t -> unit
+(** One-line summary: forced/blocked/dead counts and the [m] lower bound. *)

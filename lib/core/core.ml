@@ -35,26 +35,39 @@ type verdict = Encodings.Outcome.t =
   | Limit
   | Memout of string
 
-let dispatch solver ~platform ~budget ~seed ts ~m =
+let dispatch solver ~platform ~budget ~seed ?domains ts ~m =
   let identical = Platform.is_identical platform in
   match solver with
-  | Csp1_generic -> fst (Encodings.Csp1.solve ~platform ~budget ~seed ts ~m)
+  | Csp1_generic -> fst (Encodings.Csp1.solve ~platform ~budget ~seed ?domains ts ~m)
   | Csp1_sat ->
     if not identical then invalid_arg "Core.solve: Csp1_sat requires an identical platform";
-    fst (Encodings.Csp1_sat.solve ~budget ~seed ts ~m)
-  | Csp2_generic -> fst (Encodings.Csp2_fd.solve ~platform ~budget ~seed ts ~m)
+    fst (Encodings.Csp1_sat.solve ~budget ~seed ?domains ts ~m)
+  | Csp2_generic -> fst (Encodings.Csp2_fd.solve ~platform ~budget ~seed ?domains ts ~m)
   | Csp2_dedicated heuristic ->
-    if identical then fst (Csp2.Solver.solve ~heuristic ~budget ts ~m)
+    if identical then fst (Csp2.Solver.solve ~heuristic ~budget ?domains ts ~m)
     else fst (Csp2.Het.solve ~heuristic ~budget ~platform ts)
   | Local_search ->
     if not identical then invalid_arg "Core.solve: Local_search requires an identical platform";
-    fst (Localsearch.Min_conflicts.solve ~seed ~budget ts ~m)
+    fst (Localsearch.Min_conflicts.solve ~seed ~budget ?domains ts ~m)
   | Portfolio jobs ->
     if not identical then invalid_arg "Core.solve: Portfolio requires an identical platform";
-    (Portfolio.solve ~jobs ~budget ~seed ts ~m).Portfolio.verdict
+    (* The analyzer already ran (or was disabled) at this level; hand the
+       arms its domains rather than re-running it inside the race. *)
+    (Portfolio.solve ~jobs ~budget ~seed ~analyze:false ?domains ts ~m).Portfolio.verdict
+
+(* The static pre-pass on a constrained system and identical platform:
+   decide outright when the analyzer can, otherwise return the pruned
+   domains for the search backend. *)
+let static_pass ~analyze ~platform ~budget ts ~m =
+  if not (analyze && Platform.is_identical platform) then `Search None
+  else
+    match (Analysis.analyze ~wall:budget ts ~m).Analysis.verdict with
+    | Analysis.Infeasible _ -> `Decided Encodings.Outcome.Infeasible
+    | Analysis.Trivially_feasible sched -> `Decided (Encodings.Outcome.Feasible sched)
+    | Analysis.Pruned d -> `Search (Some d)
 
 let solve ?(solver = default_solver) ?platform ?(budget = Timer.unlimited) ?(seed = 0)
-    ?(verify = true) ts ~m =
+    ?(verify = true) ?(analyze = true) ts ~m =
   let platform = match platform with Some p -> p | None -> Platform.identical ~m in
   if Platform.processors platform <> m then invalid_arg "Core.solve: platform/m mismatch";
   let t0 = Timer.start () in
@@ -63,17 +76,26 @@ let solve ?(solver = default_solver) ?platform ?(budget = Timer.unlimited) ?(see
       (Format.asprintf "Core.solve: solver produced an invalid schedule: %a" Verify.pp_violation
          v)
   in
+  let check ~platform ts schedule =
+    if verify then
+      match Verify.check ~platform ts schedule with
+      | Ok () -> ()
+      | Error (v :: _) -> fail_invalid v
+      | Error [] -> assert false
+  in
   let verdict =
     if Taskset.is_constrained ts then begin
-      match dispatch solver ~platform ~budget ~seed ts ~m with
-      | Feasible schedule as result ->
-        (if verify then
-           match Verify.check ~platform ts schedule with
-           | Ok () -> ()
-           | Error (v :: _) -> fail_invalid v
-           | Error [] -> assert false);
+      match static_pass ~analyze ~platform ~budget ts ~m with
+      | `Decided (Feasible schedule as result) ->
+        check ~platform ts schedule;
         result
-      | (Infeasible | Limit | Memout _) as other -> other
+      | `Decided other -> other
+      | `Search domains -> (
+        match dispatch solver ~platform ~budget ~seed ?domains ts ~m with
+        | Feasible schedule as result ->
+          check ~platform ts schedule;
+          result
+        | (Infeasible | Limit | Memout _) as other -> other)
     end
     else begin
       (* Arbitrary deadlines: reduce via the clone transform (Section VI-B),
@@ -81,18 +103,27 @@ let solve ?(solver = default_solver) ?platform ?(budget = Timer.unlimited) ?(see
       let reduction = Clone.transform ts in
       let cloned = Clone.cloned reduction in
       let clone_platform = Clone.map_platform reduction platform in
-      match dispatch solver ~platform:clone_platform ~budget ~seed cloned ~m with
-      | Feasible clone_schedule ->
-        (if verify then
-           match Verify.check ~platform:clone_platform cloned clone_schedule with
-           | Ok () -> ()
-           | Error (v :: _) -> fail_invalid v
-           | Error [] -> assert false);
+      match static_pass ~analyze ~platform:clone_platform ~budget cloned ~m with
+      | `Decided (Feasible clone_schedule) ->
+        check ~platform:clone_platform cloned clone_schedule;
         Feasible (Clone.map_schedule reduction clone_schedule)
-      | (Infeasible | Limit | Memout _) as other -> other
+      | `Decided other -> other
+      | `Search domains -> (
+        match dispatch solver ~platform:clone_platform ~budget ~seed ?domains cloned ~m with
+        | Feasible clone_schedule ->
+          check ~platform:clone_platform cloned clone_schedule;
+          Feasible (Clone.map_schedule reduction clone_schedule)
+        | (Infeasible | Limit | Memout _) as other -> other)
     end
   in
   (verdict, Timer.elapsed t0)
+
+let analyze ?work_budget ts ~m =
+  if Taskset.is_constrained ts then (Analysis.analyze ?work_budget ts ~m, ts)
+  else begin
+    let cloned = Clone.cloned (Clone.transform ts) in
+    (Analysis.analyze ?work_budget cloned ~m, cloned)
+  end
 
 let feasible ?solver ?budget ts ~m =
   match fst (solve ?solver ?budget ts ~m) with
@@ -100,8 +131,8 @@ let feasible ?solver ?budget ts ~m =
   | Infeasible -> Some false
   | Limit | Memout _ -> None
 
-let solve_portfolio ?specs ?jobs ?(budget = Timer.unlimited) ?(seed = 0) ?(verify = true) ts
-    ~m =
+let solve_portfolio ?specs ?jobs ?(budget = Timer.unlimited) ?(seed = 0) ?(verify = true)
+    ?analyze ts ~m =
   let platform = Platform.identical ~m in
   let fail_invalid v =
     failwith
@@ -116,7 +147,7 @@ let solve_portfolio ?specs ?jobs ?(budget = Timer.unlimited) ?(seed = 0) ?(verif
       | Error [] -> assert false
   in
   if Taskset.is_constrained ts then begin
-    let r = Portfolio.solve ?specs ?jobs ~budget ~seed ts ~m in
+    let r = Portfolio.solve ?specs ?jobs ~budget ~seed ?analyze ts ~m in
     (match r.Portfolio.verdict with
      | Feasible schedule -> check ~platform ts schedule
      | Infeasible | Limit | Memout _ -> ());
@@ -126,7 +157,7 @@ let solve_portfolio ?specs ?jobs ?(budget = Timer.unlimited) ?(seed = 0) ?(verif
     let reduction = Clone.transform ts in
     let cloned = Clone.cloned reduction in
     let clone_platform = Clone.map_platform reduction platform in
-    let r = Portfolio.solve ?specs ?jobs ~budget ~seed cloned ~m in
+    let r = Portfolio.solve ?specs ?jobs ~budget ~seed ?analyze cloned ~m in
     match r.Portfolio.verdict with
     | Feasible clone_schedule ->
       check ~platform:clone_platform cloned clone_schedule;
@@ -134,21 +165,31 @@ let solve_portfolio ?specs ?jobs ?(budget = Timer.unlimited) ?(seed = 0) ?(verif
     | Infeasible | Limit | Memout _ -> r
   end
 
-type min_processors_outcome = Analysis.min_processors_outcome =
+type min_processors_outcome = Minproc.min_processors_outcome =
   | Exact of int
   | Inconclusive of { first_limit : int; feasible : int option }
   | All_infeasible
 
-let min_processors ?solver ?(budget_per_m = None) ?max_m ts =
+let min_processors ?solver ?(budget_per_m = None) ?max_m ?(analyze = true) ts =
   let max_m = match max_m with Some v -> v | None -> Taskset.size ts in
+  (* The analyzer's m-independent lower bound (computed once, on the
+     constrained clone system for arbitrary deadlines — the reduction
+     preserves feasibility, so a bound for the clone bounds the original)
+     lets the scan skip candidate counts no schedule can use. *)
+  let start =
+    if not analyze then 1
+    else
+      let cts = if Taskset.is_constrained ts then ts else Clone.cloned (Clone.transform ts) in
+      Analysis.m_lower_bound cts
+  in
   let solve_m ~m =
     let budget = match budget_per_m with Some b -> b | None -> Timer.unlimited in
-    match fst (solve ?solver ~budget ts ~m) with
+    match fst (solve ?solver ~budget ~analyze ts ~m) with
     | Feasible _ -> `Feasible
     | Infeasible -> `Infeasible
     | Limit | Memout _ -> `Undecided
   in
-  Analysis.min_processors_feasible ~solve:solve_m ts ~max_m
+  Minproc.min_processors_feasible ~start ~solve:solve_m ts ~max_m
 
 let min_processors_exn ?solver ?budget_per_m ?max_m ts =
   match min_processors ?solver ?budget_per_m ?max_m ts with

@@ -54,6 +54,7 @@ val solve :
   ?budget:Prelude.Timer.budget ->
   ?seed:int ->
   ?verify:bool ->
+  ?analyze:bool ->
   Rt_model.Taskset.t ->
   m:int ->
   verdict * float
@@ -62,12 +63,19 @@ val solve :
     {!Rt_model.Verify} and raises [Failure] on a solver bug — schedules you
     receive are guaranteed feasible.
 
+    [analyze] (default true) runs the {!Analysis} static pass first on
+    identical platforms: a certified refutation or a statically built
+    schedule returns without any search (so even [Local_search] can report
+    [Infeasible] through this path), and otherwise the pruned domains are
+    fed to the chosen backend.  [analyze:false] restores the bare backend.
+
     Arbitrary-deadline task sets are transparently reduced with the clone
     transform (Section VI-B); the returned schedule then spans the clone
-    hyperperiod and refers to the original task ids.  Heterogeneous
-    platforms are supported by [Csp1_generic], [Csp2_generic] and the
-    dedicated path (which switches to {!Csp2.Het}); [Csp1_sat] and
-    [Local_search] raise [Invalid_argument] for them. *)
+    hyperperiod and refers to the original task ids — the static pass runs
+    on the clone system.  Heterogeneous platforms are supported by
+    [Csp1_generic], [Csp2_generic] and the dedicated path (which switches
+    to {!Csp2.Het}); [Csp1_sat] and [Local_search] raise
+    [Invalid_argument] for them. *)
 
 val feasible : ?solver:solver -> ?budget:Prelude.Timer.budget -> Rt_model.Taskset.t -> m:int -> bool option
 (** [Some true]/[Some false] when decided, [None] on limit/memout. *)
@@ -78,16 +86,27 @@ val solve_portfolio :
   ?budget:Prelude.Timer.budget ->
   ?seed:int ->
   ?verify:bool ->
+  ?analyze:bool ->
   Rt_model.Taskset.t ->
   m:int ->
   Portfolio.result
 (** Like [solve ~solver:(Portfolio jobs)] but returns the full race result
     — per-backend outcome, node/fail counts, times and the winner — for
     callers that report statistics ({!Portfolio.summary} renders it as one
-    line).  Applies the same clone transform and schedule verification as
-    {!solve}; identical platforms only. *)
+    line).  The static analyzer runs as arm 0 of the race unless
+    [analyze:false] (see {!Portfolio.solve}).  Applies the same clone
+    transform and schedule verification as {!solve}; identical platforms
+    only. *)
 
-type min_processors_outcome = Rt_model.Analysis.min_processors_outcome =
+val analyze :
+  ?work_budget:int -> Rt_model.Taskset.t -> m:int -> Analysis.report * Rt_model.Taskset.t
+(** The static pass alone, without any search.  Returns the report and the
+    task set it refers to: the input itself when its deadlines are
+    constrained, the clone system (Section VI-B) otherwise — certificates
+    and domains in the report name {e that} system's task ids and
+    hyperperiod.  [work_budget] as in {!Analysis.analyze}. *)
+
+type min_processors_outcome = Rt_model.Minproc.min_processors_outcome =
   | Exact of int  (** True minimum: every smaller [m] was refuted. *)
   | Inconclusive of { first_limit : int; feasible : int option }
       (** A budgeted run was undecided at [first_limit] before the search
@@ -97,12 +116,13 @@ type min_processors_outcome = Rt_model.Analysis.min_processors_outcome =
 
 val min_processors :
   ?solver:solver -> ?budget_per_m:Prelude.Timer.budget option -> ?max_m:int ->
-  Rt_model.Taskset.t -> min_processors_outcome
+  ?analyze:bool -> Rt_model.Taskset.t -> min_processors_outcome
 (** Smallest [m] for which a schedule is found, starting from [⌈U⌉]
-    (Section VII-E's closing suggestion), scanning up to [max_m]
-    (default [n]).  With [budget_per_m], a [Limit]/[Memout] verdict at some
-    [m] no longer masquerades as infeasibility: the result degrades to
-    {!Inconclusive} carrying the smallest undecided [m]. *)
+    (Section VII-E's closing suggestion) sharpened to the static analyzer's
+    {!Analysis.m_lower_bound} unless [analyze:false], scanning up to
+    [max_m] (default [n]).  With [budget_per_m], a [Limit]/[Memout]
+    verdict at some [m] no longer masquerades as infeasibility: the result
+    degrades to {!Inconclusive} carrying the smallest undecided [m]. *)
 
 val min_processors_exn :
   ?solver:solver -> ?budget_per_m:Prelude.Timer.budget option -> ?max_m:int ->

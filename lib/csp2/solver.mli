@@ -41,16 +41,25 @@ val solve :
   ?heuristic:Heuristic.t ->
   ?budget:Prelude.Timer.budget ->
   ?urgency:bool ->
+  ?domains:Analysis.Domains.t ->
   Rt_model.Taskset.t ->
   m:int ->
   Encodings.Outcome.t * stats
 (** Default heuristic is [DC], the paper's best.  [Memout] is never
-    returned: memory is O(jobs + m·T_reached).
+    returned: memory is O(jobs + m·T_reached) — plus O(n·T) for the
+    unblocked-slot table when [domains] is given.
 
     [urgency] (default true) controls the urgency propagation.  Disabling
     it keeps the search complete — failure is then detected when a window
     closes unfinished — but far weaker, which is the regime where the
     paper's value-ordering comparison (CSP2 vs +RM/+DM/+(T−C)/+(D−C))
     becomes visible; the benchmark ablation uses it for exactly that.
+
+    [domains] seeds the search with the static analyzer's facts: blocked
+    cells leave the availability lists, and remaining-window counts become
+    blocked-aware, which turns statically forced cells into urgent ones.
+    Since the facts hold in every feasible schedule, completeness is
+    unaffected and the node count can only shrink.
     @raise Invalid_argument on non-constrained-deadline task sets (apply
-    {!Rt_model.Clone} first) or [m < 1]. *)
+    {!Rt_model.Clone} first), [m < 1], or [domains] whose
+    (n, m, hyperperiod) fingerprint does not match the instance. *)

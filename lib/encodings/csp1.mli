@@ -19,7 +19,12 @@
 type t
 
 val build :
-  ?platform:Rt_model.Platform.t -> ?var_budget:int -> Rt_model.Taskset.t -> m:int -> t
+  ?platform:Rt_model.Platform.t ->
+  ?var_budget:int ->
+  ?domains:Analysis.Domains.t ->
+  Rt_model.Taskset.t ->
+  m:int ->
+  t
 (** Construct the model.  The variable budget (default 2M) emulates the
     memory cliff of the paper's Choco runs on Table IV sizes.
     @raise Fd.Engine.Too_large when [n·m·T] exceeds the budget.
@@ -37,6 +42,7 @@ val decode : t -> (Fd.Engine.var -> int) -> Rt_model.Schedule.t
 val solve :
   ?platform:Rt_model.Platform.t ->
   ?var_budget:int ->
+  ?domains:Analysis.Domains.t ->
   ?var_heuristic:Fd.Search.var_heuristic ->
   ?value_heuristic:Fd.Search.value_heuristic ->
   ?seed:int ->

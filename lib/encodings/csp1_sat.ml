@@ -13,24 +13,34 @@ type t = {
 let solver t = t.solver
 let cell_count t = t.cell_count
 
-let build ?(var_budget = 2_000_000) ts ~m =
+let build ?(var_budget = 2_000_000) ?domains ts ~m =
   let windows = Windows.build ts in
   let n = Taskset.size ts in
   let horizon = Windows.horizon windows in
+  (match domains with
+  | Some d when not (Analysis.Domains.matches d ~n ~m ~horizon) ->
+    invalid_arg "Csp1_sat.build: domains derived for a different instance"
+  | _ -> ());
+  let blocked i s =
+    match domains with None -> false | Some d -> Analysis.Domains.is_blocked d ~task:i ~time:s
+  in
   if n * m * horizon > var_budget then
     raise
       (Fd.Engine.Too_large
          (Printf.sprintf "CSP1-SAT needs %d cells (budget %d)" (n * m * horizon) var_budget));
   let solver = S.create () in
   let cell = Array.init n (fun _ -> Array.make_matrix m horizon (-1)) in
-  (* Variables only where constraint (2) allows a 1. *)
+  (* Variables only where constraint (2) allows a 1; statically blocked
+     cells never get a variable at all (all processors of a slot share the
+     created/absent status, which constraint (4) below relies on). *)
   Array.iter
     (fun (job : Windows.job) ->
       Array.iter
         (fun s ->
-          for j = 0 to m - 1 do
-            cell.(job.task).(j).(s) <- S.new_var solver
-          done)
+          if not (blocked job.task s) then
+            for j = 0 to m - 1 do
+              cell.(job.task).(j).(s) <- S.new_var solver
+            done)
         job.slots)
     (Windows.jobs windows);
   let cell_count = S.nvars solver in
@@ -53,7 +63,7 @@ let build ?(var_budget = 2_000_000) ts ~m =
       end
     done
   done;
-  (* (5): exactly C_i per job. *)
+  (* (5): exactly C_i per job (over the cells that exist). *)
   Array.iter
     (fun (job : Windows.job) ->
       let wcet = (Taskset.task ts job.task).wcet in
@@ -61,11 +71,24 @@ let build ?(var_budget = 2_000_000) ts ~m =
       Array.iter
         (fun s ->
           for j = 0 to m - 1 do
-            lits := S.pos cell.(job.task).(j).(s) :: !lits
+            if cell.(job.task).(j).(s) >= 0 then
+              lits := S.pos cell.(job.task).(j).(s) :: !lits
           done)
         job.slots;
       Sat.Cardinality.exactly solver ~k:wcet !lits)
     (Windows.jobs windows);
+  (* Statically forced cells: at least one processor runs the task there
+     (constraint (4) already caps it at one). *)
+  (match domains with
+  | None -> ()
+  | Some d ->
+    for s = 0 to horizon - 1 do
+      List.iter
+        (fun i ->
+          if cell.(i).(0).(s) >= 0 then
+            S.add_clause solver (List.init m (fun j -> S.pos cell.(i).(j).(s))))
+        (Analysis.Domains.forced_at d ~time:s)
+    done);
   { solver; ts; m; horizon; cell; cell_count }
 
 let to_dimacs t =
@@ -84,8 +107,8 @@ let decode t model =
   done;
   sched
 
-let solve ?var_budget ?seed ?budget ts ~m =
-  match build ?var_budget ts ~m with
+let solve ?var_budget ?domains ?seed ?budget ts ~m =
+  match build ?var_budget ?domains ts ~m with
   | exception Fd.Engine.Too_large reason -> (Outcome.Memout reason, None)
   | model ->
     let outcome, stats = S.solve ?budget ?seed model.solver in

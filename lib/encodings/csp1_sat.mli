@@ -12,7 +12,8 @@
 
 type t
 
-val build : ?var_budget:int -> Rt_model.Taskset.t -> m:int -> t
+val build :
+  ?var_budget:int -> ?domains:Analysis.Domains.t -> Rt_model.Taskset.t -> m:int -> t
 (** @raise Fd.Engine.Too_large when the cell count exceeds the budget
     (same cliff semantics as {!Csp1.build}). *)
 
@@ -28,6 +29,7 @@ val decode : t -> bool array -> Rt_model.Schedule.t
 
 val solve :
   ?var_budget:int ->
+  ?domains:Analysis.Domains.t ->
   ?seed:int ->
   ?budget:Prelude.Timer.budget ->
   Rt_model.Taskset.t ->

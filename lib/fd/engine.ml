@@ -23,7 +23,7 @@ type t = {
   mutable props : prop list;
   mutable nprops : int;
   queue : int Queue.t;
-  mutable queued : Bool_vec.t;
+  queued : Bool_vec.t;
   mutable prop_by_id : prop option array;
   mutable trail : trail_entry list;
   mutable marks : int list;  (* trail depth at each level entry *)

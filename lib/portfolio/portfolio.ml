@@ -44,32 +44,89 @@ type result = {
 (* Uniform (outcome, nodes, fails) view of each backend's native stats:
    SAT decisions/conflicts and local-search iterations/restarts play the
    roles of nodes/fails. *)
-let run_spec spec ~budget ~seed ts ~m =
+let run_spec spec ~budget ~seed ?domains ts ~m =
   match spec with
   | Csp2 heuristic ->
-    let outcome, st = Csp2.Solver.solve ~heuristic ~budget ts ~m in
+    let outcome, st = Csp2.Solver.solve ~heuristic ~budget ?domains ts ~m in
     (outcome, st.Csp2.Solver.nodes, st.Csp2.Solver.fails)
   | Csp1_sat ->
-    let outcome, st = Encodings.Csp1_sat.solve ~budget ~seed ts ~m in
+    let outcome, st = Encodings.Csp1_sat.solve ~budget ~seed ?domains ts ~m in
     let nodes = match st with Some s -> s.Sat.Solver.decisions | None -> 0 in
     let fails = match st with Some s -> s.Sat.Solver.conflicts | None -> 0 in
     (outcome, nodes, fails)
   | Local_search ->
-    let outcome, st = Localsearch.Min_conflicts.solve ~seed ~budget ts ~m in
+    let outcome, st = Localsearch.Min_conflicts.solve ~seed ~budget ?domains ts ~m in
     (outcome, st.Localsearch.Min_conflicts.iterations, st.Localsearch.Min_conflicts.restarts)
 
-let solve ?(specs = default_specs) ?jobs ?(budget = Timer.unlimited) ?(seed = 0) ts ~m =
+let analysis_arm_name = "static-analysis"
+
+let solve ?(specs = default_specs) ?jobs ?(budget = Timer.unlimited) ?(seed = 0)
+    ?(analyze = true) ?domains ts ~m =
   if m < 1 then invalid_arg "Portfolio.solve: m must be >= 1";
   if specs = [] then invalid_arg "Portfolio.solve: empty backend list";
+  let race_t0 = Timer.start () in
   let specs = Array.of_list specs in
   let n = Array.length specs in
+  (* Arm 0 is the static analyzer: sequential, capped by its own work-unit
+     budget AND by half the race's wall clock — it either ends the race
+     before it starts or hands every search arm the pruned domains, and a
+     slow interval scan can cost the arms at most half their allowance. *)
+  let analysis_wall =
+    match Timer.remaining_wall budget with
+    | None -> budget (* no wall limit: share the stop flag only *)
+    | Some s -> Timer.budget ~wall_s:(s /. 2.) ()
+  in
+  let pre =
+    match domains with
+    | Some d -> `Race (Some d, None)
+    | None when not analyze -> `Race (None, None)
+    | None when Timer.cancelled budget -> `Race (None, None)
+    | None -> (
+      let report = Analysis.analyze ~wall:analysis_wall ts ~m in
+      (* For this arm, nodes/fails report what the analysis produced:
+         statically forced cells and statically blocked cells. *)
+      let entry outcome winner ~forced ~blocked =
+        {
+          name = analysis_arm_name;
+          outcome = Some outcome;
+          nodes = forced;
+          fails = blocked;
+          time_s = report.Analysis.time_s;
+          winner;
+        }
+      in
+      match report.Analysis.verdict with
+      | Analysis.Infeasible _ ->
+        `Decided (Encodings.Outcome.Infeasible, entry Encodings.Outcome.Infeasible true ~forced:0 ~blocked:0)
+      | Analysis.Trivially_feasible sched ->
+        let o = Encodings.Outcome.Feasible sched in
+        `Decided (o, entry o true ~forced:0 ~blocked:0)
+      | Analysis.Pruned d ->
+        `Race
+          ( Some d,
+            Some
+              (entry Encodings.Outcome.Limit false
+                 ~forced:(Analysis.Domains.forced_cells d)
+                 ~blocked:(Analysis.Domains.blocked_cells d)) ))
+  in
+  match pre with
+  | `Decided (verdict, arm0) ->
+    let never_started i =
+      { name = spec_name specs.(i); outcome = None; nodes = 0; fails = 0; time_s = 0.; winner = false }
+    in
+    {
+      verdict;
+      winner = Some arm0.name;
+      time_s = Timer.elapsed race_t0;
+      backends = arm0 :: List.init n never_started;
+    }
+  | `Race (domains, arm0) ->
   let jobs =
     let requested =
       match jobs with Some j -> j | None -> Domain.recommended_domain_count ()
     in
     Intmath.clamp ~lo:1 ~hi:n requested
   in
-  let t0 = Timer.start () in
   (* One shared stop flag: the first decisive arm raises it, every other
      arm observes it through its budget poll and returns [Limit].  The
      arms otherwise inherit the caller's wall/node limits. *)
@@ -84,7 +141,9 @@ let solve ?(specs = default_specs) ?jobs ?(budget = Timer.unlimited) ?(seed = 0)
         let i = Atomic.fetch_and_add next 1 in
         if i < n then begin
           let armed = Timer.start () in
-          let outcome, nodes, fails = run_spec specs.(i) ~budget:arm_budget ~seed:(seed + i) ts ~m in
+          let outcome, nodes, fails =
+            run_spec specs.(i) ~budget:arm_budget ~seed:(seed + i) ?domains ts ~m
+          in
           let won =
             Encodings.Outcome.is_decided outcome && Atomic.compare_and_set winner (-1) i
           in
@@ -126,6 +185,7 @@ let solve ?(specs = default_specs) ?jobs ?(budget = Timer.unlimited) ?(seed = 0)
              })
          reports)
   in
+  let backends = match arm0 with None -> backends | Some a -> a :: backends in
   (* Arms race on the same instance, so decisive verdicts must agree; a
      Feasible alongside an Infeasible is a solver soundness bug. *)
   List.iter
@@ -162,7 +222,7 @@ let solve ?(specs = default_specs) ?jobs ?(budget = Timer.unlimited) ?(seed = 0)
       let r = Option.get reports.(i) in
       (Option.get r.outcome, Some r.name)
   in
-  { verdict; winner = winner_name; time_s = Timer.elapsed t0; backends }
+  { verdict; winner = winner_name; time_s = Timer.elapsed race_t0; backends }
 
 let summary r =
   let outcome_tag = function

@@ -31,6 +31,9 @@ type spec =
 
 val spec_name : spec -> string
 
+val analysis_arm_name : string
+(** ["static-analysis"], the reported name of the analyzer arm. *)
+
 val default_specs : spec list
 (** [csp2+D-C, csp2+RM, csp1-sat, local-search, csp2+DM, csp2+T-C, csp2]
     — most complementary strategies first, so truncating to the first
@@ -51,8 +54,12 @@ type result = {
       (** The winner's verdict, or [Limit] when no arm decided
           ([Memout] only when every arm ran out of memory). *)
   winner : string option;
-  time_s : float;  (** Wall clock of the whole race. *)
-  backends : backend_stats list;  (** One entry per spec, in spec order. *)
+  time_s : float;  (** Wall clock of the whole race, analysis included. *)
+  backends : backend_stats list;
+      (** One entry per spec, in spec order, preceded by the
+          {!analysis_arm_name} entry when the analyzer ran.  For that arm,
+          [nodes]/[fails] report statically forced/blocked cells and a
+          non-decisive pass shows as [Limit]. *)
 }
 
 val solve :
@@ -60,6 +67,8 @@ val solve :
   ?jobs:int ->
   ?budget:Prelude.Timer.budget ->
   ?seed:int ->
+  ?analyze:bool ->
+  ?domains:Analysis.Domains.t ->
   Rt_model.Taskset.t ->
   m:int ->
   result
@@ -75,7 +84,16 @@ val solve :
     stop flag is {e not} shared with the arms (the race installs a fresh
     one), so cancel the race by its wall limit, not by [Timer.cancel] on
     the original budget.
-    @raise Invalid_argument on [m < 1] or an empty [specs]. *)
+
+    Unless [analyze:false], the static analyzer runs first as a sequential
+    arm 0, capped by its own work-unit budget {e and} by half of
+    [budget]'s remaining wall clock — the search arms always keep at
+    least half the allowance: an [Infeasible] certificate or a statically built schedule
+    ends the race before any search arm starts, and a [Pruned] result
+    hands every arm the reduced domains.  Pass [domains] to supply
+    already-computed facts instead; the analyzer is then skipped.
+    @raise Invalid_argument on [m < 1], an empty [specs], or a [domains]
+    fingerprint that does not match the instance. *)
 
 val summary : result -> string
 (** One line: overall verdict, wall time, winner, then per-arm

@@ -37,7 +37,6 @@ type state = {
   mutable nmisses : int;
   mutable busy : int;
   mutable cells : int array;  (* flattened [slot*m + proc], grown on demand *)
-  mutable recorded : int;  (* slots recorded so far *)
 }
 
 let ensure_capacity st upto =
@@ -96,8 +95,7 @@ let step st t =
         st.rem.(i) <- st.rem.(i) - 1;
         st.busy <- st.busy + 1
       end)
-    sorted;
-  st.recorded <- t + 1
+    sorted
 
 (* Jobs pending at the end with deadlines inside the simulated window. *)
 let flush_tail_misses st horizon =
@@ -141,7 +139,6 @@ let make_state ts ~m ~policy =
     nmisses = 0;
     busy = 0;
     cells = Array.make (1024 * m) Schedule.idle;
-    recorded = 0;
   }
 
 let max_slots = 10_000_000

@@ -108,9 +108,11 @@ let test_min_processors () =
 
 let test_min_processors_inconclusive () =
   (* A one-node budget times out at every m, so the search must admit it
-     cannot locate the minimum instead of inflating it. *)
+     cannot locate the minimum instead of inflating it.  [analyze:false]:
+     the static pass decides the running example without search nodes,
+     which would defeat the budget-semantics point of this test. *)
   let budget_per_m = Some (Prelude.Timer.budget ~nodes:1 ()) in
-  match Core.min_processors ~budget_per_m running with
+  match Core.min_processors ~budget_per_m ~analyze:false running with
   | Core.Inconclusive { first_limit; feasible = None } ->
     Alcotest.(check int) "first undecided m is the lower bound"
       (Taskset.min_processors running) first_limit
@@ -127,6 +129,30 @@ let prop_min_processors_bounds =
       | Core.Exact m -> m >= Taskset.min_processors ts && m <= max 1 (Taskset.size ts)
       | Core.All_infeasible -> true
       | Core.Inconclusive _ -> false (* unbudgeted search is always decided *))
+
+let test_analyze_facade () =
+  (* Constrained input: the report refers to the input itself. *)
+  let report, analyzed = Core.analyze running ~m:1 in
+  Alcotest.(check bool) "same taskset" true (analyzed == running);
+  (match report.Analysis.verdict with
+  | Analysis.Infeasible cert ->
+    Alcotest.(check bool) "certificate validates" true
+      (Analysis.Certificate.validate analyzed (Platform.identical ~m:1) cert)
+  | Analysis.Trivially_feasible _ | Analysis.Pruned _ ->
+    Alcotest.fail "running example is statically refutable on m=1");
+  (* Arbitrary deadlines: the report refers to the clone system. *)
+  let ts = Examples.arbitrary_deadline in
+  let _, analyzed = Core.analyze ts ~m:2 in
+  Alcotest.(check bool) "clone system returned" true
+    (Taskset.is_constrained analyzed && not (Taskset.is_constrained ts))
+
+let test_static_pass_lets_local_search_refute () =
+  (* Local search alone can never prove infeasibility; through the static
+     pre-pass the facade still returns a refutation without searching. *)
+  match Core.solve ~solver:Core.Local_search running ~m:1 with
+  | Core.Infeasible, _ -> ()
+  | (Core.Feasible _ | Core.Limit | Core.Memout _), _ ->
+    Alcotest.fail "static pass should refute m=1 before local search runs"
 
 let prop_verify_guard_all_solvers =
   (* Core.solve with verify=true must never return an unverified schedule;
@@ -156,6 +182,9 @@ let () =
           Alcotest.test_case "solver names" `Quick test_solver_names;
           Alcotest.test_case "platform mismatch" `Quick test_platform_mismatch_rejected;
           Alcotest.test_case "sat rejects heterogeneous" `Quick test_sat_rejects_heterogeneous;
+          Alcotest.test_case "analyze facade" `Quick test_analyze_facade;
+          Alcotest.test_case "static pass refutes for local search" `Quick
+            test_static_pass_lets_local_search_refute;
           prop_verify_guard_all_solvers;
         ] );
       ( "arbitrary deadlines",

@@ -320,48 +320,45 @@ let prop_clone_counts =
         (Array.init (Taskset.size ts) Fun.id))
 
 (* ------------------------------------------------------------------ *)
-(* Analysis                                                             *)
-
-let test_analysis_filter () =
-  Alcotest.(check bool) "running example needs 2" true
-    (Analysis.utilization_exceeds running ~m:1);
-  Alcotest.(check bool) "fits on 2" false (Analysis.utilization_exceeds running ~m:2);
-  (match Analysis.quick_check running ~m:1 with
-  | Analysis.Infeasible _ -> ()
-  | Analysis.Unknown -> Alcotest.fail "r > 1 not caught");
-  match Analysis.quick_check running ~m:2 with
-  | Analysis.Unknown -> ()
-  | Analysis.Infeasible reason -> Alcotest.failf "spurious: %s" reason
-
-let test_analysis_exact_boundary () =
-  (* U exactly m must NOT be filtered (r = 1 is allowed). *)
-  let ts = Taskset.of_tuples [ (0, 1, 1, 2); (0, 1, 1, 2) ] in
-  Alcotest.(check bool) "r = 1 passes" false (Analysis.utilization_exceeds ts ~m:1)
-
-let test_analysis_sparse_windows () =
-  (* Demand 4 per hyperperiod 4 but both tasks squeezed into the same two
-     slots: per-slot supply check catches it on one processor. *)
-  let ts = Taskset.of_tuples [ (0, 2, 2, 4); (0, 2, 2, 4) ] in
-  Alcotest.(check bool) "caught by slot supply" true (Analysis.slot_capacity_shortfall ts ~m:1);
-  Alcotest.(check bool) "fine on two" false (Analysis.slot_capacity_shortfall ts ~m:2)
+(* Minproc (the pre-filters moved to the Analysis library; see
+   test_analysis.ml)                                                    *)
 
 let test_min_processors_search () =
   let solve ~m = if m >= 3 then `Feasible else `Infeasible in
   Alcotest.(check bool) "finds 3" true
-    (Analysis.min_processors_feasible ~solve running ~max_m:5 = Analysis.Exact 3);
+    (Minproc.min_processors_feasible ~solve running ~max_m:5 = Minproc.Exact 3);
   let never ~m = ignore m; `Infeasible in
   Alcotest.(check bool) "none" true
-    (Analysis.min_processors_feasible ~solve:never running ~max_m:4 = Analysis.All_infeasible);
+    (Minproc.min_processors_feasible ~solve:never running ~max_m:4 = Minproc.All_infeasible);
   (* A timeout below the first feasible m demotes the verdict: the reported
      feasible m is only an upper bound, never presented as exact. *)
   let limited ~m = if m = 2 then `Undecided else if m >= 4 then `Feasible else `Infeasible in
   Alcotest.(check bool) "inconclusive" true
-    (Analysis.min_processors_feasible ~solve:limited running ~max_m:5
-    = Analysis.Inconclusive { first_limit = 2; feasible = Some 4 });
+    (Minproc.min_processors_feasible ~solve:limited running ~max_m:5
+    = Minproc.Inconclusive { first_limit = 2; feasible = Some 4 });
   let all_limited ~m = ignore m; `Undecided in
   Alcotest.(check bool) "inconclusive without upper bound" true
-    (Analysis.min_processors_feasible ~solve:all_limited running ~max_m:4
-    = Analysis.Inconclusive { first_limit = 2; feasible = None })
+    (Minproc.min_processors_feasible ~solve:all_limited running ~max_m:4
+    = Minproc.Inconclusive { first_limit = 2; feasible = None })
+
+let test_min_processors_start () =
+  (* A caller-supplied sound lower bound skips the refuted prefix... *)
+  let probed = ref [] in
+  let solve ~m =
+    probed := m :: !probed;
+    if m >= 4 then `Feasible else `Infeasible
+  in
+  Alcotest.(check bool) "finds 4 from 3" true
+    (Minproc.min_processors_feasible ~start:3 ~solve running ~max_m:5 = Minproc.Exact 4);
+  Alcotest.(check (list int)) "m=2 never probed" [ 4; 3 ] !probed;
+  (* ... never lowers the ⌈U⌉ floor, and a bound above max_m means every
+     candidate is already refuted. *)
+  Alcotest.(check bool) "start below ceil U is clamped" true
+    (Minproc.min_processors_feasible ~start:1 ~solve running ~max_m:5
+    = Minproc.Exact 4);
+  Alcotest.(check bool) "start beyond max_m" true
+    (Minproc.min_processors_feasible ~start:6 ~solve running ~max_m:5
+    = Minproc.All_infeasible)
 
 (* ------------------------------------------------------------------ *)
 (* Metrics                                                              *)
@@ -512,12 +509,10 @@ let () =
           prop_clone_identity_on_constrained;
           prop_clone_counts;
         ] );
-      ( "analysis",
+      ( "minproc",
         [
-          Alcotest.test_case "r > 1 filter" `Quick test_analysis_filter;
-          Alcotest.test_case "r = 1 boundary" `Quick test_analysis_exact_boundary;
-          Alcotest.test_case "sparse windows" `Quick test_analysis_sparse_windows;
           Alcotest.test_case "incremental m search" `Quick test_min_processors_search;
+          Alcotest.test_case "lower-bound start" `Quick test_min_processors_start;
         ] );
       ( "metrics",
         [

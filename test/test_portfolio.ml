@@ -55,10 +55,13 @@ let test_cancellation_prompt () =
   let ts, m = hard_instance () in
   let backstop = 30. in
   let t0 = Prelude.Timer.start () in
+  (* [analyze:false]: this test exercises the race's cancellation
+     machinery, which needs an arm to actually search — the static
+     analyzer would refute the instance before any arm starts. *)
   let r =
     P.solve
       ~specs:[ P.Csp2 Csp2.Heuristic.DC; P.Local_search ]
-      ~jobs:2
+      ~jobs:2 ~analyze:false
       ~budget:(Prelude.Timer.budget ~wall_s:backstop ())
       ts ~m
   in
@@ -76,7 +79,7 @@ let test_no_winner_is_limit () =
   (* One node per arm decides nothing; the race must degrade to [Limit]
      with no winner rather than invent a verdict. *)
   let ts, m = hard_instance () in
-  let r = P.solve ~budget:(Prelude.Timer.budget ~nodes:1 ()) ts ~m in
+  let r = P.solve ~analyze:false ~budget:(Prelude.Timer.budget ~nodes:1 ()) ts ~m in
   (match r.P.verdict with
   | O.Limit -> ()
   | O.Feasible _ | O.Infeasible | O.Memout _ -> Alcotest.fail "expected Limit");
@@ -96,6 +99,29 @@ let test_summary_line () =
   Alcotest.(check bool) "winner marked" true (contains "*");
   (* Every arm appears, started or not. *)
   List.iter (fun b -> Alcotest.(check bool) b.P.name true (contains b.P.name)) r.P.backends
+
+let test_static_analysis_arm () =
+  (* Arm 0: a statically refutable instance ends the race before any
+     search arm starts — the analyzer is the winner and every spec shows
+     as never-started. *)
+  let ts, m = hard_instance () in
+  let r = P.solve ts ~m in
+  (match r.P.verdict with
+  | O.Infeasible -> ()
+  | O.Feasible _ | O.Limit | O.Memout _ -> Alcotest.fail "r > 1: expected a refutation");
+  check Alcotest.(option string) "analyzer wins" (Some P.analysis_arm_name) r.P.winner;
+  List.iter
+    (fun (b : P.backend_stats) ->
+      if b.P.name <> P.analysis_arm_name then
+        Alcotest.(check bool) (b.P.name ^ " never started") true (b.P.outcome = None))
+    r.P.backends;
+  (* A feasible race still lists the analyzer arm first, non-decisive. *)
+  let r = P.solve running ~m:2 in
+  match r.P.backends with
+  | arm0 :: _ ->
+    check Alcotest.string "arm 0 is the analyzer" P.analysis_arm_name arm0.P.name;
+    Alcotest.(check bool) "non-decisive analysis is not a winner" false arm0.P.winner
+  | [] -> Alcotest.fail "no backends reported"
 
 let test_invalid_args () =
   Alcotest.check_raises "empty specs" (Invalid_argument "Portfolio.solve: empty backend list")
@@ -147,6 +173,7 @@ let () =
           Alcotest.test_case "job counts agree" `Quick test_job_counts_agree;
           Alcotest.test_case "prompt cancellation" `Quick test_cancellation_prompt;
           Alcotest.test_case "no winner = Limit" `Quick test_no_winner_is_limit;
+          Alcotest.test_case "static analysis arm" `Quick test_static_analysis_arm;
           Alcotest.test_case "summary line" `Quick test_summary_line;
           Alcotest.test_case "invalid arguments" `Quick test_invalid_args;
         ] );

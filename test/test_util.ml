@@ -4,8 +4,8 @@
 
 open Rt_model
 
-let qtest ?(count = 100) name gen law =
-  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen law)
+let qtest ?(count = 100) ?print name gen law =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name ?print gen law)
 
 (* A small task: parameters bounded so hyperperiods stay tiny and
    exhaustive cross-checks remain fast. *)
