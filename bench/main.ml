@@ -96,6 +96,20 @@ let () =
     (fun () ->
       print_string (Prepass.render (Prepass.run ~progress:(progress_every 100 "instance") config)));
 
+  run_section "CSP2OPT (classic search vs bitset+memo engine, node parity and wall clock)"
+    (fun () ->
+      let totals = Csp2opt.run ~progress:(progress_every 100 "instance") config in
+      print_string (Csp2opt.render totals);
+      let out =
+        match Sys.getenv_opt "MGRTS_BENCH_OUT" with
+        | Some p when p <> "" -> p
+        | _ -> "BENCH_csp2.json"
+      in
+      let oc = open_out out in
+      output_string oc (Csp2opt.to_json totals);
+      close_out oc;
+      Printf.printf "  json written to %s\n" out);
+
   run_section "RANDOMNESS (Section VII-B)" (fun () -> print_string (Variance.render (Variance.run config)));
 
   run_section "ABLATIONS" (fun () -> print_string (Ablation.render (Ablation.run config)));

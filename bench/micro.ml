@@ -36,6 +36,25 @@ let csp2_test =
     (Staged.stage (fun () ->
          ignore (Csp2.Solver.solve ~heuristic:Csp2.Heuristic.DC running_example ~m:2)))
 
+let csp2_opt_test =
+  Test.make ~name:"csp2-opt-dc.solve(example)"
+    (Staged.stage (fun () ->
+         ignore (Csp2.Opt.solve ~heuristic:Csp2.Heuristic.DC running_example ~m:2)))
+
+let ibits_test =
+  Test.make ~name:"ibits.iter"
+    (Staged.stage
+       (let set = Prelude.Ibits.create 256 in
+        let i = ref 0 in
+        while !i < 256 do
+          Prelude.Ibits.set set !i;
+          i := !i + 3
+        done;
+        fun () ->
+          let acc = ref 0 in
+          Prelude.Ibits.iter (fun v -> acc := !acc + v) set;
+          ignore !acc))
+
 let sim_test =
   Test.make ~name:"sim.edf(example)"
     (Staged.stage (fun () -> ignore (Sched.Sim.run running_example ~m:2)))
@@ -52,10 +71,12 @@ let tests =
     [
       prng_test;
       bitset_test;
+      ibits_test;
       windows_test;
       csp1_test;
       csp1_sat_test;
       csp2_test;
+      csp2_opt_test;
       sim_test;
       generator_test;
     ]

@@ -52,14 +52,21 @@ let solver_conv =
     | "local" | "local-search" -> Ok Core.Local_search
     (* The job count is a placeholder here; [solve] substitutes --jobs. *)
     | "portfolio" -> Ok (Core.Portfolio 0)
+    | "csp2-opt" | "opt" -> Ok (Core.Csp2_opt Csp2.Heuristic.DC)
     | other -> (
       match
-        if String.length other > 5 && String.sub other 0 5 = "csp2+" then
-          Csp2.Heuristic.of_string (String.sub other 5 (String.length other - 5))
-        else if other = "csp2" then Some Csp2.Heuristic.Id
+        if String.length other > 9 && String.sub other 0 9 = "csp2-opt+" then
+          Option.map
+            (fun h -> Core.Csp2_opt h)
+            (Csp2.Heuristic.of_string (String.sub other 9 (String.length other - 9)))
+        else if String.length other > 5 && String.sub other 0 5 = "csp2+" then
+          Option.map
+            (fun h -> Core.Csp2_dedicated h)
+            (Csp2.Heuristic.of_string (String.sub other 5 (String.length other - 5)))
+        else if other = "csp2" then Some (Core.Csp2_dedicated Csp2.Heuristic.Id)
         else None
       with
-      | Some h -> Ok (Core.Csp2_dedicated h)
+      | Some solver -> Ok solver
       | None -> Error (`Msg (Printf.sprintf "unknown solver %S" s)))
   in
   Arg.conv (parse, fun ppf s -> Format.fprintf ppf "%s" (Core.solver_name s))
@@ -67,13 +74,29 @@ let solver_conv =
 let solver_arg =
   let doc =
     "Solver path: csp1, csp1-sat, csp2-generic, csp2, csp2+rm, csp2+dm, csp2+tc, csp2+dc, \
-     local-search, portfolio."
+     csp2-opt (alias csp2-opt+dc; also +rm/+dm/+tc), local-search, portfolio."
   in
   Arg.(value & opt solver_conv Core.default_solver & info [ "solver" ] ~docv:"SOLVER" ~doc)
 
 let jobs_arg =
-  let doc = "Domains for --solver portfolio (0 = all available cores)." in
+  let doc =
+    "Domains for --solver portfolio or csp2-opt subtree splitting (0 = all available cores)."
+  in
   Arg.(value & opt int 0 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+let memo_mb_arg =
+  let doc =
+    "csp2-opt transposition-table cap in MiB (0 disables memoization; ignored by other \
+     solvers)."
+  in
+  Arg.(value & opt int Csp2.Opt.default_memo_mb & info [ "memo-mb" ] ~docv:"MIB" ~doc)
+
+let split_depth_arg =
+  let doc =
+    "csp2-opt: time slots decided sequentially before the surviving prefixes are raced \
+     across domains (0 keeps the search sequential; ignored by other solvers)."
+  in
+  Arg.(value & opt int 2 & info [ "split-depth" ] ~docv:"SLOTS" ~doc)
 
 (* ------------------------------------------------------------------ *)
 (* Commands.                                                           *)
@@ -113,25 +136,44 @@ let gen_cmd =
     Term.(const run $ n $ m $ tmax $ seed_arg $ count $ offsets $ order)
 
 let solve_cmd =
-  let run file m solver jobs limit seed quiet =
+  let run file m solver jobs memo_mb split_depth limit seed quiet =
     let ts = read_taskset file in
     let budget = budget_of_limit limit in
+    let print_verdict verdict elapsed =
+      match verdict with
+      | Core.Feasible _ ->
+        Printf.printf "feasible (%.4fs, %s)\n" elapsed (Core.solver_name solver)
+      | Core.Infeasible -> Printf.printf "infeasible (%.4fs, proof)\n" elapsed
+      | Core.Limit -> Printf.printf "limit reached (%.4fs): undecided\n" elapsed
+      | Core.Memout reason -> Printf.printf "model too large: %s\n" reason
+    in
     let verdict, report =
       match solver with
       | Core.Portfolio _ ->
         let jobs = if jobs > 0 then Some jobs else None in
         let r = Core.solve_portfolio ?jobs ~budget ~seed ts ~m in
         (r.Portfolio.verdict, Some (Portfolio.summary r))
-      | _ ->
-        let verdict, elapsed =
-          Core.solve ~solver ~budget ~seed ts ~m
+      | Core.Csp2_opt heuristic ->
+        let jobs = if jobs > 0 then Some jobs else None in
+        let verdict, elapsed, stats =
+          Core.solve_csp2_opt ~heuristic ~budget ~memo_mb ?jobs ~split_depth ts ~m
         in
-        (match verdict with
-        | Core.Feasible _ ->
-          Printf.printf "feasible (%.4fs, %s)\n" elapsed (Core.solver_name solver)
-        | Core.Infeasible -> Printf.printf "infeasible (%.4fs, proof)\n" elapsed
-        | Core.Limit -> Printf.printf "limit reached (%.4fs): undecided\n" elapsed
-        | Core.Memout reason -> Printf.printf "model too large: %s\n" reason);
+        print_verdict verdict elapsed;
+        let report =
+          Option.map
+            (fun st ->
+              Printf.sprintf
+                "csp2-opt: nodes=%d fails=%d memo hits=%d misses=%d stores=%d subtrees=%d \
+                 steals=%d"
+                st.Csp2.Opt.nodes st.Csp2.Opt.fails st.Csp2.Opt.memo_hits
+                st.Csp2.Opt.memo_misses st.Csp2.Opt.memo_stores st.Csp2.Opt.subtrees
+                st.Csp2.Opt.steals)
+            stats
+        in
+        (verdict, report)
+      | _ ->
+        let verdict, elapsed = Core.solve ~solver ~budget ~seed ts ~m in
+        print_verdict verdict elapsed;
         (verdict, None)
     in
     Option.iter print_endline report;
@@ -143,7 +185,9 @@ let solve_cmd =
   let quiet = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Do not print the schedule.") in
   Cmd.v
     (Cmd.info "solve" ~doc:"Decide feasibility of a task-set file.")
-    Term.(const run $ file_arg $ m_arg $ solver_arg $ jobs_arg $ limit_arg $ seed_arg $ quiet)
+    Term.(
+      const run $ file_arg $ m_arg $ solver_arg $ jobs_arg $ memo_mb_arg $ split_depth_arg
+      $ limit_arg $ seed_arg $ quiet)
 
 let fig1_cmd =
   let run () =

@@ -171,7 +171,7 @@ let zero_laxity_bound ts windows =
       let task = Taskset.task ts job.task in
       if task.wcet = task.deadline then Array.iter (fun s -> zl.(s) <- zl.(s) + 1) job.slots)
     (Windows.jobs windows);
-  Array.fold_left max 0 zl
+  Array.fold_left Int.max 0 zl
 
 (* Smallest m' whose hyperperiod supply Σ_t min(m', load t) covers the
    total demand; [n + 1] when even unlimited parallelism falls short. *)
@@ -185,7 +185,7 @@ let supply_bound ts windows =
     if m' > n then n + 1
     else begin
       let supply = ref 0 in
-      Array.iteri (fun l c -> supply := !supply + (c * min m' l)) counts;
+      Array.iteri (fun l c -> supply := !supply + (c * Int.min m' l)) counts;
       if !supply >= demand then m' else search (m' + 1)
     end
   in
@@ -215,7 +215,7 @@ let boundary_points ts windows =
   in
   (collect starts, collect ends)
 
-let overlap a b c d = max 0 (min b d - max a c)
+let overlap a b c d = Int.max 0 (Int.min b d - Int.max a c)
 
 (* Pristine slots of [job] inside the cyclic interval, in O(1): both the
    window [r, r+D) and the interval live in [0, 2T), so three interval
@@ -259,9 +259,9 @@ let pristine_interval_scan ts windows budget ?detect_m () =
                      pristine_inside ~horizon ~release:job.release ~deadline:deadline.(g)
                        ~start ~len
                    in
-                   demand := !demand + max 0 (wcet.(g) - (deadline.(g) - inside)))
+                   demand := !demand + Int.max 0 (wcet.(g) - (deadline.(g) - inside)))
                  jobs;
-               if !demand > 0 then bound := max !bound (Intmath.cdiv !demand len);
+               if !demand > 0 then bound := Int.max !bound (Intmath.cdiv !demand len);
                match detect_m with
                | Some m when !hit = None && !demand > m * len ->
                  hit := Some (start, len, !demand)
@@ -307,7 +307,7 @@ let post_interval_scan fx budget =
                          if Intmath.imod (s - start) horizon < len then incr inside
                        end)
                      job.slots;
-                   demand := !demand + max 0 (wcet.(g) - (!total - !inside)))
+                   demand := !demand + Int.max 0 (wcet.(g) - (!total - !inside)))
                  jobs;
                if !demand > fx.m * len then hit := Some (start, len, !demand)
              end)
@@ -328,7 +328,7 @@ let availability fx =
   done;
   avail
 
-let post_supply fx avail = Array.fold_left (fun acc a -> acc + min fx.m a) 0 avail
+let post_supply fx avail = Array.fold_left (fun acc a -> acc + Int.min fx.m a) 0 avail
 
 (* ------------------------------------------------------------------ *)
 (* Trivially-feasible pass: first-fit-decreasing-density partitioning with
@@ -348,7 +348,7 @@ let try_partition fx budget =
     Array.sort
       (fun a b ->
         let da = Task.density (Taskset.task ts a) and db = Task.density (Taskset.task ts b) in
-        if da <> db then compare db da else compare a b)
+        if da <> db then Float.compare db da else Int.compare a b)
       order;
     let bin_demand = Array.make m 0 in
     let assign = Array.make fx.n (-1) in
@@ -461,8 +461,8 @@ let analyze ?(work_budget = default_work_budget) ?(wall = Timer.unlimited) ts ~m
       let windows = Windows.build ts in
       let fx = make_fx ts ~m windows in
       let m_low = ref u_bound in
-      m_low := max !m_low (zero_laxity_bound ts windows);
-      m_low := max !m_low (supply_bound ts windows);
+      m_low := Int.max !m_low (zero_laxity_bound ts windows);
+      m_low := Int.max !m_low (supply_bound ts windows);
       match run_fixpoint fx with
       | exception Contradiction terminal ->
         finish ~m_lower:!m_low ~skipped:budget.notes (Infeasible (certificate fx terminal))
@@ -478,7 +478,7 @@ let analyze ?(work_budget = default_work_budget) ?(wall = Timer.unlimited) ts ~m
              as the certificate source while no cell is blocked. *)
           let detect_m = if fx.blocked_cells = 0 then Some m else None in
           let bound, pristine_hit = pristine_interval_scan ts windows budget ?detect_m () in
-          m_low := max !m_low bound;
+          m_low := Int.max !m_low bound;
           let hit =
             match pristine_hit with
             | Some _ -> pristine_hit
@@ -511,5 +511,7 @@ let m_lower_bound ?(work_budget = default_work_budget) ts =
   else begin
     let windows = Windows.build ts in
     let bound, _ = pristine_interval_scan ts windows budget () in
-    max (max u_bound (zero_laxity_bound ts windows)) (max (supply_bound ts windows) bound)
+    Int.max
+      (Int.max u_bound (zero_laxity_bound ts windows))
+      (Int.max (supply_bound ts windows) bound)
   end

@@ -6,6 +6,7 @@ type solver =
   | Csp1_sat
   | Csp2_generic
   | Csp2_dedicated of Csp2.Heuristic.t
+  | Csp2_opt of Csp2.Heuristic.t
   | Local_search
   | Portfolio of int
 
@@ -16,6 +17,7 @@ let solver_name = function
   | Csp1_sat -> "csp1-sat"
   | Csp2_generic -> "csp2-generic"
   | Csp2_dedicated h -> "csp2+" ^ Csp2.Heuristic.to_string h
+  | Csp2_opt h -> "csp2-opt+" ^ Csp2.Heuristic.to_string h
   | Local_search -> "local-search"
   | Portfolio jobs -> Printf.sprintf "portfolio(%d)" jobs
 
@@ -25,6 +27,7 @@ let all_solvers =
     Csp1_sat;
     Csp2_generic;
     Csp2_dedicated Csp2.Heuristic.DC;
+    Csp2_opt Csp2.Heuristic.DC;
     Local_search;
     Portfolio 4;
   ]
@@ -45,6 +48,11 @@ let dispatch solver ~platform ~budget ~seed ?domains ts ~m =
   | Csp2_generic -> fst (Encodings.Csp2_fd.solve ~platform ~budget ~seed ?domains ts ~m)
   | Csp2_dedicated heuristic ->
     if identical then fst (Csp2.Solver.solve ~heuristic ~budget ?domains ts ~m)
+    else fst (Csp2.Het.solve ~heuristic ~budget ~platform ts)
+  | Csp2_opt heuristic ->
+    (* Sequential by default at this level; {!solve_csp2_opt} exposes the
+       subtree-splitting knobs and the memo/steal counters. *)
+    if identical then fst (Csp2.Opt.solve ~heuristic ~budget ?domains ts ~m)
     else fst (Csp2.Het.solve ~heuristic ~budget ~platform ts)
   | Local_search ->
     if not identical then invalid_arg "Core.solve: Local_search requires an identical platform";
@@ -117,6 +125,53 @@ let solve ?(solver = default_solver) ?platform ?(budget = Timer.unlimited) ?(see
     end
   in
   (verdict, Timer.elapsed t0)
+
+(* Like {!solve} with [Csp2_opt], but through {!Csp2.Opt.solve_parallel}
+   with its knobs exposed, and returning the engine's counters (memo hits,
+   subtrees, steals) — [None] when the static pass decided alone. *)
+let solve_csp2_opt ?(heuristic = Csp2.Heuristic.DC) ?(budget = Timer.unlimited)
+    ?(verify = true) ?(analyze = true) ?memo_mb ?jobs ?split_depth ts ~m =
+  let platform = Platform.identical ~m in
+  let t0 = Timer.start () in
+  let fail_invalid v =
+    failwith
+      (Format.asprintf "Core.solve_csp2_opt: solver produced an invalid schedule: %a"
+         Verify.pp_violation v)
+  in
+  let check ~platform ts schedule =
+    if verify then
+      match Verify.check ~platform ts schedule with
+      | Ok () -> ()
+      | Error (v :: _) -> fail_invalid v
+      | Error [] -> assert false
+  in
+  let run ~platform ~map_back cts =
+    match static_pass ~analyze ~platform ~budget cts ~m with
+    | `Decided (Feasible schedule) ->
+      check ~platform cts schedule;
+      (Feasible (map_back schedule), Timer.elapsed t0, None)
+    | `Decided other -> (other, Timer.elapsed t0, None)
+    | `Search domains ->
+      let outcome, stats =
+        Csp2.Opt.solve_parallel ~heuristic ~budget ?domains ?memo_mb ?jobs ?split_depth cts
+          ~m
+      in
+      let verdict =
+        match outcome with
+        | Feasible schedule ->
+          check ~platform cts schedule;
+          Feasible (map_back schedule)
+        | (Infeasible | Limit | Memout _) as other -> other
+      in
+      (verdict, Timer.elapsed t0, Some stats)
+  in
+  if Taskset.is_constrained ts then run ~platform ~map_back:Fun.id ts
+  else begin
+    let reduction = Clone.transform ts in
+    let clone_platform = Clone.map_platform reduction platform in
+    run ~platform:clone_platform ~map_back:(Clone.map_schedule reduction)
+      (Clone.cloned reduction)
+  end
 
 let analyze ?work_budget ts ~m =
   if Taskset.is_constrained ts then (Analysis.analyze ?work_budget ts ~m, ts)

@@ -28,6 +28,12 @@ type solver =
   | Csp2_generic  (** Multi-valued encoding on the generic solver (ablation). *)
   | Csp2_dedicated of Csp2.Heuristic.t
       (** The paper's hand-written chronological search (Section V). *)
+  | Csp2_opt of Csp2.Heuristic.t
+      (** {!Csp2.Opt}: the dedicated search with packed eligibility
+          bitsets, state-dominance memoization and the aggregate capacity
+          bound — sequential here; {!solve_csp2_opt} adds the
+          subtree-splitting knobs and the engine counters.  Falls back to
+          {!Csp2.Het} on heterogeneous platforms, like [Csp2_dedicated]. *)
   | Local_search  (** Min-conflicts (future work #1); cannot prove infeasibility. *)
   | Portfolio of int
       (** Race the {!Portfolio.default_specs} backends on the given number
@@ -79,6 +85,25 @@ val solve :
 
 val feasible : ?solver:solver -> ?budget:Prelude.Timer.budget -> Rt_model.Taskset.t -> m:int -> bool option
 (** [Some true]/[Some false] when decided, [None] on limit/memout. *)
+
+val solve_csp2_opt :
+  ?heuristic:Csp2.Heuristic.t ->
+  ?budget:Prelude.Timer.budget ->
+  ?verify:bool ->
+  ?analyze:bool ->
+  ?memo_mb:int ->
+  ?jobs:int ->
+  ?split_depth:int ->
+  Rt_model.Taskset.t ->
+  m:int ->
+  verdict * float * Csp2.Opt.stats option
+(** {!solve} specialized to the optimized engine via
+    {!Csp2.Opt.solve_parallel}, exposing its knobs ([memo_mb] caps the
+    transposition table, [jobs]/[split_depth] control subtree splitting)
+    and returning the engine's counters — nodes, memo hits/misses/stores,
+    subtrees, steals — or [None] when the static pass decided without any
+    search.  Identical platforms only (built from [m]); the clone
+    transform and schedule verification behave exactly as in {!solve}. *)
 
 val solve_portfolio :
   ?specs:Portfolio.spec list ->

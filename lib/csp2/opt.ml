@@ -1,0 +1,712 @@
+open Prelude
+open Rt_model
+
+type stats = {
+  nodes : int;
+  fails : int;
+  memo_hits : int;
+  memo_misses : int;
+  memo_stores : int;
+  subtrees : int;
+  steals : int;
+  max_time_reached : int;
+  time_s : float;
+}
+
+let default_memo_mb = 64
+
+(* ------------------------------------------------------------------ *)
+(* Transposition table.
+
+   A slot state is (time, remaining-execution vector); the exploration
+   below a state is a deterministic function of it, so a state once
+   exhaustively refuted can be pruned on every later visit.  The table is
+   a fixed-capacity direct-mapped cache (replace on collision): memory is
+   bounded by construction, and pruning compares the *full* rem vector —
+   the incremental hash only picks the slot, so a hash collision costs a
+   missed prune, never a wrong one. *)
+
+module Memo = struct
+  type t = {
+    key_len : int;  (* bytes per rem vector *)
+    wide : bool;  (* two bytes per job (any wcet > 255) *)
+    cap_mask : int;  (* final entry count - 1 allowed by the MB cap *)
+    mutable mask : int;  (* current entry count - 1, power of two *)
+    mutable times : int array;  (* -1 marks an empty entry *)
+    mutable hashes : int array;
+    mutable keys : Bytes.t;  (* flat (mask+1) * key_len buffer: no per-entry alloc *)
+    mutable occupied : int;  (* filled entries, drives geometric growth *)
+    mutable hits : int;
+    mutable lookups : int;
+    mutable stores : int;
+  }
+
+  (* Two int-array cells per entry, on top of the key bytes. *)
+  let entry_overhead = 16
+
+  (* Start tiny and double toward the cap: eager full-cap allocation
+     (zeroing tens of MB) would dominate the wall clock of the many
+     instances that are decided in a few hundred nodes. *)
+  let initial_size = 4096
+
+  let create ~job_count ~max_rem ~cap_mb =
+    if cap_mb <= 0 || max_rem > 0xFFFF then None
+    else begin
+      let wide = max_rem > 0xFF in
+      let key_len = Int.max 1 (job_count * if wide then 2 else 1) in
+      let budget_bytes = cap_mb * 1024 * 1024 in
+      let slots = Int.max 64 (budget_bytes / (key_len + entry_overhead)) in
+      let rec pow2 p = if 2 * p > slots || 2 * p <= 0 then p else pow2 (2 * p) in
+      let cap_size = pow2 64 in
+      let size = Int.min initial_size cap_size in
+      Some
+        {
+          key_len;
+          wide;
+          cap_mask = cap_size - 1;
+          mask = size - 1;
+          times = Array.make size (-1);
+          hashes = Array.make size 0;
+          keys = Bytes.create (size * key_len);
+          occupied = 0;
+          hits = 0;
+          lookups = 0;
+          stores = 0;
+        }
+    end
+
+  let slot_index t ~time ~hash =
+    let h = hash lxor (time * 0x9E3779B1) in
+    let h = (h lxor (h lsr 33)) * 0xFF51AFD7 in
+    let h = h lxor (h lsr 15) in
+    h land t.mask
+
+  let key_matches t idx rem =
+    let off = idx * t.key_len in
+    let jn = Array.length rem in
+    if t.wide then begin
+      let rec go g =
+        g >= jn
+        || Char.code (Bytes.unsafe_get t.keys (off + (2 * g)))
+           lor (Char.code (Bytes.unsafe_get t.keys (off + (2 * g) + 1)) lsl 8)
+           = rem.(g)
+           && go (g + 1)
+      in
+      go 0
+    end
+    else begin
+      let rec go g =
+        g >= jn || (Char.code (Bytes.unsafe_get t.keys (off + g)) = rem.(g) && go (g + 1))
+      in
+      go 0
+    end
+
+  let write_key t idx rem =
+    let off = idx * t.key_len in
+    if t.wide then
+      for g = 0 to Array.length rem - 1 do
+        Bytes.unsafe_set t.keys (off + (2 * g)) (Char.unsafe_chr (rem.(g) land 0xFF));
+        Bytes.unsafe_set t.keys (off + (2 * g) + 1) (Char.unsafe_chr ((rem.(g) lsr 8) land 0xFF))
+      done
+    else
+      for g = 0 to Array.length rem - 1 do
+        Bytes.unsafe_set t.keys (off + g) (Char.unsafe_chr rem.(g))
+      done
+
+  let known_infeasible t ~time ~hash rem =
+    t.lookups <- t.lookups + 1;
+    let idx = slot_index t ~time ~hash in
+    if t.times.(idx) = time && t.hashes.(idx) = hash && key_matches t idx rem then begin
+      t.hits <- t.hits + 1;
+      true
+    end
+    else false
+
+  (* Double the table and reinsert: times/hashes carry everything the
+     slot function needs, keys are blitted wholesale.  Rehash collisions
+     just overwrite (direct-mapped replacement either way). *)
+  let grow t =
+    let old_mask = t.mask and old_times = t.times and old_hashes = t.hashes in
+    let old_keys = t.keys in
+    let size = 2 * (old_mask + 1) in
+    t.mask <- size - 1;
+    t.times <- Array.make size (-1);
+    t.hashes <- Array.make size 0;
+    t.keys <- Bytes.create (size * t.key_len);
+    t.occupied <- 0;
+    for idx = 0 to old_mask do
+      let time = old_times.(idx) in
+      if time >= 0 then begin
+        let hash = old_hashes.(idx) in
+        let idx' = slot_index t ~time ~hash in
+        if t.times.(idx') < 0 then t.occupied <- t.occupied + 1;
+        t.times.(idx') <- time;
+        t.hashes.(idx') <- hash;
+        Bytes.blit old_keys (idx * t.key_len) t.keys (idx' * t.key_len) t.key_len
+      end
+    done
+
+  let store t ~time ~hash rem =
+    t.stores <- t.stores + 1;
+    if t.occupied * 2 > t.mask + 1 && t.mask < t.cap_mask then grow t;
+    let idx = slot_index t ~time ~hash in
+    if t.times.(idx) < 0 then t.occupied <- t.occupied + 1;
+    t.times.(idx) <- time;
+    t.hashes.(idx) <- hash;
+    write_key t idx rem
+end
+
+(* ------------------------------------------------------------------ *)
+(* Shared read-only context: everything derivable from the instance
+   alone, built once and shared by every subtree worker. *)
+
+type ctx = {
+  jm : Jobmap.t;
+  m : int;
+  horizon : int;
+  n : int;
+  by_rank : int array;  (* rank -> task id (heuristic order) *)
+  rank_of : int array;  (* task id -> rank *)
+  deadline : int array;
+  wcet : int array;
+  job_wcet : int array;  (* per global job *)
+  domains : Analysis.Domains.t option;
+  usable_after : int array array;  (* as in Solver: only with domains *)
+  elig : Ibits.t array;  (* per slot, rank space: in-window and unblocked *)
+  elig_built : bool array;  (* lazy build; forced before going parallel *)
+  zob : int array array;  (* Zobrist keys: zob.(g).(c) tags rem.(g) = c *)
+}
+
+(* Identical to Solver.remaining_slots / Solver.build_usable_after; kept
+   local so the two engines stay independently evolvable. *)
+let remaining_slots cx ~task ~k ~t =
+  let release = Jobmap.release cx.jm ~task ~k in
+  let last = release + cx.deadline.(task) - 1 in
+  if last < cx.horizon then last - t + 1
+  else begin
+    let head_end = last - cx.horizon in
+    if t <= head_end then head_end - t + 1 + (cx.horizon - release) else cx.horizon - t
+  end
+
+let build_usable_after jm deadline domains =
+  let horizon = Jobmap.horizon jm in
+  let n = Array.length deadline in
+  let ua = Array.make_matrix n horizon 0 in
+  for i = 0 to n - 1 do
+    for k = 0 to Jobmap.jobs_of_task jm i - 1 do
+      let release = Jobmap.release jm ~task:i ~k in
+      let slots =
+        List.init deadline.(i) (fun d -> (release + d) mod horizon)
+        |> List.sort_uniq Int.compare
+      in
+      let acc = ref 0 in
+      List.iter
+        (fun t ->
+          if not (Analysis.Domains.is_blocked domains ~task:i ~time:t) then incr acc;
+          ua.(i).(t) <- !acc)
+        (List.rev slots)
+    done
+  done;
+  ua
+
+let make_ctx ~heuristic ?domains ts ~m =
+  if m < 1 then invalid_arg "Csp2.Opt.solve: m must be >= 1";
+  let jm = Jobmap.create ts in
+  let n = Taskset.size ts in
+  let horizon = Jobmap.horizon jm in
+  (match domains with
+  | Some d when not (Analysis.Domains.matches d ~n ~m ~horizon) ->
+    invalid_arg "Csp2.Opt.solve: domains derived for a different instance"
+  | _ -> ());
+  let wcet = Array.init n (fun i -> (Taskset.task ts i).wcet) in
+  let deadline = Array.init n (fun i -> (Taskset.task ts i).deadline) in
+  let job_wcet = Array.make (Jobmap.job_count jm) 0 in
+  for i = 0 to n - 1 do
+    let base = Jobmap.first_of_task jm i in
+    for k = 0 to Jobmap.jobs_of_task jm i - 1 do
+      job_wcet.(base + k) <- wcet.(i)
+    done
+  done;
+  (* Fixed seed: equal instances hash identically run to run, so node and
+     memo counters stay reproducible. *)
+  let rng = Prng.create ~seed:0x2545F49 in
+  let zob =
+    Array.map
+      (fun c -> Array.init (c + 1) (fun _ -> Int64.to_int (Prng.bits64 rng) land max_int))
+      job_wcet
+  in
+  {
+    jm;
+    m;
+    horizon;
+    n;
+    by_rank = Heuristic.order heuristic ts;
+    rank_of = Heuristic.rank heuristic ts;
+    deadline;
+    wcet;
+    job_wcet;
+    domains;
+    usable_after =
+      (match domains with Some d -> build_usable_after jm deadline d | None -> [||]);
+    elig = Array.init horizon (fun _ -> Ibits.create n);
+    elig_built = Array.make horizon false;
+    zob;
+  }
+
+let build_elig cx t =
+  let set = cx.elig.(t) in
+  for i = 0 to cx.n - 1 do
+    if Jobmap.local_job_at cx.jm ~task:i ~time:t >= 0 then begin
+      let blocked =
+        match cx.domains with
+        | None -> false
+        | Some d -> Analysis.Domains.is_blocked d ~task:i ~time:t
+      in
+      if not blocked then Ibits.set set cx.rank_of.(i)
+    end
+  done;
+  cx.elig_built.(t) <- true
+
+(* The lazy build mutates shared arrays, so the parallel phase forces
+   every slot it can reach up front: concurrent lazy builds of one slot
+   would race on the word-level read-modify-writes. *)
+let force_elig cx ~from =
+  for t = from to cx.horizon - 1 do
+    if not cx.elig_built.(t) then build_elig cx t
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Per-engine mutable state.  All per-slot buffers are preallocated and
+   reused: a search node allocates nothing. *)
+
+type frame = {
+  mutable time : int;
+  applied : int array;  (* task ids scheduled at this slot *)
+  mutable applied_n : int;
+  free : int array;  (* available, non-urgent task ids in rank order *)
+  mutable free_n : int;
+  urgent : int array;
+  mutable urgent_n : int;
+  combo : int array;  (* cursor into [free]; first [combo_k] cells live *)
+  mutable combo_k : int;
+  mutable fresh : bool;
+}
+
+let new_frame n =
+  {
+    time = 0;
+    applied = Array.make (Int.max 1 n) 0;
+    applied_n = 0;
+    free = Array.make (Int.max 1 n) 0;
+    free_n = 0;
+    urgent = Array.make (Int.max 1 n) 0;
+    urgent_n = 0;
+    combo = Array.make (Int.max 1 n) 0;
+    combo_k = 0;
+    fresh = true;
+  }
+
+let reset_frame f time =
+  f.time <- time;
+  f.applied_n <- 0;
+  f.combo_k <- 0;
+  f.fresh <- true
+
+type search = {
+  cx : ctx;
+  rem : int array;  (* per global job: units still owed *)
+  mutable total_rem : int;
+  mutable hash : int;  (* Zobrist hash of [rem], maintained incrementally *)
+  memo : Memo.t option;
+  budget : Timer.budget;
+  frames : frame array;
+  mutable nodes : int;
+  mutable fails : int;
+  mutable max_time : int;
+}
+
+let make_search cx ~budget ~memo_mb =
+  let rem = Array.copy cx.job_wcet in
+  let total_rem = Array.fold_left ( + ) 0 rem in
+  let hash = ref 0 in
+  Array.iteri (fun g c -> hash := !hash lxor cx.zob.(g).(c)) rem;
+  let max_rem = Array.fold_left Int.max 0 cx.wcet in
+  {
+    cx;
+    rem;
+    total_rem;
+    hash = !hash;
+    memo = Memo.create ~job_count:(Array.length rem) ~max_rem ~cap_mb:memo_mb;
+    budget;
+    frames = Array.init (cx.horizon + 1) (fun _ -> new_frame cx.n);
+    nodes = 0;
+    fails = 0;
+    max_time = 0;
+  }
+
+let undo s f =
+  if f.applied_n > 0 then begin
+    for idx = 0 to f.applied_n - 1 do
+      let i = f.applied.(idx) in
+      let g = Jobmap.global_job_at s.cx.jm ~task:i ~time:f.time in
+      let c = s.rem.(g) in
+      s.rem.(g) <- c + 1;
+      s.hash <- s.hash lxor s.cx.zob.(g).(c) lxor s.cx.zob.(g).(c + 1);
+      s.total_rem <- s.total_rem + 1
+    done;
+    f.applied_n <- 0
+  end
+
+let apply_task s f i =
+  let g = Jobmap.global_job_at s.cx.jm ~task:i ~time:f.time in
+  let c = s.rem.(g) in
+  s.rem.(g) <- c - 1;
+  s.hash <- s.hash lxor s.cx.zob.(g).(c) lxor s.cx.zob.(g).(c - 1);
+  s.total_rem <- s.total_rem - 1;
+  f.applied.(f.applied_n) <- i;
+  f.applied_n <- f.applied_n + 1
+
+(* Entry checks for a state visited for the first time at this frame
+   activation.  Both are functions of (t, rem) only, so pruning here can
+   only shed states with no feasible completion:
+   - aggregate capacity: the work still owed must fit in m units per
+     remaining slot (urgency propagation guarantees every unfinished job's
+     window is still open, so all of [total_rem] competes for them);
+   - the transposition table: the state was exhaustively refuted before. *)
+let prune_entry s t =
+  if s.total_rem > s.cx.m * (s.cx.horizon - t) then true
+  else
+    match s.memo with
+    | Some memo -> Memo.known_infeasible memo ~time:t ~hash:s.hash s.rem
+    | None -> false
+
+(* Availability in heuristic (= rank) order, straight off the packed
+   eligibility word for the slot: blocked and out-of-window tasks never
+   enter the loop, and the free/urgent split lands in reused buffers. *)
+let classify s f t =
+  f.free_n <- 0;
+  f.urgent_n <- 0;
+  if not s.cx.elig_built.(t) then build_elig s.cx t;
+  let words = (s.cx.elig.(t) :> int array) in
+  for w = 0 to Array.length words - 1 do
+    let bits = ref words.(w) in
+    let base = w lsl 5 in
+    while !bits <> 0 do
+      let r = base + Ibits.lowest_bit_index !bits in
+      bits := !bits land (!bits - 1);
+      let i = s.cx.by_rank.(r) in
+      let k = Jobmap.local_job_at s.cx.jm ~task:i ~time:t in
+      let g = Jobmap.first_of_task s.cx.jm i + k in
+      if s.rem.(g) > 0 then begin
+        let slots_left =
+          match s.cx.domains with
+          | None -> remaining_slots s.cx ~task:i ~k ~t
+          | Some _ -> s.cx.usable_after.(i).(t)
+        in
+        assert (s.rem.(g) <= slots_left);
+        if s.rem.(g) = slots_left then begin
+          f.urgent.(f.urgent_n) <- i;
+          f.urgent_n <- f.urgent_n + 1
+        end
+        else begin
+          f.free.(f.free_n) <- i;
+          f.free_n <- f.free_n + 1
+        end
+      end
+    done
+  done
+
+type step = Applied | Exhausted | Stopped
+
+let advance s f =
+  let t = f.time in
+  undo s f;
+  if f.fresh && prune_entry s t then begin
+    f.fresh <- false;
+    s.fails <- s.fails + 1;
+    Exhausted
+  end
+  else begin
+    classify s f t;
+    let q = Int.min s.cx.m (f.urgent_n + f.free_n) in
+    if f.urgent_n > q then begin
+      (* Urgency overload: no subset of this slot can work.  Cheap to
+         rediscover (O(n), no search below), so not worth a memo entry. *)
+      s.fails <- s.fails + 1;
+      Exhausted
+    end
+    else begin
+      let k = q - f.urgent_n in
+      let next_ok =
+        if f.fresh then begin
+          for j = 0 to k - 1 do
+            f.combo.(j) <- j
+          done;
+          f.combo_k <- k;
+          f.fresh <- false;
+          true
+        end
+        else f.combo_k > 0 && Combi.next_k ~n:f.free_n ~k:f.combo_k f.combo
+      in
+      if not next_ok then begin
+        s.fails <- s.fails + 1;
+        (* Every subset of this state was tried and every subtree failed
+           through normal backtracking (a budget stop aborts the whole
+           loop before reaching here), so (t, rem) is proven infeasible:
+           record it.  [undo] above restored rem/hash to the entry state. *)
+        (match s.memo with
+        | Some memo -> Memo.store memo ~time:t ~hash:s.hash s.rem
+        | None -> ());
+        Exhausted
+      end
+      else begin
+        for j = 0 to f.urgent_n - 1 do
+          apply_task s f f.urgent.(j)
+        done;
+        for j = 0 to f.combo_k - 1 do
+          apply_task s f f.free.(f.combo.(j))
+        done;
+        s.nodes <- s.nodes + 1;
+        if
+          Timer.cancelled s.budget
+          || (s.nodes land 255 = 0 && Timer.exceeded s.budget ~nodes:s.nodes)
+        then begin
+          undo s f;
+          Stopped
+        end
+        else Applied
+      end
+    end
+  end
+
+type run_result = R_feasible | R_exhausted | R_stopped
+
+(* Chronological loop over slots [start, stop_time).  [stop_time =
+   horizon] decides the subtree: [R_feasible] leaves the assignment in
+   the frames.  With [stop_time < horizon] the loop enumerates surviving
+   prefixes instead: [on_frontier] fires for each, the prefix is then
+   abandoned and the sweep continues with its next sibling — the memo
+   must be off in that mode (an ancestor exhausted by truncated subtrees
+   is not refuted). *)
+let search_loop s ~start ~stop_time ~on_frontier =
+  assert (stop_time = s.cx.horizon || s.memo = None);
+  let depth = ref 1 in
+  reset_frame s.frames.(0) start;
+  let result = ref None in
+  while !result = None do
+    if !depth = 0 then result := Some R_exhausted
+    else if
+      Timer.nodes_exceeded s.budget ~nodes:s.nodes
+      || Timer.cancelled s.budget
+      || (s.nodes land 255 = 0 && Timer.exceeded s.budget ~nodes:s.nodes)
+    then result := Some R_stopped
+    else begin
+      let f = s.frames.(!depth - 1) in
+      match advance s f with
+      | Exhausted -> decr depth
+      | Stopped -> result := Some R_stopped
+      | Applied ->
+        if f.time > s.max_time then s.max_time <- f.time;
+        if f.time + 1 = stop_time then begin
+          if stop_time = s.cx.horizon then result := Some R_feasible else on_frontier !depth
+        end
+        else begin
+          reset_frame s.frames.(!depth) (f.time + 1);
+          incr depth
+        end
+    end
+  done;
+  (match !result with Some r -> r | None -> assert false)
+
+let no_frontier _ = assert false
+
+(* Symmetry rule (10): idle processors first, then tasks ascending. *)
+let place sched ~m ~time ids count =
+  let ids = Array.sub ids 0 count in
+  Array.sort Int.compare ids;
+  Array.iteri (fun pos i -> Schedule.set sched ~proc:(m - count + pos) ~time i) ids
+
+let build_schedule s ~prefix ~depth =
+  let sched = Schedule.create ~m:s.cx.m ~horizon:s.cx.horizon in
+  Array.iteri (fun t ids -> place sched ~m:s.cx.m ~time:t ids (Array.length ids)) prefix;
+  for d = 0 to depth - 1 do
+    let f = s.frames.(d) in
+    place sched ~m:s.cx.m ~time:f.time f.applied f.applied_n
+  done;
+  sched
+
+let stats_of ?(subtrees = 0) ?(steals = 0) searches ~t0 =
+  let nodes = ref 0
+  and fails = ref 0
+  and hits = ref 0
+  and lookups = ref 0
+  and stores = ref 0
+  and max_time = ref 0 in
+  List.iter
+    (fun s ->
+      nodes := !nodes + s.nodes;
+      fails := !fails + s.fails;
+      if s.max_time > !max_time then max_time := s.max_time;
+      match s.memo with
+      | None -> ()
+      | Some m ->
+        hits := !hits + m.Memo.hits;
+        lookups := !lookups + m.Memo.lookups;
+        stores := !stores + m.Memo.stores)
+    searches;
+  {
+    nodes = !nodes;
+    fails = !fails;
+    memo_hits = !hits;
+    memo_misses = !lookups - !hits;
+    memo_stores = !stores;
+    subtrees;
+    steals;
+    max_time_reached = !max_time;
+    time_s = Timer.elapsed t0;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Entry points. *)
+
+let solve ?(heuristic = Heuristic.DC) ?(budget = Timer.unlimited) ?domains
+    ?(memo_mb = default_memo_mb) ts ~m =
+  let t0 = Timer.start () in
+  let cx = make_ctx ~heuristic ?domains ts ~m in
+  let s = make_search cx ~budget ~memo_mb in
+  let outcome =
+    match search_loop s ~start:0 ~stop_time:cx.horizon ~on_frontier:no_frontier with
+    | R_feasible ->
+      Encodings.Outcome.Feasible (build_schedule s ~prefix:[||] ~depth:cx.horizon)
+    | R_exhausted -> Encodings.Outcome.Infeasible
+    | R_stopped -> Encodings.Outcome.Limit
+  in
+  (outcome, stats_of [ s ] ~t0)
+
+type frontier_item = {
+  f_rem : int array;
+  f_hash : int;
+  f_total : int;
+  f_prefix : int array array;  (* per slot 0..split-1: applied task ids *)
+}
+
+let solve_parallel ?(heuristic = Heuristic.DC) ?(budget = Timer.unlimited) ?domains
+    ?(memo_mb = default_memo_mb) ?jobs ?split_depth ts ~m =
+  let t0 = Timer.start () in
+  let cx = make_ctx ~heuristic ?domains ts ~m in
+  let jobs =
+    match jobs with
+    | Some j -> Int.max 1 j
+    | None -> Domain.recommended_domain_count ()
+  in
+  let split =
+    let d = match split_depth with Some d -> d | None -> 2 in
+    Intmath.clamp ~lo:0 ~hi:(cx.horizon - 1) d
+  in
+  if jobs <= 1 || split = 0 then begin
+    let s = make_search cx ~budget ~memo_mb in
+    let outcome =
+      match search_loop s ~start:0 ~stop_time:cx.horizon ~on_frontier:no_frontier with
+      | R_feasible ->
+        Encodings.Outcome.Feasible (build_schedule s ~prefix:[||] ~depth:cx.horizon)
+      | R_exhausted -> Encodings.Outcome.Infeasible
+      | R_stopped -> Encodings.Outcome.Limit
+    in
+    (outcome, stats_of [ s ] ~t0)
+  end
+  else begin
+    (* Phase 1 (sequential): enumerate every surviving assignment of the
+       first [split] slots.  Memo off — see [search_loop]. *)
+    let s0 = make_search cx ~budget ~memo_mb:0 in
+    let frontier = ref [] in
+    let capture depth =
+      let prefix =
+        Array.init depth (fun d -> Array.sub s0.frames.(d).applied 0 s0.frames.(d).applied_n)
+      in
+      frontier :=
+        { f_rem = Array.copy s0.rem; f_hash = s0.hash; f_total = s0.total_rem; f_prefix = prefix }
+        :: !frontier
+    in
+    match search_loop s0 ~start:0 ~stop_time:split ~on_frontier:capture with
+    | R_feasible -> assert false (* split < horizon *)
+    | R_stopped -> (Encodings.Outcome.Limit, stats_of [ s0 ] ~t0)
+    | R_exhausted ->
+      let frontier = Array.of_list (List.rev !frontier) in
+      let nf = Array.length frontier in
+      if nf = 0 then
+        (* No prefix survives the first [split] slots: a complete proof. *)
+        (Encodings.Outcome.Infeasible, stats_of [ s0 ] ~t0)
+      else begin
+        force_elig cx ~from:split;
+        let workers = Int.min jobs nf in
+        let stop = Atomic.make false in
+        let worker_budget = Timer.with_stop budget stop in
+        let next = Atomic.make 0 in
+        let winner = Atomic.make (-1) in
+        let refuted = Atomic.make 0 in
+        let solutions = Array.make workers None in
+        let searches = Array.make workers None in
+        let pulls = Array.make workers 0 in
+        let limited = Array.make workers false in
+        let worker wid () =
+          (* One engine (and one memo slice) per worker, reused across the
+             subtrees it pulls: refuted states are global facts of the
+             instance, so entries stay valid from one subtree to the next. *)
+          let s = make_search cx ~budget:worker_budget ~memo_mb:(memo_mb / workers) in
+          searches.(wid) <- Some s;
+          let continue_ = ref true in
+          while !continue_ do
+            (* Honor a cancel on the caller's own budget flag, which
+               [with_stop] replaced for the race. *)
+            if Timer.cancelled budget then Atomic.set stop true;
+            if Atomic.get stop then continue_ := false
+            else begin
+              let i = Atomic.fetch_and_add next 1 in
+              if i >= nf then continue_ := false
+              else begin
+                pulls.(wid) <- pulls.(wid) + 1;
+                let fr = frontier.(i) in
+                Array.blit fr.f_rem 0 s.rem 0 (Array.length s.rem);
+                s.hash <- fr.f_hash;
+                s.total_rem <- fr.f_total;
+                match
+                  search_loop s ~start:split ~stop_time:cx.horizon ~on_frontier:no_frontier
+                with
+                | R_feasible ->
+                  if Atomic.compare_and_set winner (-1) i then begin
+                    solutions.(wid) <-
+                      Some (build_schedule s ~prefix:fr.f_prefix ~depth:(cx.horizon - split));
+                    Atomic.set stop true
+                  end;
+                  continue_ := false
+                | R_exhausted -> ignore (Atomic.fetch_and_add refuted 1)
+                | R_stopped ->
+                  limited.(wid) <- true;
+                  continue_ := false
+              end
+            end
+          done
+        in
+        let spawned = Array.init (workers - 1) (fun w -> Domain.spawn (fun () -> worker (w + 1) ())) in
+        worker 0 ();
+        Array.iter Domain.join spawned;
+        let searches =
+          s0 :: List.filter_map Fun.id (Array.to_list searches)
+        in
+        let steals = ref 0 in
+        for wid = 1 to workers - 1 do
+          steals := !steals + pulls.(wid)
+        done;
+        let stats = stats_of searches ~subtrees:nf ~steals:!steals ~t0 in
+        let outcome =
+          if Atomic.get winner >= 0 then begin
+            match Array.fold_left (fun acc o -> match acc with Some _ -> acc | None -> o) None solutions with
+            | Some sched -> Encodings.Outcome.Feasible sched
+            | None -> assert false
+          end
+          else if Atomic.get refuted = nf then Encodings.Outcome.Infeasible
+          else Encodings.Outcome.Limit
+        in
+        (outcome, stats)
+      end
+  end

@@ -1,0 +1,85 @@
+(** Optimized CSP2 dedicated search: bitsets + memoization + Domains.
+
+    Same problem, rules and verdict semantics as {!Solver} (no-idle,
+    symmetry rule (10), heuristic value ordering, urgency propagation —
+    always on here), re-engineered for throughput:
+
+    - {b packed eligibility}: per-slot candidate sets live in {!Prelude.Ibits}
+      words (in-window and not statically blocked, in heuristic-rank space),
+      so classifying a slot walks set bits instead of all [n] tasks, and the
+      per-node hot path allocates nothing (reused frame buffers, one
+      max-sized combination cursor advanced with {!Prelude.Combi.next_k});
+
+    - {b state-dominance memoization}: a search state is fully described by
+      [(t, rem)] — the slot to decide and the per-job remaining demand —
+      and the exploration below it is a deterministic function of that
+      pair.  States refuted by exhausting every subset are recorded in a
+      transposition table that doubles from a tiny initial size toward the
+      [memo_mb] cap (direct-mapped, replace on collision) keyed by an
+      incrementally maintained Zobrist hash;
+      pruning compares the {e full} rem vector, so collisions cost a missed
+      prune, never a wrong verdict.  Entries are written only on genuine
+      exhaustion — never on a budget stop, never during frontier
+      enumeration — so [Infeasible] remains a proof;
+
+    - {b aggregate capacity bound}: a state with more remaining work than
+      [m · (T − t)] slot-units left fails immediately (urgency propagation
+      keeps every unfinished job's window open, so all remaining work
+      competes for those units);
+
+    - {b subtree splitting} ({!solve_parallel}): the surviving assignments
+      of the first [split_depth] slots are enumerated sequentially, then
+      raced across Domains pulling from a shared work queue with a common
+      stop flag — first [Feasible] wins; [Infeasible] requires every
+      subtree refuted; anything cut short degrades the verdict to [Limit].
+
+    Verdict-equivalent to {!Solver} with [urgency:true] (property-tested in
+    [test/test_csp2.ml]); node counts are lower, not equal, because the
+    memo table and the capacity bound prune. *)
+
+type stats = {
+  nodes : int;  (** Slot assignments tried (summed over workers). *)
+  fails : int;  (** Dead ends: overloads, capacity cuts, memo hits, exhaustions. *)
+  memo_hits : int;  (** Lookups that pruned a known-infeasible state. *)
+  memo_misses : int;
+  memo_stores : int;
+  subtrees : int;  (** Frontier size handed to the parallel phase (0 = sequential). *)
+  steals : int;  (** Subtrees pulled by spawned domains (not the caller's). *)
+  max_time_reached : int;
+  time_s : float;
+}
+
+val default_memo_mb : int
+(** 64 MiB; an explicit upper bound on table memory, not a reservation. *)
+
+val solve :
+  ?heuristic:Heuristic.t ->
+  ?budget:Prelude.Timer.budget ->
+  ?domains:Analysis.Domains.t ->
+  ?memo_mb:int ->
+  Rt_model.Taskset.t ->
+  m:int ->
+  Encodings.Outcome.t * stats
+(** Sequential entry point.  [memo_mb <= 0] disables the transposition
+    table (the capacity bound stays on); so do per-job demands above
+    65535, where keys would no longer pack into two bytes.
+    @raise Invalid_argument as {!Solver.solve}. *)
+
+val solve_parallel :
+  ?heuristic:Heuristic.t ->
+  ?budget:Prelude.Timer.budget ->
+  ?domains:Analysis.Domains.t ->
+  ?memo_mb:int ->
+  ?jobs:int ->
+  ?split_depth:int ->
+  Rt_model.Taskset.t ->
+  m:int ->
+  Encodings.Outcome.t * stats
+(** Race the frontier after [split_depth] slots (default 2, clamped to
+    [T − 1]) across [jobs] domains (default
+    [Domain.recommended_domain_count ()]); [memo_mb] is split evenly across
+    workers.  [jobs <= 1] or [split_depth = 0] falls back to {!solve}'s
+    sequential loop.  Deterministic in its verdict — [Feasible]/[Infeasible]
+    never depends on [jobs] — though which witness schedule is returned may
+    (any returned schedule verifies).  The wall budget is honored in both
+    phases; node budgets apply per engine. *)

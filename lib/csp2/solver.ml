@@ -13,7 +13,7 @@ type stats = {
    and storing them per frame would cost O(n·T) memory on Table IV-sized
    instances); only the undo set and the combination cursor persist. *)
 type frame = {
-  time : int;
+  mutable time : int;
   applied : Bitset.t;  (* task ids scheduled at this slot *)
   mutable has_applied : bool;
   mutable combo : int array;  (* indices into the free list *)
@@ -71,7 +71,7 @@ let build_usable_after jm deadline domains =
       let release = Jobmap.release jm ~task:i ~k in
       let slots =
         List.init deadline.(i) (fun d -> (release + d) mod horizon)
-        |> List.sort_uniq compare (* sweep (= numeric) order; head first *)
+        |> List.sort_uniq Int.compare (* sweep (= numeric) order; head first *)
       in
       let acc = ref 0 in
       List.iter
@@ -142,7 +142,7 @@ let advance s f =
       end
     end
   done;
-  let q = min s.m (!n_urgent + !n_free) in
+  let q = Int.min s.m (!n_urgent + !n_free) in
   if !n_urgent > q then begin
     (* Urgency overload: no subset of this slot can work. *)
     s.fails <- s.fails + 1;
@@ -256,9 +256,20 @@ let solve ?(heuristic = Heuristic.DC) ?(budget = Timer.unlimited) ?(urgency = tr
   let new_frame time =
     { time; applied = Bitset.create n; has_applied = false; combo = [||]; fresh = true }
   in
-  (* Explicit stack: recursion depth would be the hyperperiod. *)
-  let frames = Array.make (horizon + 1) (new_frame 0) in
-  frames.(0) <- new_frame 0;
+  (* Explicit stack: recursion depth would be the hyperperiod.  Each cell
+     gets its own frame — [Array.make] would seed every cell with the
+     *same* record, and two live depths sharing one [applied] bitset would
+     corrupt [undo].  (The old code masked this by overwriting each cell
+     with a fresh frame before use; per-cell init plus [reset_frame] keeps
+     the invariant explicit and drops the per-descent allocation.) *)
+  let frames = Array.init (horizon + 1) (fun _ -> new_frame 0) in
+  let reset_frame f time =
+    f.time <- time;
+    Bitset.clear f.applied;
+    f.has_applied <- false;
+    f.combo <- [||];
+    f.fresh <- true
+  in
   let depth = ref 1 in
   let outcome = ref None in
   while !outcome = None do
@@ -278,7 +289,7 @@ let solve ?(heuristic = Heuristic.DC) ?(budget = Timer.unlimited) ?(urgency = tr
         if f.time + 1 = horizon then
           outcome := Some (Encodings.Outcome.Feasible (build_schedule s frames !depth))
         else begin
-          frames.(!depth) <- new_frame (f.time + 1);
+          reset_frame frames.(!depth) (f.time + 1);
           incr depth
         end
     end

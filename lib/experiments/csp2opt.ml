@@ -1,0 +1,186 @@
+type totals = {
+  instances : int;
+  searched : int;
+  classic_decided : int;
+  opt_decided : int;
+  compared : int;
+  verdicts_equal : int;
+  schedules_valid : int;
+  feasible_checked : int;
+  nodes_classic : int;
+  nodes_opt : int;
+  memo_hits : int;
+  memo_misses : int;
+  memo_stores : int;
+  subtrees : int;
+  steals : int;
+  parallel_jobs : int;
+  classic_wall_s : float;
+  opt_wall_s : float;
+  opt_parallel_wall_s : float;
+}
+
+let empty =
+  {
+    instances = 0;
+    searched = 0;
+    classic_decided = 0;
+    opt_decided = 0;
+    compared = 0;
+    verdicts_equal = 0;
+    schedules_valid = 0;
+    feasible_checked = 0;
+    nodes_classic = 0;
+    nodes_opt = 0;
+    memo_hits = 0;
+    memo_misses = 0;
+    memo_stores = 0;
+    subtrees = 0;
+    steals = 0;
+    parallel_jobs = 1;
+    classic_wall_s = 0.;
+    opt_wall_s = 0.;
+    opt_parallel_wall_s = 0.;
+  }
+
+let decided = function
+  | Encodings.Outcome.Feasible _ | Encodings.Outcome.Infeasible -> true
+  | Encodings.Outcome.Limit | Encodings.Outcome.Memout _ -> false
+
+let same_verdict a b =
+  match (a, b) with
+  | Encodings.Outcome.Feasible _, Encodings.Outcome.Feasible _ -> true
+  | Encodings.Outcome.Infeasible, Encodings.Outcome.Infeasible -> true
+  | _ -> false
+
+let run ?(progress = fun _ -> ()) ?jobs (config : Config.t) =
+  let params = Campaign.generation_params config in
+  let instances =
+    Gen.Generator.batch ~seed:(config.Config.seed + 777) ~count:config.Config.instances params
+  in
+  let jobs =
+    match jobs with
+    | Some j -> max 1 j
+    (* On a single-core box still exercise the splitting machinery
+       (oversubscribed, but the frontier race is what we measure). *)
+    | None -> max 2 (Domain.recommended_domain_count ())
+  in
+  let acc = ref { empty with instances = Array.length instances; parallel_jobs = jobs } in
+  Array.iteri
+    (fun idx (ts, m) ->
+      (* The Table I distribution is dominated by statically refutable
+         instances; both engines would agree in 0 nodes there.  Skip the
+         analyzer-decided ones so the comparison only counts real search. *)
+      let searched =
+        match (Analysis.analyze ts ~m).Analysis.verdict with
+        | Analysis.Infeasible _ | Analysis.Trivially_feasible _ -> false
+        | Analysis.Pruned _ -> true
+      in
+      if searched then begin
+        let t = { !acc with searched = !acc.searched + 1 } in
+        let classic, classic_st =
+          Csp2.Solver.solve ~budget:(Config.budget config) ts ~m
+        in
+        let opt, opt_st = Csp2.Opt.solve ~budget:(Config.budget config) ts ~m in
+        (* The parallel run contributes wall clock and splitting counters;
+           its verdict is checked for consistency below via [agree]. *)
+        let par, par_st =
+          Csp2.Opt.solve_parallel ~budget:(Config.budget config) ~jobs ts ~m
+        in
+        if not (Encodings.Outcome.agree par opt) then
+          failwith "Csp2opt.run: sequential and parallel opt verdicts contradict";
+        let t =
+          {
+            t with
+            classic_decided = t.classic_decided + Bool.to_int (decided classic);
+            opt_decided = t.opt_decided + Bool.to_int (decided opt);
+            memo_hits = t.memo_hits + opt_st.Csp2.Opt.memo_hits;
+            memo_misses = t.memo_misses + opt_st.Csp2.Opt.memo_misses;
+            memo_stores = t.memo_stores + opt_st.Csp2.Opt.memo_stores;
+            subtrees = t.subtrees + par_st.Csp2.Opt.subtrees;
+            steals = t.steals + par_st.Csp2.Opt.steals;
+          }
+        in
+        let t =
+          match opt with
+          | Encodings.Outcome.Feasible sched ->
+            let ok =
+              match Rt_model.Verify.check ts sched with Ok () -> true | Error _ -> false
+            in
+            {
+              t with
+              feasible_checked = t.feasible_checked + 1;
+              schedules_valid = t.schedules_valid + Bool.to_int ok;
+            }
+          | _ -> t
+        in
+        let t =
+          if decided classic && decided opt then
+            {
+              t with
+              compared = t.compared + 1;
+              verdicts_equal = t.verdicts_equal + Bool.to_int (same_verdict classic opt);
+              nodes_classic = t.nodes_classic + classic_st.Csp2.Solver.nodes;
+              nodes_opt = t.nodes_opt + opt_st.Csp2.Opt.nodes;
+              classic_wall_s = t.classic_wall_s +. classic_st.Csp2.Solver.time_s;
+              opt_wall_s = t.opt_wall_s +. opt_st.Csp2.Opt.time_s;
+              opt_parallel_wall_s = t.opt_parallel_wall_s +. par_st.Csp2.Opt.time_s;
+            }
+          else t
+        in
+        acc := t
+      end;
+      progress idx)
+    instances;
+  !acc
+
+let node_reduction_pct t =
+  if t.nodes_classic = 0 then 0.
+  else 100. *. float_of_int (t.nodes_classic - t.nodes_opt) /. float_of_int t.nodes_classic
+
+let render t =
+  let b = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+  line "CSP2 classic vs optimized (bitsets + memo + capacity bound) on %d instances:"
+    t.instances;
+  line "  searched (analyzer undecided)  %4d" t.searched;
+  line "  decided: classic %d, opt %d; both %d (verdicts equal on %d)" t.classic_decided
+    t.opt_decided t.compared t.verdicts_equal;
+  line "  opt schedules re-verified      %4d of %d" t.schedules_valid t.feasible_checked;
+  line "  nodes on compared instances: classic %d vs opt %d (%.2f%% fewer)" t.nodes_classic
+    t.nodes_opt (node_reduction_pct t);
+  line "  memo: %d hits / %d misses / %d stores" t.memo_hits t.memo_misses t.memo_stores;
+  line "  wall on compared instances: classic %.4fs, opt %.4fs, opt --jobs %d %.4fs"
+    t.classic_wall_s t.opt_wall_s t.parallel_jobs t.opt_parallel_wall_s;
+  line "  parallel phase: %d subtrees, %d steals" t.subtrees t.steals;
+  Buffer.contents b
+
+(* Hand-rolled: the repo deliberately has no JSON dependency. *)
+let to_json t =
+  let b = Buffer.create 512 in
+  let field ?(last = false) name value =
+    Buffer.add_string b (Printf.sprintf "  %S: %s%s\n" name value (if last then "" else ","))
+  in
+  Buffer.add_string b "{\n";
+  field "instances" (string_of_int t.instances);
+  field "searched" (string_of_int t.searched);
+  field "classic_decided" (string_of_int t.classic_decided);
+  field "opt_decided" (string_of_int t.opt_decided);
+  field "compared" (string_of_int t.compared);
+  field "verdicts_equal" (string_of_int t.verdicts_equal);
+  field "schedules_valid" (string_of_int t.schedules_valid);
+  field "feasible_checked" (string_of_int t.feasible_checked);
+  field "nodes_classic" (string_of_int t.nodes_classic);
+  field "nodes_opt" (string_of_int t.nodes_opt);
+  field "node_reduction_pct" (Printf.sprintf "%.2f" (node_reduction_pct t));
+  field "memo_hits" (string_of_int t.memo_hits);
+  field "memo_misses" (string_of_int t.memo_misses);
+  field "memo_stores" (string_of_int t.memo_stores);
+  field "subtrees" (string_of_int t.subtrees);
+  field "steals" (string_of_int t.steals);
+  field "parallel_jobs" (string_of_int t.parallel_jobs);
+  field "classic_wall_s" (Printf.sprintf "%.6f" t.classic_wall_s);
+  field "opt_wall_s" (Printf.sprintf "%.6f" t.opt_wall_s);
+  field ~last:true "opt_parallel_wall_s" (Printf.sprintf "%.6f" t.opt_parallel_wall_s);
+  Buffer.add_string b "}\n";
+  Buffer.contents b

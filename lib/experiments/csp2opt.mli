@@ -1,0 +1,48 @@
+(** CSP2OPT benchmark section: classic dedicated search vs {!Csp2.Opt}.
+
+    Over a generated batch (Table I distribution, analyzer-decided
+    instances skipped so only real search is measured), runs three
+    configurations per instance under the configured per-run budget:
+
+    - the classic {!Csp2.Solver} (D−C heuristic);
+    - {!Csp2.Opt.solve} — bitsets, transposition table, capacity bound;
+    - {!Csp2.Opt.solve_parallel} with [jobs] domains.
+
+    Accumulates node counts and wall clocks over the instances both
+    engines decided (the acceptance measurement: the optimized engine
+    must explore markedly fewer nodes at equal verdicts), memo hit/store
+    counters, frontier sizes, and re-verifies every schedule the
+    optimized engine produces. *)
+
+type totals = {
+  instances : int;
+  searched : int;  (** Analyzer left undecided: the engines actually ran. *)
+  classic_decided : int;
+  opt_decided : int;
+  compared : int;  (** Decided by both classic and opt. *)
+  verdicts_equal : int;  (** Same constructor on compared instances. *)
+  schedules_valid : int;  (** Opt [Feasible] schedules passing {!Rt_model.Verify}. *)
+  feasible_checked : int;
+  nodes_classic : int;  (** Over compared instances. *)
+  nodes_opt : int;
+  memo_hits : int;
+  memo_misses : int;
+  memo_stores : int;
+  subtrees : int;  (** Frontier items raced by the parallel runs. *)
+  steals : int;
+  parallel_jobs : int;
+  classic_wall_s : float;  (** Summed over compared instances. *)
+  opt_wall_s : float;
+  opt_parallel_wall_s : float;
+}
+
+val run : ?progress:(int -> unit) -> ?jobs:int -> Config.t -> totals
+(** [jobs] defaults to [max 2 (Domain.recommended_domain_count ())], so
+    the splitting machinery is exercised even on a single-core box. *)
+
+val node_reduction_pct : totals -> float
+(** Percent fewer nodes for the optimized engine on compared instances. *)
+
+val render : totals -> string
+val to_json : totals -> string
+(** One flat JSON object (hand-rolled; no JSON dependency). *)

@@ -2,27 +2,30 @@ open Prelude
 
 type spec =
   | Csp2 of Csp2.Heuristic.t
+  | Csp2_opt of Csp2.Heuristic.t
   | Csp1_sat
   | Local_search
 
 let spec_name = function
   | Csp2 h -> "csp2+" ^ Csp2.Heuristic.to_string h
+  | Csp2_opt h -> "csp2-opt+" ^ Csp2.Heuristic.to_string h
   | Csp1_sat -> "csp1-sat"
   | Local_search -> "local-search"
 
-(* Complementarity first: the paper's best heuristic, then the ones that win
-   on other instances, then the two different solver families.  With [jobs]
-   below the list length the prefix runs first and the tail backfills as
-   arms finish or lose. *)
+(* Complementarity first: the memoized search under the paper's best
+   heuristic, then the heuristics that win on other instances, then the two
+   different solver families; the classic (memo-free) D−C engine rides at
+   the tail as a cross-check arm.  With [jobs] below the list length the
+   prefix runs first and the tail backfills as arms finish or lose. *)
 let default_specs =
   [
-    Csp2 Csp2.Heuristic.DC;
+    Csp2_opt Csp2.Heuristic.DC;
     Csp2 Csp2.Heuristic.RM;
     Csp1_sat;
     Local_search;
     Csp2 Csp2.Heuristic.DM;
     Csp2 Csp2.Heuristic.TC;
-    Csp2 Csp2.Heuristic.Id;
+    Csp2 Csp2.Heuristic.DC;
   ]
 
 type backend_stats = {
@@ -49,6 +52,11 @@ let run_spec spec ~budget ~seed ?domains ts ~m =
   | Csp2 heuristic ->
     let outcome, st = Csp2.Solver.solve ~heuristic ~budget ?domains ts ~m in
     (outcome, st.Csp2.Solver.nodes, st.Csp2.Solver.fails)
+  | Csp2_opt heuristic ->
+    (* Sequential engine on purpose: each arm owns one domain already, so
+       subtree splitting inside an arm would oversubscribe the race. *)
+    let outcome, st = Csp2.Opt.solve ~heuristic ~budget ?domains ts ~m in
+    (outcome, st.Csp2.Opt.nodes, st.Csp2.Opt.fails)
   | Csp1_sat ->
     let outcome, st = Encodings.Csp1_sat.solve ~budget ~seed ?domains ts ~m in
     let nodes = match st with Some s -> s.Sat.Solver.decisions | None -> 0 in

@@ -26,6 +26,11 @@ type spec =
   | Csp2 of Csp2.Heuristic.t
       (** The dedicated chronological search (identical platforms,
           urgency propagation on) under the given value ordering. *)
+  | Csp2_opt of Csp2.Heuristic.t
+      (** {!Csp2.Opt}: the same search with packed eligibility bitsets,
+          the transposition table and the capacity bound — run
+          sequentially (one arm = one domain; subtree splitting inside an
+          arm would oversubscribe the race). *)
   | Csp1_sat  (** CSP1 compiled to CNF for the in-house CDCL solver. *)
   | Local_search  (** Min-conflicts; can win only with [Feasible]. *)
 
@@ -35,9 +40,10 @@ val analysis_arm_name : string
 (** ["static-analysis"], the reported name of the analyzer arm. *)
 
 val default_specs : spec list
-(** [csp2+D-C, csp2+RM, csp1-sat, local-search, csp2+DM, csp2+T-C, csp2]
-    — most complementary strategies first, so truncating to the first
-    [jobs] arms keeps the strongest mix. *)
+(** [csp2-opt+D-C, csp2+RM, csp1-sat, local-search, csp2+DM, csp2+T-C,
+    csp2+D-C] — most complementary strategies first, so truncating to the
+    first [jobs] arms keeps the strongest mix; the classic (memo-free) D−C
+    engine rides at the tail as a cross-check arm. *)
 
 type backend_stats = {
   name : string;

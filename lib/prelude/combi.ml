@@ -1,8 +1,10 @@
 let first ~n ~k =
   if k < 0 || k > n then None else Some (Array.init k (fun i -> i))
 
-let next ~n c =
-  let k = Array.length c in
+(* [next_k] advances only the first [k] cells, so a caller can reuse one
+   max-sized buffer across states whose subset size varies (the CSP2 hot
+   path does: k changes per slot) without reallocating. *)
+let next_k ~n ~k c =
   (* Find the rightmost index that can still move right. *)
   let rec find i = if i < 0 then -1 else if c.(i) < n - k + i then i else find (i - 1) in
   let i = find (k - 1) in
@@ -14,6 +16,8 @@ let next ~n c =
     done;
     true
   end
+
+let next ~n c = next_k ~n ~k:(Array.length c) c
 
 let count ~n ~k =
   if k < 0 || k > n then 0

@@ -12,6 +12,11 @@ val next : n:int -> int array -> bool
 (** Advance the index array to the next combination in place; returns
     [false] (array left unspecified) when the last combination was given. *)
 
+val next_k : n:int -> k:int -> int array -> bool
+(** Like {!next} but only the first [k] cells of the (possibly longer)
+    array hold the combination — lets hot paths reuse one max-sized buffer
+    across subset sizes.  Cells at index [>= k] are never read or written. *)
+
 val count : n:int -> k:int -> int
 (** Binomial coefficient, saturating at [max_int] on overflow. *)
 

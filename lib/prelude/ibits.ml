@@ -1,0 +1,81 @@
+(* Words are 32 bits of an OCaml int each: bit index arithmetic stays in
+   shifts/masks (no division), word ops are native int instructions, and
+   the representation is a plain [int array] — no boxing, no [Bytes]
+   round-trips, cheap to copy.  [Bitset] (Bytes + Int64) remains the
+   general-purpose sibling; this module exists for solver hot paths that
+   iterate set bits millions of times per second. *)
+
+type t = int array
+
+let bits_per_word = 32
+let word_mask = 0xFFFFFFFF
+let words capacity = (capacity + bits_per_word - 1) lsr 5
+
+let create capacity =
+  if capacity < 0 then invalid_arg "Ibits.create";
+  Array.make (max 1 (words capacity)) 0
+
+let set t i = t.(i lsr 5) <- t.(i lsr 5) lor (1 lsl (i land 31))
+let unset t i = t.(i lsr 5) <- t.(i lsr 5) land lnot (1 lsl (i land 31))
+let mem t i = t.(i lsr 5) land (1 lsl (i land 31)) <> 0
+
+let clear t = Array.fill t 0 (Array.length t) 0
+
+let copy_into ~src ~dst =
+  if Array.length src <> Array.length dst then invalid_arg "Ibits.copy_into";
+  Array.blit src 0 dst 0 (Array.length src)
+
+let inter_into ~dst a b =
+  for w = 0 to Array.length dst - 1 do
+    dst.(w) <- a.(w) land b.(w)
+  done
+
+let diff_into ~dst a b =
+  for w = 0 to Array.length dst - 1 do
+    dst.(w) <- a.(w) land lnot b.(w)
+  done
+
+let is_empty t =
+  let rec go w = w >= Array.length t || (t.(w) = 0 && go (w + 1)) in
+  go 0
+
+(* SWAR popcount of a 32-bit value held in an int. *)
+let popcount32 x =
+  let x = x - ((x lsr 1) land 0x55555555) in
+  let x = (x land 0x33333333) + ((x lsr 2) land 0x33333333) in
+  let x = (x + (x lsr 4)) land 0x0F0F0F0F in
+  (x * 0x01010101) lsr 24 land 0xFF
+
+let popcount t =
+  let n = ref 0 in
+  for w = 0 to Array.length t - 1 do
+    n := !n + popcount32 t.(w)
+  done;
+  !n
+
+(* De Bruijn sequence lookup: index of the (single) set bit of [x land -x]
+   for a non-zero 32-bit value. *)
+let debruijn_table =
+  [| 0; 1; 28; 2; 29; 14; 24; 3; 30; 22; 20; 15; 25; 17; 4; 8;
+     31; 27; 13; 23; 21; 19; 16; 7; 26; 12; 18; 6; 11; 5; 10; 9 |]
+
+(* Parenthesize carefully: [lsr] binds tighter than [land] in OCaml, so the
+   32-bit truncation of the product must be explicit before the shift. *)
+let lowest_bit_index x = debruijn_table.(((x land -x) * 0x077CB531 land word_mask) lsr 27)
+
+let iter f t =
+  for w = 0 to Array.length t - 1 do
+    let bits = ref t.(w) in
+    let base = w lsl 5 in
+    while !bits <> 0 do
+      f (base + lowest_bit_index !bits);
+      bits := !bits land (!bits - 1)
+    done
+  done
+
+let fold f init t =
+  let acc = ref init in
+  iter (fun v -> acc := f !acc v) t;
+  !acc
+
+let elements t = List.rev (fold (fun acc v -> v :: acc) [] t)

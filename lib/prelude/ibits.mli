@@ -1,0 +1,55 @@
+(** Int-backed bitsets for solver hot paths.
+
+    A set over [0 .. capacity-1] packed into an [int array], 32 bits per
+    word.  Unlike {!Bitset} (Bytes + Int64, built for the generic FD
+    solver's trailed domains), this representation is tuned for inner
+    loops that classify and enumerate candidates on every search node:
+    membership, word-parallel intersection/difference and set-bit
+    iteration compile to plain int instructions with no allocation.
+
+    The type is exposed as [private int array] so that hot loops can walk
+    words directly (combine {!lowest_bit_index} with [bits land (bits-1)]
+    to strip bits) without paying a closure per node; everyone else should
+    stick to the functional accessors below.
+
+    No bounds checks beyond the array's own: callers index with values
+    below the creation capacity. *)
+
+type t = private int array
+
+val bits_per_word : int
+(** 32: bit [i] lives in word [i lsr 5] at position [i land 31]. *)
+
+val words : int -> int
+(** Number of words backing a set of the given capacity. *)
+
+val create : int -> t
+(** Empty set over [0 .. capacity-1] (at least one word is allocated). *)
+
+val set : t -> int -> unit
+val unset : t -> int -> unit
+val mem : t -> int -> bool
+val clear : t -> unit
+
+val copy_into : src:t -> dst:t -> unit
+(** Overwrite [dst] with [src]; word counts must match. *)
+
+val inter_into : dst:t -> t -> t -> unit
+(** [inter_into ~dst a b] writes [a ∩ b] into [dst] (aliasing allowed). *)
+
+val diff_into : dst:t -> t -> t -> unit
+(** [diff_into ~dst a b] writes [a \ b] into [dst] (aliasing allowed). *)
+
+val is_empty : t -> bool
+
+val popcount : t -> int
+
+val lowest_bit_index : int -> int
+(** Index (0..31) of the lowest set bit of a non-zero 32-bit word value;
+    the word-walking primitive for allocation-free iteration. *)
+
+val iter : (int -> unit) -> t -> unit
+(** Apply to each element in ascending order. *)
+
+val fold : ('a -> int -> 'a) -> 'a -> t -> 'a
+val elements : t -> int list

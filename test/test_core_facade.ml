@@ -95,6 +95,51 @@ let prop_arbitrary_deadline_agreement =
       (* and the dedicated path must decide: its refutations are fast. *)
       && (match b with Core.Feasible _ | Core.Infeasible -> true | _ -> false))
 
+let test_opt_heterogeneous_fallback () =
+  (* [Csp2_opt] only packs identical platforms; on a heterogeneous one it
+     must transparently fall back to the dedicated heterogeneous solver
+     and agree with the [Csp2_dedicated] route. *)
+  let ts, platform = Examples.dedicated in
+  let m = Platform.processors platform in
+  let a = fst (Core.solve ~solver:(Core.Csp2_opt Csp2.Heuristic.DC) ~platform ts ~m) in
+  let b = fst (Core.solve ~solver:(Core.Csp2_dedicated Csp2.Heuristic.DC) ~platform ts ~m) in
+  Alcotest.(check bool) "agree" true (Encodings.Outcome.agree a b);
+  Alcotest.(check bool) "decided" true
+    (match a with Core.Feasible _ | Core.Infeasible -> true | _ -> false)
+
+let prop_opt_clone_agreement =
+  (* D > T systems reach the optimized engine through the clone
+     transform; its verdicts must stay consistent with the CDCL
+     reference, and mapped-back schedules must verify (enforced by the
+     facade's verify guard raising on failure). *)
+  qtest ~count:30 "clone reduction: optimized engine is consistent on D>T systems"
+    (Test_util.loose_taskset_gen ~nmax:3 ~tmax:3 ())
+    (fun ts ->
+      let m = 2 in
+      let budget () = Prelude.Timer.budget ~wall_s:2.0 () in
+      let a = fst (Core.solve ~solver:Core.Csp1_sat ~budget:(budget ()) ts ~m) in
+      let b =
+        fst (Core.solve ~solver:(Core.Csp2_opt Csp2.Heuristic.DC) ~budget:(budget ()) ts ~m)
+      in
+      Encodings.Outcome.agree a b
+      && (match b with Core.Feasible _ | Core.Infeasible -> true | _ -> false))
+
+let test_solve_csp2_opt_facade () =
+  (* The stats-bearing entry point: counters when the engine searched,
+     [None] when the static pass decided, and parallel knobs accepted. *)
+  (match Core.solve_csp2_opt ~analyze:false ~jobs:2 ~split_depth:1 running ~m:2 with
+  | Core.Feasible sched, _, Some stats ->
+    Alcotest.(check bool) "verified" true (Verify.is_feasible running sched);
+    Alcotest.(check bool) "searched" true (stats.Csp2.Opt.nodes > 0)
+  | (Core.Feasible _ | Core.Infeasible | Core.Limit | Core.Memout _), _, _ ->
+    Alcotest.fail "running example is feasible on m=2 with search stats");
+  match Core.solve_csp2_opt running ~m:1 with
+  | Core.Infeasible, _, None -> ()
+  | Core.Infeasible, _, Some _ ->
+    Alcotest.fail "static pass should decide m=1 without search"
+  | (Core.Feasible _ | Core.Limit | Core.Memout _), _, _ ->
+    Alcotest.fail "running example is infeasible on m=1"
+
 let test_min_processors () =
   Alcotest.(check bool) "running example" true
     (Core.min_processors running = Core.Exact 2);
@@ -186,11 +231,15 @@ let () =
           Alcotest.test_case "static pass refutes for local search" `Quick
             test_static_pass_lets_local_search_refute;
           prop_verify_guard_all_solvers;
+          Alcotest.test_case "opt heterogeneous fallback" `Quick
+            test_opt_heterogeneous_fallback;
+          Alcotest.test_case "solve_csp2_opt stats" `Quick test_solve_csp2_opt_facade;
         ] );
       ( "arbitrary deadlines",
         [
           Alcotest.test_case "clone reduction" `Quick test_arbitrary_deadline_reduction;
           prop_arbitrary_deadline_agreement;
+          prop_opt_clone_agreement;
         ] );
       ( "capacity",
         [

@@ -168,6 +168,182 @@ let test_no_urgency_weaker () =
     (weak.Csp2.Solver.nodes >= strong.Csp2.Solver.nodes)
 
 (* ------------------------------------------------------------------ *)
+(* Optimized engine (bitsets + memo + parallel subtree splitting)       *)
+
+let test_opt_running_example_all_heuristics () =
+  List.iter
+    (fun h ->
+      match Csp2.Opt.solve ~heuristic:h running ~m:2 with
+      | O.Feasible sched, _ ->
+        Alcotest.(check bool)
+          (Printf.sprintf "verified (%s)" (Csp2.Heuristic.to_string h))
+          true (Verify.is_feasible running sched)
+      | (O.Infeasible | O.Limit | O.Memout _), _ -> Alcotest.fail "running example is feasible")
+    Csp2.Heuristic.all
+
+let prop_opt_matches_classic =
+  (* The tentpole's soundness gate: the memoized bitset engine and the
+     classic search must return the same verdict on every instance, and
+     every schedule it produces must verify.  Node counts may differ (the
+     memo and the capacity bound prune), verdicts may not. *)
+  qtest ~count:120 "opt = classic verdicts on random instances"
+    (Test_util.instance_gen ~nmax:5 ~tmax:5 ())
+    (fun (ts, m) ->
+      let classic, _ = Csp2.Solver.solve ~budget:(budget ()) ts ~m in
+      let opt, _ = Csp2.Opt.solve ~budget:(budget ()) ts ~m in
+      decided classic && decided opt
+      && O.is_feasible classic = O.is_feasible opt
+      && (match opt with O.Feasible s -> Verify.is_feasible ts s | _ -> true))
+
+let prop_opt_parallel_matches_sequential =
+  (* Subtree splitting must not change the verdict: --jobs 1 and --jobs 3
+     agree (the witness schedule may differ; it must still verify). *)
+  qtest ~count:80 "opt parallel (jobs=3) = opt sequential"
+    (Test_util.instance_gen ~nmax:5 ~tmax:5 ())
+    (fun (ts, m) ->
+      let seq, _ = Csp2.Opt.solve_parallel ~jobs:1 ~budget:(budget ()) ts ~m in
+      let par, par_st =
+        Csp2.Opt.solve_parallel ~jobs:3 ~split_depth:2 ~budget:(budget ()) ts ~m
+      in
+      decided seq && decided par
+      && O.is_feasible seq = O.is_feasible par
+      && par_st.Csp2.Opt.steals >= 0
+      && (match par with O.Feasible s -> Verify.is_feasible ts s | _ -> true))
+
+let prop_opt_domains_preserve_verdict =
+  (* Analyzer facts seed the opt engine exactly like the classic one:
+     verdicts must be unchanged with pruned domains installed. *)
+  qtest ~count:60 "opt with analyzer domains = opt without"
+    (Test_util.instance_gen ~nmax:4 ~tmax:4 ())
+    (fun (ts, m) ->
+      match (Analysis.analyze ts ~m).Analysis.verdict with
+      | Analysis.Infeasible _ | Analysis.Trivially_feasible _ -> true
+      | Analysis.Pruned d ->
+        let bare, _ = Csp2.Opt.solve ~budget:(budget ()) ts ~m in
+        let pruned, _ = Csp2.Opt.solve ~budget:(budget ()) ~domains:d ts ~m in
+        decided bare && decided pruned && O.is_feasible bare = O.is_feasible pruned)
+
+let test_opt_deterministic () =
+  (* Fixed Zobrist seed + deterministic search: equal runs, equal counters. *)
+  let run () =
+    match Csp2.Opt.solve running ~m:2 with
+    | O.Feasible sched, stats -> (sched, stats)
+    | _ -> Alcotest.fail "feasible"
+  in
+  let s1, st1 = run () and s2, st2 = run () in
+  Alcotest.(check bool) "same schedule" true (Schedule.equal s1 s2);
+  check Alcotest.int "same node count" st1.Csp2.Opt.nodes st2.Csp2.Opt.nodes;
+  check Alcotest.int "same memo hits" st1.Csp2.Opt.memo_hits st2.Csp2.Opt.memo_hits;
+  check Alcotest.int "same memo stores" st1.Csp2.Opt.memo_stores st2.Csp2.Opt.memo_stores
+
+let test_opt_memo_prunes () =
+  (* On a backtrack-heavy batch (the Table I regime) the memo must
+     actually fire, and turning it off ([memo_mb <= 0]) must not change
+     any verdict. *)
+  let params = Gen.Generator.default ~n:10 ~m:(Gen.Generator.Fixed_m 5) ~tmax:7 in
+  let instances = Gen.Generator.batch ~seed:11 ~count:25 params in
+  let hits = ref 0 in
+  Array.iter
+    (fun (ts, m) ->
+      let with_memo, st = Csp2.Opt.solve ~budget:(budget ()) ts ~m in
+      let without, _ = Csp2.Opt.solve ~memo_mb:0 ~budget:(budget ()) ts ~m in
+      hits := !hits + st.Csp2.Opt.memo_hits;
+      Alcotest.(check bool) "memo on/off verdicts equal" true
+        (decided with_memo && decided without
+        && O.is_feasible with_memo = O.is_feasible without))
+    instances;
+  Alcotest.(check bool) "memo pruned at least once across the batch" true (!hits > 0)
+
+let test_opt_node_reduction () =
+  (* The perf claim in miniature: across a searched batch the optimized
+     engine explores fewer nodes than the classic one at equal verdicts. *)
+  let params = Gen.Generator.default ~n:8 ~m:(Gen.Generator.Fixed_m 3) ~tmax:6 in
+  let instances = Gen.Generator.batch ~seed:11 ~count:25 params in
+  let classic_nodes = ref 0 and opt_nodes = ref 0 in
+  Array.iter
+    (fun (ts, m) ->
+      let c, cst = Csp2.Solver.solve ~budget:(budget ()) ts ~m in
+      let o, ost = Csp2.Opt.solve ~budget:(budget ()) ts ~m in
+      if decided c && decided o then begin
+        classic_nodes := !classic_nodes + cst.Csp2.Solver.nodes;
+        opt_nodes := !opt_nodes + ost.Csp2.Opt.nodes
+      end)
+    instances;
+  Alcotest.(check bool)
+    (Printf.sprintf "opt nodes (%d) < classic nodes (%d)" !opt_nodes !classic_nodes)
+    true
+    (!opt_nodes < !classic_nodes)
+
+let test_opt_wall_budget_respected () =
+  (* Wall budgets must cut both the sequential loop and the parallel race
+     promptly, whatever the verdict. *)
+  let params = Gen.Generator.default ~n:12 ~m:(Gen.Generator.Fixed_m 4) ~tmax:7 in
+  let instances = Gen.Generator.batch ~seed:2 ~count:5 params in
+  let wall = 0.05 in
+  Array.iter
+    (fun (ts, m) ->
+      List.iter
+        (fun jobs ->
+          let t0 = Prelude.Timer.start () in
+          let _ =
+            Csp2.Opt.solve_parallel ~jobs ~budget:(Prelude.Timer.budget ~wall_s:wall ()) ts ~m
+          in
+          let elapsed = Prelude.Timer.elapsed t0 in
+          Alcotest.(check bool)
+            (Printf.sprintf "returned within budget slack (jobs=%d, took %.3fs)" jobs elapsed)
+            true
+            (elapsed <= (2. *. wall) +. 0.1))
+        [ 1; 3 ])
+    instances
+
+let test_opt_node_budget () =
+  let params = Gen.Generator.default ~n:10 ~m:(Gen.Generator.Fixed_m 5) ~tmax:7 in
+  let instances = Gen.Generator.batch ~seed:5 ~count:30 params in
+  let limited = ref false in
+  Array.iter
+    (fun (ts, m) ->
+      match Csp2.Opt.solve ~budget:(Prelude.Timer.budget ~nodes:50 ()) ts ~m with
+      | O.Limit, _ -> limited := true
+      | (O.Feasible _ | O.Infeasible | O.Memout _), _ -> ())
+    instances;
+  Alcotest.(check bool) "some run hits the node budget" true !limited
+
+let test_opt_wrapped_windows () =
+  let ts = Taskset.of_tuples [ (2, 2, 3, 3); (0, 1, 3, 3) ] in
+  (match Csp2.Opt.solve ts ~m:1 with
+  | O.Feasible sched, _ -> Alcotest.(check bool) "verified" true (Verify.is_feasible ts sched)
+  | (O.Infeasible | O.Limit | O.Memout _), _ -> Alcotest.fail "feasible via wrap");
+  match Csp2.Opt.solve_parallel ~jobs:2 ~split_depth:1 ts ~m:1 with
+  | O.Feasible sched, _ ->
+    Alcotest.(check bool) "parallel verified" true (Verify.is_feasible ts sched)
+  | (O.Infeasible | O.Limit | O.Memout _), _ -> Alcotest.fail "feasible via wrap (parallel)"
+
+let test_frame_reuse_regression () =
+  (* Guards the frame-stack rework in both engines: [Array.make] would
+     seed every depth with the *same* frame record (one shared applied
+     set corrupts [undo] on deep backtracking).  The EDF trap backtracks
+     across slots; verdict and witness must survive two runs intact. *)
+  List.iter
+    (fun solve ->
+      let a = solve () and b = solve () in
+      Alcotest.(check bool) "deterministic across reuse" true (Schedule.equal a b))
+    [
+      (fun () ->
+        match Csp2.Solver.solve Examples.edf_trap ~m:Examples.edf_trap_m with
+        | O.Feasible s, _ ->
+          Alcotest.(check bool) "classic verified" true
+            (Verify.is_feasible Examples.edf_trap s);
+          s
+        | _ -> Alcotest.fail "edf trap is feasible");
+      (fun () ->
+        match Csp2.Opt.solve Examples.edf_trap ~m:Examples.edf_trap_m with
+        | O.Feasible s, _ ->
+          Alcotest.(check bool) "opt verified" true (Verify.is_feasible Examples.edf_trap s);
+          s
+        | _ -> Alcotest.fail "edf trap is feasible");
+    ]
+
+(* ------------------------------------------------------------------ *)
 (* Heterogeneous dedicated solver                                       *)
 
 let test_het_dedicated_example () =
@@ -246,6 +422,21 @@ let () =
           prop_stats_sane;
           prop_no_urgency_agrees;
           Alcotest.test_case "urgency off is weaker" `Quick test_no_urgency_weaker;
+        ] );
+      ( "optimized",
+        [
+          Alcotest.test_case "running example, all heuristics" `Quick
+            test_opt_running_example_all_heuristics;
+          prop_opt_matches_classic;
+          prop_opt_parallel_matches_sequential;
+          prop_opt_domains_preserve_verdict;
+          Alcotest.test_case "deterministic counters" `Quick test_opt_deterministic;
+          Alcotest.test_case "memo prunes and stays sound" `Quick test_opt_memo_prunes;
+          Alcotest.test_case "fewer nodes than classic" `Quick test_opt_node_reduction;
+          Alcotest.test_case "wall budget regression" `Quick test_opt_wall_budget_respected;
+          Alcotest.test_case "node budget" `Quick test_opt_node_budget;
+          Alcotest.test_case "wrapped windows" `Quick test_opt_wrapped_windows;
+          Alcotest.test_case "frame reuse regression" `Quick test_frame_reuse_regression;
         ] );
       ( "heterogeneous",
         [

@@ -77,9 +77,18 @@ let test_cancellation_prompt () =
 
 let test_no_winner_is_limit () =
   (* One node per arm decides nothing; the race must degrade to [Limit]
-     with no winner rather than invent a verdict. *)
+     with no winner rather than invent a verdict.  The optimized arm is
+     excluded on purpose: its root-level aggregate capacity bound refutes
+     this instance in zero nodes, which would (correctly) produce a
+     winner even under a one-node budget. *)
   let ts, m = hard_instance () in
-  let r = P.solve ~analyze:false ~budget:(Prelude.Timer.budget ~nodes:1 ()) ts ~m in
+  let r =
+    P.solve
+      ~specs:[ P.Csp2 Csp2.Heuristic.DC; P.Csp1_sat; P.Local_search ]
+      ~analyze:false
+      ~budget:(Prelude.Timer.budget ~nodes:1 ())
+      ts ~m
+  in
   (match r.P.verdict with
   | O.Limit -> ()
   | O.Feasible _ | O.Infeasible | O.Memout _ -> Alcotest.fail "expected Limit");

@@ -245,6 +245,97 @@ let prop_combi_count =
             c);
       !well_formed && !visits = Prelude.Combi.count ~n ~k)
 
+let prop_combi_next_k_matches_next =
+  (* [next_k] over a longer, reused buffer must trace exactly the same
+     combination sequence as [next] over an exact-size array. *)
+  qtest "next_k on an oversized buffer = next on an exact one"
+    QCheck2.Gen.(pair (int_range 0 7) (int_range 0 7))
+    (fun (n, k) ->
+      if k > n then true
+      else begin
+        let buf = Array.make (max 1 (k + 3)) 0 in
+        for i = 0 to k - 1 do
+          buf.(i) <- i
+        done;
+        let exact = Array.init k Fun.id in
+        let ok = ref true in
+        let continue_ = ref true in
+        while !continue_ do
+          for i = 0 to k - 1 do
+            if buf.(i) <> exact.(i) then ok := false
+          done;
+          let a = Prelude.Combi.next_k ~n ~k buf in
+          let b = k > 0 && Prelude.Combi.next ~n exact in
+          if a <> b then ok := false;
+          continue_ := a && b && !ok
+        done;
+        !ok
+      end)
+
+(* ------------------------------------------------------------------ *)
+(* Ibits                                                               *)
+
+let test_ibits_lowest_bit () =
+  (* Regression: the De Bruijn index computation once dropped parentheses
+     around the 32-bit truncation ([lsr] binds tighter than [land]),
+     returning garbage indices for most words. *)
+  for i = 0 to 31 do
+    check Alcotest.int
+      (Printf.sprintf "bit %d" i)
+      i
+      (Prelude.Ibits.lowest_bit_index (1 lsl i))
+  done;
+  check Alcotest.int "composite word" 3 (Prelude.Ibits.lowest_bit_index 0b11011000)
+
+let test_ibits_basics () =
+  let s = Prelude.Ibits.create 70 in
+  Alcotest.(check bool) "fresh is empty" true (Prelude.Ibits.is_empty s);
+  List.iter (Prelude.Ibits.set s) [ 0; 31; 32; 69 ];
+  Alcotest.(check (list int)) "elements" [ 0; 31; 32; 69 ] (Prelude.Ibits.elements s);
+  check Alcotest.int "popcount" 4 (Prelude.Ibits.popcount s);
+  Alcotest.(check bool) "mem 31" true (Prelude.Ibits.mem s 31);
+  Alcotest.(check bool) "mem 33" false (Prelude.Ibits.mem s 33);
+  Prelude.Ibits.unset s 31;
+  Alcotest.(check (list int)) "after unset" [ 0; 32; 69 ] (Prelude.Ibits.elements s);
+  Prelude.Ibits.clear s;
+  Alcotest.(check bool) "cleared" true (Prelude.Ibits.is_empty s)
+
+let test_ibits_setops () =
+  let a = Prelude.Ibits.create 64 and b = Prelude.Ibits.create 64 in
+  let dst = Prelude.Ibits.create 64 in
+  List.iter (Prelude.Ibits.set a) [ 1; 5; 40; 63 ];
+  List.iter (Prelude.Ibits.set b) [ 5; 40; 41 ];
+  Prelude.Ibits.inter_into ~dst a b;
+  Alcotest.(check (list int)) "inter" [ 5; 40 ] (Prelude.Ibits.elements dst);
+  Prelude.Ibits.diff_into ~dst a b;
+  Alcotest.(check (list int)) "diff" [ 1; 63 ] (Prelude.Ibits.elements dst);
+  Prelude.Ibits.copy_into ~src:a ~dst;
+  Alcotest.(check (list int)) "copy" [ 1; 5; 40; 63 ] (Prelude.Ibits.elements dst)
+
+let prop_ibits_model =
+  (* Random operation trace against a sorted-list model, mirroring the
+     [Bitset] model test. *)
+  qtest "ibits agrees with a reference model"
+    QCheck2.Gen.(list_size (return 120) (pair (int_range 0 2) (int_range 0 199)))
+    (fun ops ->
+      let set = Prelude.Ibits.create 200 in
+      let model = ref [] in
+      List.iter
+        (fun (op, v) ->
+          match op with
+          | 0 ->
+            Prelude.Ibits.set set v;
+            if not (List.mem v !model) then model := List.sort Int.compare (v :: !model)
+          | 1 ->
+            Prelude.Ibits.unset set v;
+            model := List.filter (fun x -> x <> v) !model
+          | _ -> if Prelude.Ibits.mem set v <> List.mem v !model then model := [ -1 ])
+        ops;
+      Prelude.Ibits.elements set = !model
+      && Prelude.Ibits.popcount set = List.length !model
+      && Prelude.Ibits.fold (fun acc _ -> acc + 1) 0 set = List.length !model
+      && Prelude.Ibits.is_empty set = (!model = []))
+
 (* ------------------------------------------------------------------ *)
 (* Ascii_table, Welford, Bool_vec, Timer                                *)
 
@@ -373,6 +464,14 @@ let () =
           Alcotest.test_case "exhaustive C(5,3)" `Quick test_combi_exhaustive;
           Alcotest.test_case "edge cases" `Quick test_combi_edge;
           prop_combi_count;
+          prop_combi_next_k_matches_next;
+        ] );
+      ( "ibits",
+        [
+          Alcotest.test_case "lowest bit index" `Quick test_ibits_lowest_bit;
+          Alcotest.test_case "basics" `Quick test_ibits_basics;
+          Alcotest.test_case "set operations" `Quick test_ibits_setops;
+          prop_ibits_model;
         ] );
       ( "misc",
         [
