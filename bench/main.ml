@@ -32,16 +32,58 @@ let wanted =
       let t = String.lowercase_ascii title in
       List.exists (contains t) keys
 
+(* Every section is timed (and recorded as a telemetry span when tracing
+   is on); the per-phase wall clocks land in BENCH_phases.json so runs can
+   be compared phase by phase, not just by total. *)
+let phases : (string * float) list ref = ref []
+
 let run_section title body =
   if wanted title then begin
     section title;
-    body ()
+    let t0 = Prelude.Timer.start () in
+    Telemetry.with_span title ~cat:"bench" body;
+    phases := (title, Prelude.Timer.elapsed t0) :: !phases
   end
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let write_phases () =
+  let out =
+    match Sys.getenv_opt "MGRTS_PHASES_OUT" with
+    | Some p when p <> "" -> p
+    | _ -> "BENCH_phases.json"
+  in
+  let cells =
+    List.rev_map
+      (fun (title, s) -> Printf.sprintf "  {\"phase\": \"%s\", \"wall_s\": %.6f}" (json_escape title) s)
+      !phases
+  in
+  let oc = open_out out in
+  output_string oc ("{\"phases\": [\n" ^ String.concat ",\n" cells ^ "\n]}\n");
+  close_out oc;
+  Printf.printf "\nphase timings written to %s\n" out
 
 let progress_every every label i =
   if (i + 1) mod every = 0 then Printf.printf "  .. %s %d\n%!" label (i + 1)
 
 let () =
+  (* MGRTS_TRACE=out.json records the whole harness run — section spans
+     plus solver heartbeats — as Chrome trace-event JSON.  Off by default:
+     the CSP2OPT section doubles as the telemetry no-op overhead guard and
+     must run with recording disabled. *)
+  let trace_out =
+    match Sys.getenv_opt "MGRTS_TRACE" with Some p when p <> "" -> Some p | _ -> None
+  in
+  if trace_out <> None then Telemetry.start ();
   let config = Config.from_env () in
   Printf.printf
     "MGRTS benchmark harness\n\
@@ -116,4 +158,15 @@ let () =
 
   run_section "BASELINES" (fun () -> print_string (Baselines.render (Baselines.run config)));
 
-  run_section "MICRO-BENCHMARKS (Bechamel)" (fun () -> Micro.run ())
+  run_section "MICRO-BENCHMARKS (Bechamel)" (fun () -> Micro.run ());
+
+  write_phases ();
+  match trace_out with
+  | None -> ()
+  | Some out ->
+    Telemetry.stop ();
+    let events = Telemetry.drain () in
+    let oc = open_out out in
+    output_string oc (Telemetry.to_chrome_json events);
+    close_out oc;
+    Printf.printf "trace (%d events) written to %s\n" (List.length events) out

@@ -55,6 +55,18 @@ let ibits_test =
           Prelude.Ibits.iter (fun v -> acc := !acc + v) set;
           ignore !acc))
 
+(* The no-op overhead guard: with recording off (the default in this
+   process), a solver checkpoint pays one atomic load in [enabled] plus the
+   early return of [heartbeat]/[with_span].  These should cost a few ns —
+   if they regress, every backend's hot loop regresses with them. *)
+let telemetry_disabled_heartbeat_test =
+  Test.make ~name:"telemetry.heartbeat(off)"
+    (Staged.stage (fun () -> Telemetry.heartbeat ~name:"bench" ~nodes:1 ~fails:0 ~depth:1))
+
+let telemetry_disabled_span_test =
+  Test.make ~name:"telemetry.with_span(off)"
+    (Staged.stage (fun () -> Telemetry.with_span "bench" (fun () -> ())))
+
 let sim_test =
   Test.make ~name:"sim.edf(example)"
     (Staged.stage (fun () -> ignore (Sched.Sim.run running_example ~m:2)))
@@ -79,6 +91,8 @@ let tests =
       csp2_opt_test;
       sim_test;
       generator_test;
+      telemetry_disabled_heartbeat_test;
+      telemetry_disabled_span_test;
     ]
 
 let run () =

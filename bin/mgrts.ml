@@ -136,9 +136,36 @@ let gen_cmd =
     Term.(const run $ n $ m $ tmax $ seed_arg $ count $ offsets $ order)
 
 let solve_cmd =
-  let run file m solver jobs memo_mb split_depth limit seed quiet =
+  let run file m solver jobs memo_mb split_depth limit seed quiet trace progress =
     let ts = read_taskset file in
     let budget = budget_of_limit limit in
+    (* Telemetry: --trace records spans/counters for a Chrome trace dump,
+       --progress streams heartbeat lines; either one turns recording on. *)
+    if trace <> None || progress then begin
+      Telemetry.start ();
+      if progress then
+        Telemetry.set_on_progress
+          (Some
+             (fun p ->
+               Printf.eprintf "progress: %s nodes=%d fails=%d depth=%d rate=%.0f/s t=%.1fs\n%!"
+                 p.Telemetry.p_name p.Telemetry.p_nodes p.Telemetry.p_fails
+                 p.Telemetry.p_depth p.Telemetry.p_rate p.Telemetry.p_elapsed))
+    end;
+    let stats_acc = ref [] in
+    let dump_trace () =
+      match trace with
+      | None -> ()
+      | Some out ->
+        Telemetry.stop ();
+        let events = Telemetry.drain () in
+        let json = Telemetry.to_chrome_json ~stats:(List.rev !stats_acc) events in
+        let oc = open_out out in
+        output_string oc json;
+        close_out oc;
+        let dropped = Telemetry.dropped () in
+        Printf.eprintf "trace: %d event(s) written to %s%s\n%!" (List.length events) out
+          (if dropped > 0 then Printf.sprintf " (%d dropped)" dropped else "")
+    in
     let print_verdict verdict elapsed =
       match verdict with
       | Core.Feasible _ ->
@@ -152,6 +179,11 @@ let solve_cmd =
       | Core.Portfolio _ ->
         let jobs = if jobs > 0 then Some jobs else None in
         let r = Core.solve_portfolio ?jobs ~budget ~seed ts ~m in
+        List.iter
+          (fun b ->
+            if b.Portfolio.outcome <> None then
+              stats_acc := b.Portfolio.stats :: !stats_acc)
+          r.Portfolio.backends;
         (r.Portfolio.verdict, Some (Portfolio.summary r))
       | Core.Csp2_opt heuristic ->
         let jobs = if jobs > 0 then Some jobs else None in
@@ -159,6 +191,10 @@ let solve_cmd =
           Core.solve_csp2_opt ~heuristic ~budget ~memo_mb ?jobs ~split_depth ts ~m
         in
         print_verdict verdict elapsed;
+        Option.iter
+          (fun st ->
+            stats_acc := Csp2.Opt.to_stats ~backend:(Core.solver_name solver) st :: !stats_acc)
+          stats;
         let report =
           Option.map
             (fun st ->
@@ -177,17 +213,33 @@ let solve_cmd =
         (verdict, None)
     in
     Option.iter print_endline report;
+    dump_trace ();
     (match verdict with
     | Core.Feasible sched -> if not quiet then Format.printf "%a@." Schedule.pp sched
     | Core.Infeasible | Core.Limit | Core.Memout _ -> ());
     match verdict with Core.Feasible _ | Core.Infeasible -> 0 | _ -> 2
   in
   let quiet = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Do not print the schedule.") in
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Record solver spans, counters and heartbeats and write them as Chrome \
+             trace-event JSON (load in chrome://tracing or Perfetto).")
+  in
+  let progress =
+    Arg.(
+      value & flag
+      & info [ "progress" ]
+          ~doc:"Stream rate-limited progress heartbeats (nodes, depth, node rate) to stderr.")
+  in
   Cmd.v
     (Cmd.info "solve" ~doc:"Decide feasibility of a task-set file.")
     Term.(
       const run $ file_arg $ m_arg $ solver_arg $ jobs_arg $ memo_mb_arg $ split_depth_arg
-      $ limit_arg $ seed_arg $ quiet)
+      $ limit_arg $ seed_arg $ quiet $ trace $ progress)
 
 let fig1_cmd =
   let run () =

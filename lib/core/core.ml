@@ -40,6 +40,21 @@ type verdict = Encodings.Outcome.t =
 
 let dispatch solver ~platform ~budget ~seed ?domains ts ~m =
   let identical = Platform.is_identical platform in
+  (* The heterogeneous fallback for the dedicated engines is {!Csp2.Het},
+     which knows nothing of pruned domains: the analyzer derives them
+     assuming identical unit-speed processors, so silently dropping them
+     would be wrong twice over (the caller computed them for a different
+     machine, and the solver would ignore an argument it was given).
+     Reject loudly instead.  [seed] is genuinely unused on these paths —
+     the dedicated searches are deterministic — so dropping it is fine. *)
+  let het_reject name =
+    if domains <> None then
+      invalid_arg
+        (Printf.sprintf
+           "Core.solve: %s on a heterogeneous platform falls back to Csp2.Het, which \
+            cannot use pruned domains (they assume identical processors)"
+           name)
+  in
   match solver with
   | Csp1_generic -> fst (Encodings.Csp1.solve ~platform ~budget ~seed ?domains ts ~m)
   | Csp1_sat ->
@@ -48,12 +63,18 @@ let dispatch solver ~platform ~budget ~seed ?domains ts ~m =
   | Csp2_generic -> fst (Encodings.Csp2_fd.solve ~platform ~budget ~seed ?domains ts ~m)
   | Csp2_dedicated heuristic ->
     if identical then fst (Csp2.Solver.solve ~heuristic ~budget ?domains ts ~m)
-    else fst (Csp2.Het.solve ~heuristic ~budget ~platform ts)
+    else begin
+      het_reject "Csp2_dedicated";
+      fst (Csp2.Het.solve ~heuristic ~budget ~platform ts)
+    end
   | Csp2_opt heuristic ->
     (* Sequential by default at this level; {!solve_csp2_opt} exposes the
        subtree-splitting knobs and the memo/steal counters. *)
     if identical then fst (Csp2.Opt.solve ~heuristic ~budget ?domains ts ~m)
-    else fst (Csp2.Het.solve ~heuristic ~budget ~platform ts)
+    else begin
+      het_reject "Csp2_opt";
+      fst (Csp2.Het.solve ~heuristic ~budget ~platform ts)
+    end
   | Local_search ->
     if not identical then invalid_arg "Core.solve: Local_search requires an identical platform";
     fst (Localsearch.Min_conflicts.solve ~seed ~budget ?domains ts ~m)
@@ -86,20 +107,41 @@ let solve ?(solver = default_solver) ?platform ?(budget = Timer.unlimited) ?(see
   in
   let check ~platform ts schedule =
     if verify then
-      match Verify.check ~platform ts schedule with
-      | Ok () -> ()
-      | Error (v :: _) -> fail_invalid v
-      | Error [] -> assert false
+      Telemetry.with_span "verify" ~cat:"core" (fun () ->
+          match Verify.check ~platform ts schedule with
+          | Ok () -> ()
+          | Error (v :: _) -> fail_invalid v
+          | Error [] -> assert false)
+  in
+  (* Clone-mapped schedules span the clone hyperperiod and serve the
+     original (possibly arbitrary-deadline) system: re-verify them with the
+     cyclic checker against the *original* task set — the clone-level check
+     alone would let a [Clone.map_schedule] bug ship an invalid schedule. *)
+  let check_mapped ~platform ts schedule =
+    if verify then
+      Telemetry.with_span "verify-mapped" ~cat:"core" (fun () ->
+          match Verify.check_cyclic ~platform ts schedule with
+          | Ok () -> ()
+          | Error (v :: _) -> fail_invalid v
+          | Error [] -> assert false)
+  in
+  let static_pass ~platform ts =
+    Telemetry.with_span "static-pass" ~cat:"core" (fun () ->
+        static_pass ~analyze ~platform ~budget ts ~m)
+  in
+  let dispatch ~platform ?domains ts =
+    Telemetry.with_span ("search:" ^ solver_name solver) ~cat:"core" (fun () ->
+        dispatch solver ~platform ~budget ~seed ?domains ts ~m)
   in
   let verdict =
     if Taskset.is_constrained ts then begin
-      match static_pass ~analyze ~platform ~budget ts ~m with
+      match static_pass ~platform ts with
       | `Decided (Feasible schedule as result) ->
         check ~platform ts schedule;
         result
       | `Decided other -> other
       | `Search domains -> (
-        match dispatch solver ~platform ~budget ~seed ?domains ts ~m with
+        match dispatch ~platform ?domains ts with
         | Feasible schedule as result ->
           check ~platform ts schedule;
           result
@@ -111,16 +153,18 @@ let solve ?(solver = default_solver) ?platform ?(budget = Timer.unlimited) ?(see
       let reduction = Clone.transform ts in
       let cloned = Clone.cloned reduction in
       let clone_platform = Clone.map_platform reduction platform in
-      match static_pass ~analyze ~platform:clone_platform ~budget cloned ~m with
-      | `Decided (Feasible clone_schedule) ->
+      let map_back clone_schedule =
         check ~platform:clone_platform cloned clone_schedule;
-        Feasible (Clone.map_schedule reduction clone_schedule)
+        let mapped = Clone.map_schedule reduction clone_schedule in
+        check_mapped ~platform ts mapped;
+        Feasible mapped
+      in
+      match static_pass ~platform:clone_platform cloned with
+      | `Decided (Feasible clone_schedule) -> map_back clone_schedule
       | `Decided other -> other
       | `Search domains -> (
-        match dispatch solver ~platform:clone_platform ~budget ~seed ?domains cloned ~m with
-        | Feasible clone_schedule ->
-          check ~platform:clone_platform cloned clone_schedule;
-          Feasible (Clone.map_schedule reduction clone_schedule)
+        match dispatch ~platform:clone_platform ?domains cloned with
+        | Feasible clone_schedule -> map_back clone_schedule
         | (Infeasible | Limit | Memout _) as other -> other)
     end
   in
@@ -145,16 +189,26 @@ let solve_csp2_opt ?(heuristic = Csp2.Heuristic.DC) ?(budget = Timer.unlimited)
       | Error (v :: _) -> fail_invalid v
       | Error [] -> assert false
   in
+  (* [map_back] verifies what it returns (the cyclic checker on the
+     original task set for clone-mapped schedules); [check] covers the
+     clone-level schedule before mapping. *)
   let run ~platform ~map_back cts =
-    match static_pass ~analyze ~platform ~budget cts ~m with
+    match
+      Telemetry.with_span "static-pass" ~cat:"core" (fun () ->
+          static_pass ~analyze ~platform ~budget cts ~m)
+    with
     | `Decided (Feasible schedule) ->
       check ~platform cts schedule;
       (Feasible (map_back schedule), Timer.elapsed t0, None)
     | `Decided other -> (other, Timer.elapsed t0, None)
     | `Search domains ->
       let outcome, stats =
-        Csp2.Opt.solve_parallel ~heuristic ~budget ?domains ?memo_mb ?jobs ?split_depth cts
-          ~m
+        Telemetry.with_span
+          ("search:csp2-opt+" ^ Csp2.Heuristic.to_string heuristic)
+          ~cat:"core"
+          (fun () ->
+            Csp2.Opt.solve_parallel ~heuristic ~budget ?domains ?memo_mb ?jobs ?split_depth
+              cts ~m)
       in
       let verdict =
         match outcome with
@@ -169,8 +223,17 @@ let solve_csp2_opt ?(heuristic = Csp2.Heuristic.DC) ?(budget = Timer.unlimited)
   else begin
     let reduction = Clone.transform ts in
     let clone_platform = Clone.map_platform reduction platform in
-    run ~platform:clone_platform ~map_back:(Clone.map_schedule reduction)
-      (Clone.cloned reduction)
+    let map_back clone_schedule =
+      let mapped = Clone.map_schedule reduction clone_schedule in
+      (if verify then
+         Telemetry.with_span "verify-mapped" ~cat:"core" (fun () ->
+             match Verify.check_cyclic ~platform ts mapped with
+             | Ok () -> ()
+             | Error (v :: _) -> fail_invalid v
+             | Error [] -> assert false));
+      mapped
+    in
+    run ~platform:clone_platform ~map_back (Clone.cloned reduction)
   end
 
 let analyze ?work_budget ts ~m =
@@ -216,7 +279,13 @@ let solve_portfolio ?specs ?jobs ?(budget = Timer.unlimited) ?(seed = 0) ?(verif
     match r.Portfolio.verdict with
     | Feasible clone_schedule ->
       check ~platform:clone_platform cloned clone_schedule;
-      { r with Portfolio.verdict = Feasible (Clone.map_schedule reduction clone_schedule) }
+      let mapped = Clone.map_schedule reduction clone_schedule in
+      (if verify then
+         match Verify.check_cyclic ~platform ts mapped with
+         | Ok () -> ()
+         | Error (v :: _) -> fail_invalid v
+         | Error [] -> assert false);
+      { r with Portfolio.verdict = Feasible mapped }
     | Infeasible | Limit | Memout _ -> r
   end
 

@@ -78,13 +78,36 @@ val solve :
     Arbitrary-deadline task sets are transparently reduced with the clone
     transform (Section VI-B); the returned schedule then spans the clone
     hyperperiod and refers to the original task ids — the static pass runs
-    on the clone system.  Heterogeneous platforms are supported by
+    on the clone system, and with [verify] both the clone-level schedule
+    {e and} the mapped-back schedule are checked (the latter against the
+    original task set via {!Rt_model.Verify.check_cyclic}).  Heterogeneous platforms are supported by
     [Csp1_generic], [Csp2_generic] and the dedicated path (which switches
     to {!Csp2.Het}); [Csp1_sat] and [Local_search] raise
     [Invalid_argument] for them. *)
 
 val feasible : ?solver:solver -> ?budget:Prelude.Timer.budget -> Rt_model.Taskset.t -> m:int -> bool option
 (** [Some true]/[Some false] when decided, [None] on limit/memout. *)
+
+val dispatch :
+  solver ->
+  platform:Rt_model.Platform.t ->
+  budget:Prelude.Timer.budget ->
+  seed:int ->
+  ?domains:Analysis.Domains.t ->
+  Rt_model.Taskset.t ->
+  m:int ->
+  verdict
+(** The bare backend dispatch used by {!solve}: no static pass, no clone
+    transform, no schedule verification — constrained-deadline task sets
+    only.  Exposed for callers (and tests) that need to pin the exact
+    backend behavior.  [seed] only feeds the randomized backends; the
+    dedicated CSP2 searches are deterministic and ignore it.
+    @raise Invalid_argument when the platform is heterogeneous and the
+    solver cannot honor the arguments: [Csp1_sat]/[Local_search]/
+    [Portfolio] require identical platforms outright, and
+    [Csp2_dedicated]/[Csp2_opt] fall back to {!Csp2.Het}, which rejects
+    [domains] — pruned domains are derived assuming identical unit-speed
+    processors and would be unsound on any other machine. *)
 
 val solve_csp2_opt :
   ?heuristic:Csp2.Heuristic.t ->

@@ -496,9 +496,19 @@ let search_loop s ~start ~stop_time ~on_frontier =
   while !result = None do
     if !depth = 0 then result := Some R_exhausted
     else if
-      Timer.nodes_exceeded s.budget ~nodes:s.nodes
-      || Timer.cancelled s.budget
-      || (s.nodes land 255 = 0 && Timer.exceeded s.budget ~nodes:s.nodes)
+      (if s.nodes land 255 = 0 then begin
+         Telemetry.heartbeat ~name:"csp2-opt" ~nodes:s.nodes ~fails:s.fails ~depth:s.max_time;
+         (* Memo hit-rate sample, an order of magnitude sparser than the
+            heartbeat checkpoints so a fast search cannot flood the ring. *)
+         match s.memo with
+         | Some memo when s.nodes land 65535 = 0 && Telemetry.enabled () ->
+           Telemetry.counter "csp2-opt.memo-hits" memo.Memo.hits;
+           Telemetry.counter "csp2-opt.memo-lookups" memo.Memo.lookups
+         | _ -> ()
+       end;
+       Timer.nodes_exceeded s.budget ~nodes:s.nodes
+       || Timer.cancelled s.budget
+       || (s.nodes land 255 = 0 && Timer.exceeded s.budget ~nodes:s.nodes))
     then result := Some R_stopped
     else begin
       let f = s.frames.(!depth - 1) in
@@ -565,6 +575,11 @@ let stats_of ?(subtrees = 0) ?(steals = 0) searches ~t0 =
     max_time_reached = !max_time;
     time_s = Timer.elapsed t0;
   }
+
+let to_stats ~backend (st : stats) =
+  Telemetry.Stats.make ~backend ~nodes:st.nodes ~fails:st.fails ~depth:st.max_time_reached
+    ~memo_hits:st.memo_hits ~memo_misses:st.memo_misses ~memo_stores:st.memo_stores
+    ~subtrees:st.subtrees ~steals:st.steals ~time_s:st.time_s ()
 
 (* ------------------------------------------------------------------ *)
 (* Entry points. *)
@@ -656,15 +671,18 @@ let solve_parallel ?(heuristic = Heuristic.DC) ?(budget = Timer.unlimited) ?doma
           searches.(wid) <- Some s;
           let continue_ = ref true in
           while !continue_ do
-            (* Honor a cancel on the caller's own budget flag, which
-               [with_stop] replaced for the race. *)
-            if Timer.cancelled budget then Atomic.set stop true;
+            (* A cancel on the caller's own budget is observed through
+               [worker_budget]: [Timer.with_stop] keeps the caller's flag
+               attached (it used to replace it — the PR 1 bug). *)
             if Atomic.get stop then continue_ := false
             else begin
               let i = Atomic.fetch_and_add next 1 in
               if i >= nf then continue_ := false
               else begin
                 pulls.(wid) <- pulls.(wid) + 1;
+                if Telemetry.enabled () then
+                  Telemetry.instant "csp2-opt.subtree-pull"
+                    ~args:[ ("subtree", string_of_int i); ("worker", string_of_int wid) ];
                 let fr = frontier.(i) in
                 Array.blit fr.f_rem 0 s.rem 0 (Array.length s.rem);
                 s.hash <- fr.f_hash;

@@ -52,6 +52,10 @@ type stats = {
 val default_memo_mb : int
 (** 64 MiB; an explicit upper bound on table memory, not a reservation. *)
 
+val to_stats : backend:string -> stats -> Telemetry.Stats.t
+(** The unified telemetry view: the memo and splitting counters map to
+    their namesake fields, [max_time_reached] to [depth]. *)
+
 val solve :
   ?heuristic:Heuristic.t ->
   ?budget:Prelude.Timer.budget ->

@@ -83,6 +83,10 @@ let build_usable_after jm deadline domains =
   done;
   ua
 
+let to_stats ~backend (st : stats) =
+  Telemetry.Stats.make ~backend ~nodes:st.nodes ~fails:st.fails ~depth:st.max_time_reached
+    ~time_s:st.time_s ()
+
 type step = Applied | Exhausted | Stopped
 
 let undo s f =
@@ -275,9 +279,11 @@ let solve ?(heuristic = Heuristic.DC) ?(budget = Timer.unlimited) ?(urgency = tr
   while !outcome = None do
     if !depth = 0 then outcome := Some Encodings.Outcome.Infeasible
     else if
-      Timer.nodes_exceeded budget ~nodes:s.nodes
-      || Timer.cancelled budget
-      || (s.nodes land 255 = 0 && Timer.exceeded budget ~nodes:s.nodes)
+      (if s.nodes land 255 = 0 then
+         Telemetry.heartbeat ~name:"csp2" ~nodes:s.nodes ~fails:s.fails ~depth:s.max_time;
+       Timer.nodes_exceeded budget ~nodes:s.nodes
+       || Timer.cancelled budget
+       || (s.nodes land 255 = 0 && Timer.exceeded budget ~nodes:s.nodes))
     then outcome := Some Encodings.Outcome.Limit
     else begin
       let f = frames.(!depth - 1) in

@@ -37,6 +37,10 @@ type stats = {
   time_s : float;
 }
 
+val to_stats : backend:string -> stats -> Telemetry.Stats.t
+(** The unified telemetry view: [max_time_reached] is reported as [depth]
+    (the best-slot watermark). *)
+
 val solve :
   ?heuristic:Heuristic.t ->
   ?budget:Prelude.Timer.budget ->

@@ -45,6 +45,8 @@ let check_budget s =
   (* The node limit is exact (cheap integer test); the wall clock is only
      consulted every 1024 nodes.  The cancellation flag is a single atomic
      read, polled on every node so a portfolio cancel lands promptly. *)
+  if s.nodes land 1023 = 0 then
+    Telemetry.heartbeat ~name:"fd" ~nodes:s.nodes ~fails:s.fails ~depth:s.max_depth;
   if
     Timer.nodes_exceeded s.budget ~nodes:s.nodes
     || Timer.cancelled s.budget
@@ -227,6 +229,10 @@ let stats_of s ~restarts ~t0 =
     propagations = E.propagation_count s.eng;
     time_s = Timer.elapsed t0;
   }
+
+let to_stats ~backend (st : stats) =
+  Telemetry.Stats.make ~backend ~nodes:st.nodes ~fails:st.fails ~depth:st.max_depth
+    ~restarts:st.restarts ~propagations:st.propagations ~time_s:st.time_s ()
 
 let extract_solution s =
   (* Capture the valuation eagerly: the engine's state dies with the next

@@ -37,6 +37,10 @@ type stats = {
   time_s : float;
 }
 
+val to_stats : backend:string -> stats -> Telemetry.Stats.t
+(** The unified telemetry view: [nodes]/[fails] map directly, [max_depth]
+    to [depth]. *)
+
 type outcome =
   | Sat of (Engine.var -> int)  (** Total valuation of the solution. *)
   | Unsat  (** Complete refutation (only reported when sound). *)

@@ -198,9 +198,12 @@ let solve ?(seed = 0) ?(noise = 0.08) ?(budget = Timer.unlimited) ?restart_every
       result := Some (Encodings.Outcome.Feasible sched)
     end
     else if
-      Timer.cancelled budget
-      || Timer.nodes_exceeded budget ~nodes:!iterations
-      || (!iterations land 63 = 0 && Timer.exceeded budget ~nodes:!iterations)
+      (if !iterations land 63 = 0 then
+         Telemetry.heartbeat ~name:"min-conflicts" ~nodes:!iterations ~fails:!restarts
+           ~depth:!best_cost;
+       Timer.cancelled budget
+       || Timer.nodes_exceeded budget ~nodes:!iterations
+       || (!iterations land 63 = 0 && Timer.exceeded budget ~nodes:!iterations))
     then result := Some Encodings.Outcome.Limit
     else begin
       incr iterations;
@@ -285,3 +288,7 @@ let solve ?(seed = 0) ?(noise = 0.08) ?(budget = Timer.unlimited) ?restart_every
   ( outcome,
     { iterations = !iterations; restarts = !restarts; best_cost = min !best_cost st.cost;
       time_s = Timer.elapsed t0 } )
+
+let to_stats ~backend (st : stats) =
+  Telemetry.Stats.make ~backend ~nodes:st.iterations ~fails:st.restarts
+    ~restarts:st.restarts ~time_s:st.time_s ()

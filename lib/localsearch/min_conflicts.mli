@@ -21,6 +21,10 @@ type stats = {
   time_s : float;
 }
 
+val to_stats : backend:string -> stats -> Telemetry.Stats.t
+(** The unified telemetry view: iterations play the role of [nodes] and
+    restarts of [fails]. *)
+
 val solve :
   ?seed:int ->
   ?noise:float ->

@@ -4,6 +4,7 @@ type violation =
   | Parallelism of { time : int; task : int; procs : int * int }
   | Zero_rate of { proc : int; time : int; task : int }
   | Wrong_amount of { task : int; job : int; expected : int; got : int }
+  | Wrong_total of { task : int; expected : int; got : int }
 
 let pp_violation ppf = function
   | Bad_task { proc; time; value } ->
@@ -18,6 +19,9 @@ let pp_violation ppf = function
     Format.fprintf ppf "τ%d scheduled on P%d at t=%d but s=0" (task + 1) (proc + 1) time
   | Wrong_amount { task; job; expected; got } ->
     Format.fprintf ppf "job %d of τ%d received %d units instead of %d (C4)" job (task + 1) got
+      expected
+  | Wrong_total { task; expected; got } ->
+    Format.fprintf ppf "τ%d received %d units per cycle instead of %d (C4)" (task + 1) got
       expected
 
 let check ?platform ?(max_violations = 32) ts sched =
@@ -64,6 +68,177 @@ let check ?platform ?(max_violations = 32) ts sched =
       let got = received.(base + k) in
       if got <> expected then report (Wrong_amount { task; job = k; expected; got })
     done
+  done;
+  if !count = 0 then Ok () else Error (List.rev !violations)
+
+(* Cyclic verification for schedules whose horizon is a (positive) multiple
+   of the hyperperiod, with arbitrary deadlines allowed: windows of one task
+   may overlap, so which job a cell serves is no longer determined by the
+   slot.  C1/C3/C4 therefore become an exact assignment problem — partition
+   the task's executed cells among its jobs so that every job receives
+   exactly [C_i] units inside its own window, at most one per instant —
+   solved per task with augmenting paths (the instances are tiny: one node
+   per executed cell).  Note C3 is per {e job} here, not per task: two
+   live jobs of one arbitrary-deadline task are distinct clones in the
+   reduction and may run in parallel.  When some executed cell carries a
+   rate other than 1 (heterogeneous platforms) the cells are no longer unit
+   items and the exact partition is not a matching; the check then degrades
+   to the aggregate conditions (every cell inside some window, total units
+   exact), which are necessary but no longer pin the per-job
+   distribution. *)
+let check_cyclic ?platform ?(max_violations = 32) ts sched =
+  let n = Taskset.size ts in
+  let m = Schedule.m sched in
+  let horizon = Schedule.horizon sched in
+  if horizon mod Taskset.hyperperiod ts <> 0 then
+    invalid_arg "Verify.check_cyclic: schedule horizon is not a multiple of the hyperperiod";
+  for i = 0 to n - 1 do
+    if (Taskset.task ts i).deadline > horizon then
+      invalid_arg "Verify.check_cyclic: a deadline exceeds the schedule horizon"
+  done;
+  let platform = match platform with Some p -> p | None -> Platform.identical ~m in
+  if Platform.processors platform <> m then
+    invalid_arg "Verify.check_cyclic: platform processor count differs from the schedule";
+  let violations = ref [] in
+  let count = ref 0 in
+  let report v =
+    if !count < max_violations then violations := v :: !violations;
+    incr count
+  in
+  (* Structural pass: valid ids/rates, plus the executed cells of each task
+     as (slot, rate, proc) triples in time order.  No per-task parallelism
+     check here: two live jobs of one arbitrary-deadline task may run in
+     parallel, so C3 is enforced per job by the assignment below. *)
+  let exec = Array.make n [] in
+  for time = 0 to horizon - 1 do
+    for proc = 0 to m - 1 do
+      let v = Schedule.get sched ~proc ~time in
+      if v <> Schedule.idle then
+        if v < 0 || v >= n then report (Bad_task { proc; time; value = v })
+        else begin
+          if not (Platform.can_run platform ~task:v ~proc) then
+            report (Zero_rate { proc; time; task = v });
+          exec.(v) <- (time, Platform.rate platform ~task:v ~proc, proc) :: exec.(v)
+        end
+    done
+  done;
+  for task = 0 to n - 1 do
+    let tk = Taskset.task ts task in
+    let jobs = horizon / tk.Task.period in
+    let offset = tk.Task.offset mod tk.Task.period in
+    let in_window ~slot k =
+      let d = (slot - (offset + (k * tk.Task.period))) mod horizon in
+      let d = if d < 0 then d + horizon else d in
+      d < tk.Task.deadline
+    in
+    let cells = Array.of_list (List.rev exec.(task)) in
+    let nc = Array.length cells in
+    let total = Array.fold_left (fun acc (_, w, _) -> acc + w) 0 cells in
+    let unit = Array.for_all (fun (_, w, _) -> w = 1) cells in
+    if total <> tk.Task.wcet * jobs then
+      report (Wrong_total { task; expected = tk.Task.wcet * jobs; got = total })
+    else if not unit then
+      (* Aggregate fallback (see above): window membership only. *)
+      Array.iter
+        (fun (slot, _, proc) ->
+          if not (Array.exists (fun k -> in_window ~slot k) (Array.init jobs Fun.id)) then
+            report (Out_of_window { proc; time = slot; task }))
+        cells
+    else begin
+      (* The assignment is a max-flow instance: cell → (job, slot) → job,
+         with unit capacity on every (job, slot) pair — a job executes at
+         most one unit per instant, which is C3 at job granularity — and
+         capacity [C_i] on each job.  DFS on the residual graph; a simple
+         augmenting path exists whenever any augmenting path does, so
+         per-node visited stamps are sound. *)
+      let owner = Array.make nc (-1) in
+      let fill = Array.make jobs 0 in
+      let owned = Array.make jobs [] in
+      let slot_user = Array.make (jobs * horizon) (-1) in
+      let vc = Array.make nc 0 in
+      let vjs = Array.make (jobs * horizon) 0 in
+      let vj = Array.make jobs 0 in
+      let stamp = ref 0 in
+      let slot_of c =
+        let s, _, _ = cells.(c) in
+        s
+      in
+      let assign c k =
+        (if owner.(c) >= 0 then begin
+           let old = owner.(c) in
+           fill.(old) <- fill.(old) - 1;
+           owned.(old) <- List.filter (fun c' -> c' <> c) owned.(old);
+           slot_user.((old * horizon) + slot_of c) <- -1
+         end);
+        owner.(c) <- k;
+        fill.(k) <- fill.(k) + 1;
+        owned.(k) <- c :: owned.(k);
+        slot_user.((k * horizon) + slot_of c) <- c
+      in
+      let rec augment c =
+        vc.(c) <- !stamp;
+        let slot = slot_of c in
+        let placed = ref false in
+        let k = ref 0 in
+        while (not !placed) && !k < jobs do
+          let j = !k in
+          let node = (j * horizon) + slot in
+          if vjs.(node) < !stamp && in_window ~slot j then begin
+            vjs.(node) <- !stamp;
+            let occupant = slot_user.(node) in
+            if occupant >= 0 then begin
+              (* The job already runs at [slot]: that unit must move to a
+                 different job before [c] can take its place. *)
+              if vc.(occupant) < !stamp && augment occupant then begin
+                assign c j;
+                placed := true
+              end
+            end
+            else if fill.(j) < tk.Task.wcet then begin
+              assign c j;
+              placed := true
+            end
+            else if vj.(j) < !stamp then begin
+              vj.(j) <- !stamp;
+              (* Job full: evict any owned cell through its own slot node. *)
+              let evict c' =
+                let node' = (j * horizon) + slot_of c' in
+                if vjs.(node') < !stamp && vc.(c') < !stamp then begin
+                  vjs.(node') <- !stamp;
+                  augment c'
+                end
+                else false
+              in
+              if List.exists evict owned.(j) then begin
+                assign c j;
+                placed := true
+              end
+            end
+          end;
+          incr k
+        done;
+        !placed
+      in
+      let all_placed = ref true in
+      for c = 0 to nc - 1 do
+        incr stamp;
+        if not (augment c) then begin
+          all_placed := false;
+          let slot, _, proc = cells.(c) in
+          if not (Array.exists (fun k -> in_window ~slot k) (Array.init jobs Fun.id)) then
+            report (Out_of_window { proc; time = slot; task })
+        end
+      done;
+      if !all_placed then
+        (* Totals match and every cell is owned, so every job is full. *)
+        ()
+      else
+        Array.iteri
+          (fun k got ->
+            if got < tk.Task.wcet then
+              report (Wrong_amount { task; job = k; expected = tk.Task.wcet; got }))
+          fill
+    end
   done;
   if !count = 0 then Ok () else Error (List.rev !violations)
 

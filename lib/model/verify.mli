@@ -31,6 +31,9 @@ type violation =
       (** Task scheduled on a processor that cannot serve it. *)
   | Wrong_amount of { task : int; job : int; expected : int; got : int }
       (** C4 violated: job received [got] ≠ [expected] units. *)
+  | Wrong_total of { task : int; expected : int; got : int }
+      (** C4 violated in aggregate ({!check_cyclic}): the task received
+          [got] units over the whole cycle instead of [expected]. *)
 
 val pp_violation : Format.formatter -> violation -> unit
 
@@ -43,5 +46,27 @@ val check :
     @raise Invalid_argument if the schedule horizon differs from the
     hyperperiod or the platform's processor count differs from the
     schedule's. *)
+
+val check_cyclic :
+  ?platform:Platform.t -> ?max_violations:int -> Taskset.t -> Schedule.t ->
+  (unit, violation list) result
+(** Like {!check} but for cyclic schedules whose horizon is any positive
+    multiple of the hyperperiod, and with arbitrary deadlines allowed —
+    this is the shape {!Clone.map_schedule} returns, so it is the ground
+    truth for clone-mapped schedules.  With [D_i > T_i] the windows of one
+    task overlap and a cell no longer names its job; C1/C3/C4 are checked
+    as an exact assignment (each job receives exactly [C_i] units inside
+    its own window, at most one per instant, every executed cell assigned
+    to some job), computed per task with augmenting paths.  C3 is enforced
+    at {e job} granularity: two live jobs of one arbitrary-deadline task
+    are distinct clones in the paper's reduction and may legitimately run
+    in parallel, so {!Parallelism} is never reported here — an
+    over-parallel job surfaces as {!Wrong_amount} instead.  On cells whose
+    rate differs from 1 the exact partition degrades to aggregate checks
+    (window membership and the per-cycle total, reported as
+    {!Wrong_total}).
+    @raise Invalid_argument if the horizon is not a multiple of the
+    hyperperiod, a deadline exceeds the horizon, or the platform's
+    processor count differs from the schedule's. *)
 
 val is_feasible : ?platform:Platform.t -> Taskset.t -> Schedule.t -> bool

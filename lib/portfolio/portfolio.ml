@@ -31,9 +31,7 @@ let default_specs =
 type backend_stats = {
   name : string;
   outcome : Encodings.Outcome.t option;
-  nodes : int;
-  fails : int;
-  time_s : float;
+  stats : Telemetry.Stats.t;
   winner : bool;
 }
 
@@ -44,27 +42,31 @@ type result = {
   backends : backend_stats list;
 }
 
-(* Uniform (outcome, nodes, fails) view of each backend's native stats:
+(* The unified {!Telemetry.Stats} view of each backend's native stats:
    SAT decisions/conflicts and local-search iterations/restarts play the
    roles of nodes/fails. *)
 let run_spec spec ~budget ~seed ?domains ts ~m =
+  let backend = spec_name spec in
   match spec with
   | Csp2 heuristic ->
     let outcome, st = Csp2.Solver.solve ~heuristic ~budget ?domains ts ~m in
-    (outcome, st.Csp2.Solver.nodes, st.Csp2.Solver.fails)
+    (outcome, Csp2.Solver.to_stats ~backend st)
   | Csp2_opt heuristic ->
     (* Sequential engine on purpose: each arm owns one domain already, so
        subtree splitting inside an arm would oversubscribe the race. *)
     let outcome, st = Csp2.Opt.solve ~heuristic ~budget ?domains ts ~m in
-    (outcome, st.Csp2.Opt.nodes, st.Csp2.Opt.fails)
+    (outcome, Csp2.Opt.to_stats ~backend st)
   | Csp1_sat ->
     let outcome, st = Encodings.Csp1_sat.solve ~budget ~seed ?domains ts ~m in
-    let nodes = match st with Some s -> s.Sat.Solver.decisions | None -> 0 in
-    let fails = match st with Some s -> s.Sat.Solver.conflicts | None -> 0 in
-    (outcome, nodes, fails)
+    let stats =
+      match st with
+      | Some s -> Sat.Solver.to_stats ~backend s
+      | None -> Telemetry.Stats.make ~backend ()
+    in
+    (outcome, stats)
   | Local_search ->
     let outcome, st = Localsearch.Min_conflicts.solve ~seed ~budget ?domains ts ~m in
-    (outcome, st.Localsearch.Min_conflicts.iterations, st.Localsearch.Min_conflicts.restarts)
+    (outcome, Localsearch.Min_conflicts.to_stats ~backend st)
 
 let analysis_arm_name = "static-analysis"
 
@@ -78,11 +80,14 @@ let solve ?(specs = default_specs) ?jobs ?(budget = Timer.unlimited) ?(seed = 0)
   (* Arm 0 is the static analyzer: sequential, capped by its own work-unit
      budget AND by half the race's wall clock — it either ends the race
      before it starts or hands every search arm the pruned domains, and a
-     slow interval scan can cost the arms at most half their allowance. *)
+     slow interval scan can cost the arms at most half their allowance.
+     [Timer.sub] (not a fresh [Timer.budget]) so the caller's stop flag —
+     and its node/wall limits — stay observable: [Timer.cancel] on the
+     race budget interrupts the analyzer too. *)
   let analysis_wall =
     match Timer.remaining_wall budget with
-    | None -> budget (* no wall limit: share the stop flag only *)
-    | Some s -> Timer.budget ~wall_s:(s /. 2.) ()
+    | None -> budget (* no wall limit: share the caller's budget as-is *)
+    | Some s -> Timer.sub ~wall_s:(s /. 2.) budget
   in
   let pre =
     match domains with
@@ -90,16 +95,19 @@ let solve ?(specs = default_specs) ?jobs ?(budget = Timer.unlimited) ?(seed = 0)
     | None when not analyze -> `Race (None, None)
     | None when Timer.cancelled budget -> `Race (None, None)
     | None -> (
-      let report = Analysis.analyze ~wall:analysis_wall ts ~m in
+      let report =
+        Telemetry.with_span analysis_arm_name ~cat:"portfolio" (fun () ->
+            Analysis.analyze ~wall:analysis_wall ts ~m)
+      in
       (* For this arm, nodes/fails report what the analysis produced:
          statically forced cells and statically blocked cells. *)
       let entry outcome winner ~forced ~blocked =
         {
           name = analysis_arm_name;
           outcome = Some outcome;
-          nodes = forced;
-          fails = blocked;
-          time_s = report.Analysis.time_s;
+          stats =
+            Telemetry.Stats.make ~backend:analysis_arm_name ~nodes:forced ~fails:blocked
+              ~time_s:report.Analysis.time_s ();
           winner;
         }
       in
@@ -117,11 +125,12 @@ let solve ?(specs = default_specs) ?jobs ?(budget = Timer.unlimited) ?(seed = 0)
                  ~forced:(Analysis.Domains.forced_cells d)
                  ~blocked:(Analysis.Domains.blocked_cells d)) ))
   in
+  let never_started i =
+    let name = spec_name specs.(i) in
+    { name; outcome = None; stats = Telemetry.Stats.make ~backend:name (); winner = false }
+  in
   match pre with
   | `Decided (verdict, arm0) ->
-    let never_started i =
-      { name = spec_name specs.(i); outcome = None; nodes = 0; fails = 0; time_s = 0.; winner = false }
-    in
     {
       verdict;
       winner = Some arm0.name;
@@ -137,7 +146,9 @@ let solve ?(specs = default_specs) ?jobs ?(budget = Timer.unlimited) ?(seed = 0)
   in
   (* One shared stop flag: the first decisive arm raises it, every other
      arm observes it through its budget poll and returns [Limit].  The
-     arms otherwise inherit the caller's wall/node limits. *)
+     arms otherwise inherit the caller's wall/node limits, and — because
+     [Timer.with_stop] demotes the caller's own flag to a watched one —
+     an external [Timer.cancel] on [budget] still stops every arm. *)
   let stop = Atomic.make false in
   let arm_budget = Timer.with_stop budget stop in
   let next = Atomic.make 0 in
@@ -148,24 +159,16 @@ let solve ?(specs = default_specs) ?jobs ?(budget = Timer.unlimited) ?(seed = 0)
       if not (Atomic.get stop) then begin
         let i = Atomic.fetch_and_add next 1 in
         if i < n then begin
-          let armed = Timer.start () in
-          let outcome, nodes, fails =
-            run_spec specs.(i) ~budget:arm_budget ~seed:(seed + i) ?domains ts ~m
+          let name = spec_name specs.(i) in
+          let outcome, stats =
+            Telemetry.with_span name ~cat:"arm" (fun () ->
+                run_spec specs.(i) ~budget:arm_budget ~seed:(seed + i) ?domains ts ~m)
           in
           let won =
             Encodings.Outcome.is_decided outcome && Atomic.compare_and_set winner (-1) i
           in
           if won then Atomic.set stop true;
-          reports.(i) <-
-            Some
-              {
-                name = spec_name specs.(i);
-                outcome = Some outcome;
-                nodes;
-                fails;
-                time_s = Timer.elapsed armed;
-                winner = won;
-              };
+          reports.(i) <- Some { name; outcome = Some outcome; stats; winner = won };
           loop ()
         end
       end
@@ -181,16 +184,8 @@ let solve ?(specs = default_specs) ?jobs ?(budget = Timer.unlimited) ?(seed = 0)
          (fun i report ->
            match report with
            | Some r -> r
-           | None ->
-             (* Never started: the race was over before this spec's turn. *)
-             {
-               name = spec_name specs.(i);
-               outcome = None;
-               nodes = 0;
-               fails = 0;
-               time_s = 0.;
-               winner = false;
-             })
+           (* Never started: the race was over before this spec's turn. *)
+           | None -> never_started i)
          reports)
   in
   let backends = match arm0 with None -> backends | Some a -> a :: backends in
@@ -243,8 +238,9 @@ let summary r =
     match b.outcome with
     | None -> Printf.sprintf "%s -" b.name
     | Some o ->
-      Printf.sprintf "%s%s %s n=%d f=%d %.4fs"
-        b.name (if b.winner then "*" else "") (outcome_tag o) b.nodes b.fails b.time_s
+      Printf.sprintf "%s%s %s %s"
+        b.name (if b.winner then "*" else "") (outcome_tag o)
+        (Telemetry.Stats.summary b.stats)
   in
   Printf.sprintf "portfolio: %s in %.4fs (winner %s) | %s"
     (outcome_tag r.verdict) r.time_s

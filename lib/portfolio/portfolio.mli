@@ -49,9 +49,10 @@ type backend_stats = {
   name : string;
   outcome : Encodings.Outcome.t option;
       (** [None] when the race ended before this arm started. *)
-  nodes : int;  (** Search nodes (SAT: decisions; local search: iterations). *)
-  fails : int;  (** Failures (SAT: conflicts; local search: restarts). *)
-  time_s : float;
+  stats : Telemetry.Stats.t;
+      (** The backend's unified counters ({!Telemetry.Stats}): SAT
+          decisions/conflicts and local-search iterations/restarts map to
+          [nodes]/[fails]; all-zero for an arm that never started. *)
   winner : bool;
 }
 
@@ -86,14 +87,16 @@ val solve :
     the clone transform before racing).  [seed + arm index] seeds the
     randomized backends, so a single-job portfolio is deterministic.
 
-    The caller's [budget] wall/node limits apply to every arm; its own
-    stop flag is {e not} shared with the arms (the race installs a fresh
-    one), so cancel the race by its wall limit, not by [Timer.cancel] on
-    the original budget.
+    The caller's [budget] wall/node limits apply to every arm, and so does
+    its stop flag: the race installs its own flag for the winner signal,
+    but the caller's flag is kept watched ({!Prelude.Timer.with_stop}), so
+    [Timer.cancel] on the original budget stops the analyzer and every
+    arm promptly and the race returns [Limit].
 
     Unless [analyze:false], the static analyzer runs first as a sequential
     arm 0, capped by its own work-unit budget {e and} by half of
-    [budget]'s remaining wall clock — the search arms always keep at
+    [budget]'s remaining wall clock ({!Prelude.Timer.sub}, so the caller's
+    limits and stop flag remain in force) — the search arms always keep at
     least half the allowance: an [Infeasible] certificate or a statically built schedule
     ends the race before any search arm starts, and a [Pruned] result
     hands every arm the reduced domains.  Pass [domains] to supply
@@ -103,5 +106,5 @@ val solve :
 
 val summary : result -> string
 (** One line: overall verdict, wall time, winner, then per-arm
-    [name outcome n=<nodes> f=<fails> <time>s] cells ([*] marks the
-    winner, [-] an arm that never started). *)
+    [name outcome] followed by {!Telemetry.Stats.summary} cells ([*] marks
+    the winner, [-] an arm that never started). *)

@@ -9,20 +9,46 @@ type budget = {
   deadline : float option;
   node_limit : int option;
   started : float;
-  stop : bool Atomic.t option;
+  stop : bool Atomic.t option;  (* the flag {!cancel} raises *)
+  watches : bool Atomic.t list;  (* inherited flags, observed but never raised *)
 }
 
 let budget ?wall_s ?nodes ?stop () =
   let started = now () in
   let stop = match stop with Some _ as s -> s | None -> Some (Atomic.make false) in
-  { deadline = Option.map (fun s -> started +. s) wall_s; node_limit = nodes; started; stop }
+  {
+    deadline = Option.map (fun s -> started +. s) wall_s;
+    node_limit = nodes;
+    started;
+    stop;
+    watches = [];
+  }
 
-let unlimited = { deadline = None; node_limit = None; started = 0.; stop = None }
+let unlimited =
+  { deadline = None; node_limit = None; started = 0.; stop = None; watches = [] }
 
 let cancel b = match b.stop with Some flag -> Atomic.set flag true | None -> ()
-let cancelled b = match b.stop with Some flag -> Atomic.get flag | None -> false
 
-let with_stop b stop = { b with stop = Some stop }
+let rec any_set = function [] -> false | f :: tl -> Atomic.get f || any_set tl
+
+let cancelled b =
+  (match b.stop with Some flag -> Atomic.get flag | None -> false)
+  || (match b.watches with [] -> false | ws -> any_set ws)
+
+(* The new flag becomes the budget's own (so the derived budget is
+   cancellable on its own), while every previously attached flag is kept as
+   a watch: cancellation composes instead of being overwritten.  This is
+   the PR 1 race bug — [with_stop] used to *replace* the caller's flag, so
+   an external [cancel] on the original budget was never observed by the
+   portfolio arms once the race had swapped in its internal flag. *)
+let with_stop b stop =
+  let watches = match b.stop with Some f when f != stop -> f :: b.watches | _ -> b.watches in
+  { b with stop = Some stop; watches }
+
+let sub ?wall_s ?nodes b =
+  let fresh = budget ?wall_s ?nodes () in
+  let inherited = match b.stop with Some f -> f :: b.watches | None -> b.watches in
+  { fresh with watches = inherited }
 
 let exceeded b ~nodes =
   cancelled b

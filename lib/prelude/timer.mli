@@ -31,17 +31,32 @@ val unlimited : budget
     constant; a cancellable unlimited budget is [budget ()]). *)
 
 val cancel : budget -> unit
-(** Raise the stop flag: every solver sharing it observes {!exceeded} at
-    its next poll and returns [Limit].  Safe to call from another domain;
-    idempotent. *)
+(** Raise the budget's own stop flag: every solver sharing it observes
+    {!exceeded} at its next poll and returns [Limit].  Safe to call from
+    another domain; idempotent.  Cancellation propagates {e downward}
+    through {!with_stop}/{!sub} derivations (a derived budget observes its
+    ancestors' flags), never upward: cancelling a derived budget does not
+    cancel the budget it was derived from. *)
 
 val cancelled : budget -> bool
-(** Stop-flag component only — one atomic read, cheap enough to call on
-    every search node (unlike the wall-clock read in {!exceeded}). *)
+(** Stop-flag component only — one atomic read per attached flag (usually
+    one or two), cheap enough to call on every search node (unlike the
+    wall-clock read in {!exceeded}). *)
 
 val with_stop : budget -> bool Atomic.t -> budget
-(** Same limits, different stop flag.  Used to derive per-backend budgets
-    that share one cancellation point. *)
+(** Same limits, with the given flag as the budget's own stop flag.  Any
+    previously attached flag is {e kept} and still observed by
+    {!cancelled}: cancellation composes — a [cancel] on the original
+    budget is seen through every [with_stop] derivation.  Used to derive
+    per-backend budgets that share one cancellation point without
+    disconnecting the caller's. *)
+
+val sub : ?wall_s:float -> ?nodes:int -> budget -> budget
+(** A fresh budget with the given (tighter) limits and its own fresh stop
+    flag, which additionally observes every stop flag of the argument:
+    cancelling the parent cancels the sub-budget, but not vice versa.
+    This is how the portfolio caps its analyzer arm at half the race's
+    remaining wall clock while keeping it interruptible by the caller. *)
 
 val exceeded : budget -> nodes:int -> bool
 (** [exceeded b ~nodes] is true once either limit is hit or the stop flag

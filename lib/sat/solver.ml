@@ -426,6 +426,10 @@ let decide t rng =
     v
   end
 
+let to_stats ~backend (st : stats) =
+  Telemetry.Stats.make ~backend ~nodes:st.decisions ~fails:st.conflicts
+    ~propagations:st.propagations ~restarts:st.restarts ~time_s:st.time_s ()
+
 let solve ?(budget = Timer.unlimited) ?(seed = 0) t =
   let t0 = Timer.start () in
   t.solving <- true;
@@ -454,6 +458,9 @@ let solve ?(budget = Timer.unlimited) ?(seed = 0) t =
     while !result = None do
       (* Polled before propagation so a cancellation also lands during
          conflict-heavy phases that never reach the decision branch. *)
+      if t.n_decisions land 1023 = 0 then
+        Telemetry.heartbeat ~name:"sat" ~nodes:t.n_decisions ~fails:t.n_conflicts
+          ~depth:t.nlevels;
       if Timer.cancelled budget then result := Some Unknown
       else begin
       let confl = propagate t in

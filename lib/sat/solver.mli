@@ -57,6 +57,10 @@ type stats = {
   time_s : float;
 }
 
+val to_stats : backend:string -> stats -> Telemetry.Stats.t
+(** The unified telemetry view: decisions play the role of [nodes] and
+    conflicts of [fails] (the convention of Tables I–IV's node columns). *)
+
 val solve : ?budget:Prelude.Timer.budget -> ?seed:int -> t -> outcome * stats
 (** Decide satisfiability.  [seed] randomizes initial variable activities
     (ties in VSIDS), giving independent runs for restarts experiments.

@@ -1,0 +1,356 @@
+open Prelude
+
+(* ------------------------------------------------------------------ *)
+(* Unified per-backend statistics. *)
+
+module Stats = struct
+  type t = {
+    backend : string;
+    nodes : int;
+    fails : int;
+    depth : int;
+    propagations : int;
+    restarts : int;
+    memo_hits : int;
+    memo_misses : int;
+    memo_stores : int;
+    subtrees : int;
+    steals : int;
+    time_s : float;
+  }
+
+  let make ~backend ?(nodes = 0) ?(fails = 0) ?(depth = 0) ?(propagations = 0) ?(restarts = 0)
+      ?(memo_hits = 0) ?(memo_misses = 0) ?(memo_stores = 0) ?(subtrees = 0) ?(steals = 0)
+      ?(time_s = 0.) () =
+    {
+      backend;
+      nodes;
+      fails;
+      depth;
+      propagations;
+      restarts;
+      memo_hits;
+      memo_misses;
+      memo_stores;
+      subtrees;
+      steals;
+      time_s;
+    }
+
+  let summary s =
+    let b = Buffer.create 48 in
+    Buffer.add_string b (Printf.sprintf "n=%d f=%d %.4fs" s.nodes s.fails s.time_s);
+    if s.memo_hits + s.memo_misses + s.memo_stores > 0 then
+      Buffer.add_string b
+        (Printf.sprintf " memo=%d/%d/%d" s.memo_hits s.memo_misses s.memo_stores);
+    if s.subtrees > 0 then Buffer.add_string b (Printf.sprintf " sub=%d" s.subtrees);
+    if s.steals > 0 then Buffer.add_string b (Printf.sprintf " steal=%d" s.steals);
+    Buffer.contents b
+
+  (* Hand-rolled: the repo deliberately has no JSON dependency. *)
+  let json_escape s =
+    let b = Buffer.create (String.length s + 2) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\n' -> Buffer.add_string b "\\n"
+        | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.contents b
+
+  let to_json s =
+    Printf.sprintf
+      "{\"backend\": \"%s\", \"nodes\": %d, \"fails\": %d, \"depth\": %d, \"propagations\": \
+       %d, \"restarts\": %d, \"memo_hits\": %d, \"memo_misses\": %d, \"memo_stores\": %d, \
+       \"subtrees\": %d, \"steals\": %d, \"time_s\": %.6f}"
+      (json_escape s.backend) s.nodes s.fails s.depth s.propagations s.restarts s.memo_hits
+      s.memo_misses s.memo_stores s.subtrees s.steals s.time_s
+end
+
+(* ------------------------------------------------------------------ *)
+(* Global switch and trace clock. *)
+
+let enabled_flag = Atomic.make false
+let enabled () = Atomic.get enabled_flag
+
+(* Trace origin, seconds since the epoch.  Written only by [start] (single
+   writer by contract: instrumentation is armed before domains spawn). *)
+let t_zero = Atomic.make 0.
+
+type event = {
+  e_name : string;
+  e_cat : string;
+  e_ph : [ `Span | `Instant | `Counter ];
+  e_ts : float;
+  e_dur : float;
+  e_tid : int;
+  e_value : int;
+  e_args : (string * string) list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Per-domain ring buffers.
+
+   Each domain records into its own fixed-capacity ring (single writer, no
+   atomics on the write path beyond the [enabled] load), claimed lazily
+   through domain-local storage.  Buffers register themselves once in a
+   global lock-free list (CAS cons); [drain] walks the list after the
+   recording domains are joined.  An [epoch] stamp lets [start] invalidate
+   old buffers without touching other domains' state. *)
+
+let ring_capacity = 1 lsl 14
+
+type buffer = {
+  tid : int;
+  epoch : int;
+  events : event option array;
+  mutable next : int;  (* monotonically increasing write cursor *)
+  mutable buf_dropped : int;
+}
+
+let registry : buffer list Atomic.t = Atomic.make []
+let current_epoch = Atomic.make 0
+let register buf =
+  let rec go () =
+    let old = Atomic.get registry in
+    if not (Atomic.compare_and_set registry old (buf :: old)) then go ()
+  in
+  go ()
+
+let fresh_buffer () =
+  {
+    tid = (Domain.self () :> int);
+    epoch = Atomic.get current_epoch;
+    events = Array.make ring_capacity None;
+    next = 0;
+    buf_dropped = 0;
+  }
+
+let dls_buffer : buffer Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      let b = fresh_buffer () in
+      register b;
+      b)
+
+(* A domain that lives across [start] calls re-registers a fresh ring the
+   first time it records in the new epoch. *)
+let my_buffer () =
+  let b = Domain.DLS.get dls_buffer in
+  if b.epoch = Atomic.get current_epoch then b
+  else begin
+    let fresh = fresh_buffer () in
+    Domain.DLS.set dls_buffer fresh;
+    register fresh;
+    fresh
+  end
+
+let record ev =
+  let b = my_buffer () in
+  let ev = { ev with e_tid = b.tid } in
+  let idx = b.next land (ring_capacity - 1) in
+  if b.next >= ring_capacity then b.buf_dropped <- b.buf_dropped + 1;
+  b.events.(idx) <- Some ev;
+  b.next <- b.next + 1
+
+let start () =
+  Atomic.incr current_epoch;
+  Atomic.set t_zero (Timer.now ());
+  Atomic.set enabled_flag true
+
+let stop () = Atomic.set enabled_flag false
+
+let rel t = t -. Atomic.get t_zero
+
+let dropped () =
+  let epoch = Atomic.get current_epoch in
+  List.fold_left
+    (fun acc b -> if b.epoch = epoch then acc + b.buf_dropped else acc)
+    0 (Atomic.get registry)
+
+let drain () =
+  let epoch = Atomic.get current_epoch in
+  let events =
+    List.concat_map
+      (fun b ->
+        if b.epoch <> epoch then []
+        else begin
+          let evs =
+            List.filter_map Fun.id (Array.to_list (Array.sub b.events 0 (Int.min b.next ring_capacity)))
+          in
+          b.next <- 0;
+          Array.fill b.events 0 ring_capacity None;
+          evs
+        end)
+      (Atomic.get registry)
+  in
+  List.sort (fun a b -> Float.compare a.e_ts b.e_ts) events
+
+(* ------------------------------------------------------------------ *)
+(* Recording entry points. *)
+
+let with_span ?(cat = "solver") ?(args = []) name f =
+  if not (enabled ()) then f ()
+  else begin
+    let t0 = Timer.now () in
+    let emit args =
+      record
+        {
+          e_name = name;
+          e_cat = cat;
+          e_ph = `Span;
+          e_ts = rel t0;
+          e_dur = Timer.now () -. t0;
+          e_tid = (Domain.self () :> int);
+          e_value = 0;
+          e_args = args;
+        }
+    in
+    match f () with
+    | v ->
+      emit args;
+      v
+    | exception e ->
+      emit (("exception", Printexc.to_string e) :: args);
+      raise e
+  end
+
+let instant ?(cat = "solver") ?(args = []) name =
+  if enabled () then
+    record
+      {
+        e_name = name;
+        e_cat = cat;
+        e_ph = `Instant;
+        e_ts = rel (Timer.now ());
+        e_dur = 0.;
+        e_tid = (Domain.self () :> int);
+        e_value = 0;
+        e_args = args;
+      }
+
+let counter name value =
+  if enabled () then
+    record
+      {
+        e_name = name;
+        e_cat = "counter";
+        e_ph = `Counter;
+        e_ts = rel (Timer.now ());
+        e_dur = 0.;
+        e_tid = (Domain.self () :> int);
+        e_value = value;
+        e_args = [];
+      }
+
+(* ------------------------------------------------------------------ *)
+(* Progress heartbeats. *)
+
+type progress = {
+  p_name : string;
+  p_nodes : int;
+  p_fails : int;
+  p_depth : int;
+  p_rate : float;
+  p_elapsed : float;
+}
+
+let on_progress : (progress -> unit) option Atomic.t = Atomic.make None
+let set_on_progress f = Atomic.set on_progress f
+
+let heartbeat_interval = Atomic.make 0.5
+let set_heartbeat_interval s = Atomic.set heartbeat_interval (Float.max 1e-6 s)
+
+type beat_state = { mutable last_t : float; mutable last_nodes : int }
+
+let dls_beat : beat_state Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> { last_t = 0.; last_nodes = 0 })
+
+let heartbeat ~name ~nodes ~fails ~depth =
+  if enabled () then begin
+    let st = Domain.DLS.get dls_beat in
+    let t = Timer.now () in
+    if t -. st.last_t >= Atomic.get heartbeat_interval then begin
+      let rate =
+        if st.last_t = 0. || t <= st.last_t then 0.
+        else float_of_int (nodes - st.last_nodes) /. (t -. st.last_t)
+      in
+      st.last_t <- t;
+      st.last_nodes <- nodes;
+      counter (name ^ ".nodes") nodes;
+      counter (name ^ ".depth") depth;
+      counter (name ^ ".rate") (int_of_float rate);
+      match Atomic.get on_progress with
+      | None -> ()
+      | Some f ->
+        f
+          {
+            p_name = name;
+            p_nodes = nodes;
+            p_fails = fails;
+            p_depth = depth;
+            p_rate = rate;
+            p_elapsed = rel t;
+          }
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace-event export. *)
+
+let to_chrome_json ?(stats = []) events =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\"traceEvents\": [\n";
+  let first = ref true in
+  let sep () =
+    if !first then first := false else Buffer.add_string b ",\n";
+    Buffer.add_string b "  "
+  in
+  let args_json args =
+    "{"
+    ^ String.concat ", "
+        (List.map
+           (fun (k, v) ->
+             Printf.sprintf "\"%s\": \"%s\"" (Stats.json_escape k) (Stats.json_escape v))
+           args)
+    ^ "}"
+  in
+  List.iter
+    (fun e ->
+      sep ();
+      let us t = t *. 1e6 in
+      match e.e_ph with
+      | `Span ->
+        Buffer.add_string b
+          (Printf.sprintf
+             "{\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"X\", \"ts\": %.1f, \"dur\": %.1f, \
+              \"pid\": 1, \"tid\": %d, \"args\": %s}"
+             (Stats.json_escape e.e_name) (Stats.json_escape e.e_cat) (us e.e_ts) (us e.e_dur)
+             e.e_tid (args_json e.e_args))
+      | `Instant ->
+        Buffer.add_string b
+          (Printf.sprintf
+             "{\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"i\", \"s\": \"t\", \"ts\": %.1f, \
+              \"pid\": 1, \"tid\": %d, \"args\": %s}"
+             (Stats.json_escape e.e_name) (Stats.json_escape e.e_cat) (us e.e_ts) e.e_tid
+             (args_json e.e_args))
+      | `Counter ->
+        Buffer.add_string b
+          (Printf.sprintf
+             "{\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"C\", \"ts\": %.1f, \"pid\": 1, \
+              \"tid\": %d, \"args\": {\"value\": %d}}"
+             (Stats.json_escape e.e_name) (Stats.json_escape e.e_cat) (us e.e_ts) e.e_tid
+             e.e_value))
+    events;
+  List.iter
+    (fun (s : Stats.t) ->
+      sep ();
+      Buffer.add_string b
+        (Printf.sprintf
+           "{\"name\": \"backend_stats\", \"ph\": \"M\", \"pid\": 1, \"tid\": 0, \"args\": %s}"
+           (Stats.to_json s)))
+    stats;
+  Buffer.add_string b "\n], \"displayTimeUnit\": \"ms\"}\n";
+  Buffer.contents b

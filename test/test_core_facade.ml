@@ -140,6 +140,46 @@ let test_solve_csp2_opt_facade () =
   | (Core.Feasible _ | Core.Limit | Core.Memout _), _, _ ->
     Alcotest.fail "running example is infeasible on m=1"
 
+let test_dispatch_het_domains_rejected () =
+  (* Pins the fallback bugfix: [dispatch] used to silently drop pruned
+     [domains] when the dedicated engines fall back to {!Csp2.Het} on a
+     heterogeneous platform.  It must reject the combination explicitly —
+     and still decide the instance when no domains are passed. *)
+  let ts, platform = Examples.dedicated in
+  let m = Platform.processors platform in
+  let budget = Prelude.Timer.unlimited in
+  let domains =
+    Analysis.Domains.create ~n:(Taskset.size ts) ~m ~horizon:(Taskset.hyperperiod ts)
+  in
+  List.iter
+    (fun solver ->
+      Alcotest.(check bool)
+        (Core.solver_name solver ^ " rejects het platform + domains")
+        true
+        (try
+           ignore (Core.dispatch solver ~platform ~budget ~seed:0 ~domains ts ~m);
+           false
+         with Invalid_argument _ -> true);
+      match Core.dispatch solver ~platform ~budget ~seed:0 ts ~m with
+      | Core.Feasible _ | Core.Infeasible -> ()
+      | Core.Limit | Core.Memout _ ->
+        Alcotest.failf "%s should decide the dedicated example without domains"
+          (Core.solver_name solver))
+    [ Core.Csp2_dedicated Csp2.Heuristic.DC; Core.Csp2_opt Csp2.Heuristic.DC ]
+
+let prop_mapped_schedules_reverify =
+  (* Pins the re-verification bugfix from the outside: with the facade's
+     own verify guard off, every mapped-back schedule returned for a D>T
+     system must still pass the cyclic checker against the {e original}
+     task set — the mapping itself is sound, not merely unchecked. *)
+  qtest ~count:30 "clone-mapped schedules re-verify against the original task set"
+    (Test_util.loose_taskset_gen ~nmax:3 ~tmax:3 ())
+    (fun ts ->
+      let m = 2 in
+      match Core.solve ~verify:false ~budget:(Prelude.Timer.budget ~wall_s:2.0 ()) ts ~m with
+      | Core.Feasible sched, _ -> Verify.check_cyclic ts sched = Ok ()
+      | (Core.Infeasible | Core.Limit | Core.Memout _), _ -> true)
+
 let test_min_processors () =
   Alcotest.(check bool) "running example" true
     (Core.min_processors running = Core.Exact 2);
@@ -233,6 +273,8 @@ let () =
           prop_verify_guard_all_solvers;
           Alcotest.test_case "opt heterogeneous fallback" `Quick
             test_opt_heterogeneous_fallback;
+          Alcotest.test_case "dispatch rejects het + domains" `Quick
+            test_dispatch_het_domains_rejected;
           Alcotest.test_case "solve_csp2_opt stats" `Quick test_solve_csp2_opt_facade;
         ] );
       ( "arbitrary deadlines",
@@ -240,6 +282,7 @@ let () =
           Alcotest.test_case "clone reduction" `Quick test_arbitrary_deadline_reduction;
           prop_arbitrary_deadline_agreement;
           prop_opt_clone_agreement;
+          prop_mapped_schedules_reverify;
         ] );
       ( "capacity",
         [

@@ -265,6 +265,66 @@ let test_verify_weighted_amount () =
   Schedule.set s ~proc:0 ~time:1 0;
   Alcotest.(check bool) "overshoot rejected" false (Verify.is_feasible ~platform ts s)
 
+(* [Examples.arbitrary_deadline]: τ1 = (O=0, C=2, D=5, T=3), τ2 = (O=0,
+   C=1, D=2, T=2); hyperperiod 6.  τ1's two jobs overlap on slots
+   {0,1,3,4}, so one cell per processor at a shared slot is legal — each
+   job takes one. *)
+let cyclic_parallel_schedule () =
+  let s = Schedule.create ~m:2 ~horizon:6 in
+  let assign proc cells =
+    List.iteri (fun t v -> if v >= 0 then Schedule.set s ~proc ~time:t v) cells
+  in
+  (*          t=0  1  2  3  4  5 *)
+  assign 0 [   0;  1; 1; 0; 1; -1 ];
+  assign 1 [   0; -1; -1; 0; -1; -1 ];
+  s
+
+let test_check_cyclic_accepts_job_parallelism () =
+  (* Two jobs of τ1 run in parallel at t=0 and t=3: the plain checker
+     calls that C3, the cyclic checker must assign one cell per job and
+     accept. *)
+  let ts = Examples.arbitrary_deadline in
+  match Verify.check_cyclic ts (cyclic_parallel_schedule ()) with
+  | Ok () -> ()
+  | Error (v :: _) ->
+    Alcotest.failf "unexpected violation: %s" (Format.asprintf "%a" Verify.pp_violation v)
+  | Error [] -> Alcotest.fail "empty violation list"
+
+let test_check_cyclic_rejects_per_job_excess () =
+  (* τ1 runs on both processors at slot 2, which only job 0's window
+     covers — and a job takes at most one unit per instant (per-job C3),
+     so one of the two cells is unplaceable and job 1 ends up underserved
+     even though the per-cycle total is right. *)
+  let ts = Examples.arbitrary_deadline in
+  let s = Schedule.create ~m:2 ~horizon:6 in
+  List.iter
+    (fun (proc, time, v) -> Schedule.set s ~proc ~time v)
+    [
+      (0, 0, 0); (0, 2, 0); (1, 2, 0); (1, 3, 0);
+      (* τ2's three jobs, one unit in each window. *)
+      (1, 1, 1); (0, 3, 1); (0, 4, 1);
+    ];
+  (match Verify.check_cyclic ts s with
+  | Ok () -> Alcotest.fail "accepted a same-job same-slot excess"
+  | Error vs ->
+    Alcotest.(check bool) "mentions C4" true
+      (List.exists (function Verify.Wrong_amount _ -> true | _ -> false) vs));
+  Alcotest.(check bool) "plain checker horizon guard" true
+    (try
+       ignore (Verify.check_cyclic ts (Schedule.create ~m:2 ~horizon:7));
+       false
+     with Invalid_argument _ -> true)
+
+let test_check_cyclic_rejects_wrong_total () =
+  let ts = Examples.arbitrary_deadline in
+  let s = cyclic_parallel_schedule () in
+  Schedule.set s ~proc:1 ~time:0 Schedule.idle;
+  match Verify.check_cyclic ts s with
+  | Ok () -> Alcotest.fail "accepted a short per-cycle total"
+  | Error vs ->
+    Alcotest.(check bool) "mentions the total" true
+      (List.exists (function Verify.Wrong_total _ -> true | _ -> false) vs)
+
 (* ------------------------------------------------------------------ *)
 (* Clone                                                                *)
 
@@ -502,6 +562,12 @@ let () =
           Alcotest.test_case "rejects unknown ids" `Quick test_verify_rejects_bad_id;
           Alcotest.test_case "rejects zero-rate cells" `Quick test_verify_zero_rate;
           Alcotest.test_case "weighted amounts" `Quick test_verify_weighted_amount;
+          Alcotest.test_case "cyclic: accepts job-level parallelism" `Quick
+            test_check_cyclic_accepts_job_parallelism;
+          Alcotest.test_case "cyclic: rejects per-job excess" `Quick
+            test_check_cyclic_rejects_per_job_excess;
+          Alcotest.test_case "cyclic: rejects wrong totals" `Quick
+            test_check_cyclic_rejects_wrong_total;
         ] );
       ( "clone",
         [

@@ -75,6 +75,54 @@ let test_cancellation_prompt () =
     true
     (elapsed < backstop /. 3.)
 
+(* Regression: [Timer.cancel] on the race budget must interrupt the whole
+   race — both the analyzer pre-pass (which runs under a [Timer.sub] of
+   the caller's budget, not a disconnected fresh one) and the racing arms
+   (whose [with_stop] budget keeps the caller's flag watched).  Before the
+   fix, a cancel landing after the race installed its internal stop flag
+   was never observed and the race ran to its wall limit. *)
+let test_external_cancel_stops_race () =
+  let ts, m = hard_instance () in
+  let backstop = 30. in
+  let budget = Prelude.Timer.budget ~wall_s:backstop () in
+  let t0 = Prelude.Timer.start () in
+  (* Cancel from another domain shortly after the race starts; local
+     search alone can never decide the infeasible instance, so without the
+     cancel the race would only end at the backstop wall. *)
+  let canceller =
+    Domain.spawn (fun () ->
+        Unix.sleepf 0.05;
+        Prelude.Timer.cancel budget)
+  in
+  let r = P.solve ~specs:[ P.Local_search ] ~jobs:1 ~analyze:false ~budget ts ~m in
+  Domain.join canceller;
+  let elapsed = Prelude.Timer.elapsed t0 in
+  (match r.P.verdict with
+  | O.Limit -> ()
+  | O.Feasible _ | O.Infeasible | O.Memout _ -> Alcotest.fail "expected Limit after cancel");
+  Alcotest.(check bool) "no winner" true (r.P.winner = None);
+  Alcotest.(check bool)
+    (Printf.sprintf "cancel landed promptly (%.3fs)" elapsed)
+    true
+    (elapsed < backstop /. 3.)
+
+let test_cancel_before_race_skips_analysis () =
+  (* A budget cancelled before the call returns [Limit] without running
+     the analyzer or any arm: every arm reports, none decisive. *)
+  let ts, m = hard_instance () in
+  let budget = Prelude.Timer.budget ~wall_s:30. () in
+  Prelude.Timer.cancel budget;
+  let t0 = Prelude.Timer.start () in
+  let r = P.solve ~budget ts ~m in
+  let elapsed = Prelude.Timer.elapsed t0 in
+  (match r.P.verdict with
+  | O.Limit -> ()
+  | O.Feasible _ | O.Infeasible | O.Memout _ -> Alcotest.fail "expected Limit");
+  Alcotest.(check bool) "no winner" true (r.P.winner = None);
+  Alcotest.(check bool) "analyzer skipped" true
+    (List.for_all (fun (b : P.backend_stats) -> b.P.name <> P.analysis_arm_name) r.P.backends);
+  Alcotest.(check bool) (Printf.sprintf "returned promptly (%.3fs)" elapsed) true (elapsed < 5.)
+
 let test_no_winner_is_limit () =
   (* One node per arm decides nothing; the race must degrade to [Limit]
      with no winner rather than invent a verdict.  The optimized arm is
@@ -181,6 +229,8 @@ let () =
           Alcotest.test_case "infeasible verdict" `Quick test_infeasible_matches_sequential;
           Alcotest.test_case "job counts agree" `Quick test_job_counts_agree;
           Alcotest.test_case "prompt cancellation" `Quick test_cancellation_prompt;
+          Alcotest.test_case "external cancel stops race" `Quick test_external_cancel_stops_race;
+          Alcotest.test_case "cancel before race" `Quick test_cancel_before_race_skips_analysis;
           Alcotest.test_case "no winner = Limit" `Quick test_no_winner_is_limit;
           Alcotest.test_case "static analysis arm" `Quick test_static_analysis_arm;
           Alcotest.test_case "summary line" `Quick test_summary_line;

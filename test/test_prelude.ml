@@ -424,6 +424,55 @@ let test_budget_cancel () =
   Timer.cancel Timer.unlimited;
   Alcotest.(check bool) "unlimited immune" false (Timer.cancelled Timer.unlimited)
 
+(* [with_stop] must compose: installing a new flag demotes the previous one
+   to a watched flag, it does not disconnect it.  This was the portfolio
+   cancellation bug — cancelling the caller's budget was never observed
+   after the race swapped in its internal stop flag. *)
+let test_with_stop_composes () =
+  let outer = Timer.budget ~wall_s:3600. () in
+  let inner = Timer.with_stop outer (Atomic.make false) in
+  Alcotest.(check bool) "inner fresh" false (Timer.cancelled inner);
+  Timer.cancel outer;
+  Alcotest.(check bool) "inner sees outer cancel" true (Timer.cancelled inner);
+  (* Downward only: cancelling the derived budget must not cancel the
+     caller's. *)
+  let outer2 = Timer.budget ~wall_s:3600. () in
+  let inner2 = Timer.with_stop outer2 (Atomic.make false) in
+  Timer.cancel inner2;
+  Alcotest.(check bool) "inner2 cancelled" true (Timer.cancelled inner2);
+  Alcotest.(check bool) "outer2 untouched" false (Timer.cancelled outer2);
+  (* Two levels: outer -> mid -> leaf. *)
+  let mid = Timer.with_stop outer2 (Atomic.make false) in
+  let leaf = Timer.with_stop mid (Atomic.make false) in
+  Timer.cancel outer2;
+  Alcotest.(check bool) "leaf sees root cancel through two levels" true (Timer.cancelled leaf)
+
+(* [Timer.sub] derives a child with fresh limits that still observes every
+   ancestor flag (the portfolio analyzer arm). *)
+let test_sub_budget () =
+  let parent = Timer.budget ~wall_s:3600. () in
+  let child = Timer.sub ~wall_s:1800. parent in
+  Alcotest.(check bool) "child fresh" false (Timer.cancelled child);
+  Timer.cancel parent;
+  Alcotest.(check bool) "child sees parent cancel" true (Timer.cancelled parent);
+  Alcotest.(check bool) "child cancelled via parent" true (Timer.cancelled child);
+  (* And not the other way around. *)
+  let parent2 = Timer.budget ~wall_s:3600. () in
+  let child2 = Timer.sub ~nodes:10 parent2 in
+  Timer.cancel child2;
+  Alcotest.(check bool) "parent2 untouched" false (Timer.cancelled parent2);
+  (* A child of a stop-flagged budget (race arm) still sees the flag. *)
+  let stop = Atomic.make false in
+  let arm = Timer.with_stop (Timer.budget ~wall_s:3600. ()) stop in
+  let grandchild = Timer.sub ~wall_s:1. arm in
+  Atomic.set stop true;
+  Alcotest.(check bool) "grandchild sees the race flag" true (Timer.cancelled grandchild);
+  (* Fresh node limits: the child's node budget is its own. *)
+  let p3 = Timer.budget ~nodes:100 () in
+  let c3 = Timer.sub ~nodes:10 p3 in
+  Alcotest.(check bool) "child node limit" true (Timer.exceeded c3 ~nodes:10);
+  Alcotest.(check bool) "parent node limit unchanged" false (Timer.exceeded p3 ~nodes:10)
+
 let () =
   Alcotest.run "prelude"
     [
@@ -480,6 +529,8 @@ let () =
           Alcotest.test_case "bool_vec" `Quick test_bool_vec;
           Alcotest.test_case "budget" `Quick test_budget;
           Alcotest.test_case "budget cancel" `Quick test_budget_cancel;
+          Alcotest.test_case "with_stop composes" `Quick test_with_stop_composes;
+          Alcotest.test_case "sub budget" `Quick test_sub_budget;
           Alcotest.test_case "prng copy" `Quick test_prng_copy;
           Alcotest.test_case "welford degenerate" `Quick test_welford_degenerate;
           Alcotest.test_case "pow overflow" `Quick test_pow_overflow;
