@@ -67,9 +67,7 @@ let write_phases () =
       (fun (title, s) -> Printf.sprintf "  {\"phase\": \"%s\", \"wall_s\": %.6f}" (json_escape title) s)
       !phases
   in
-  let oc = open_out out in
-  output_string oc ("{\"phases\": [\n" ^ String.concat ",\n" cells ^ "\n]}\n");
-  close_out oc;
+  Resilience.Artifact.write_atomic out ("{\"phases\": [\n" ^ String.concat ",\n" cells ^ "\n]}\n");
   Printf.printf "\nphase timings written to %s\n" out
 
 let progress_every every label i =
@@ -147,9 +145,7 @@ let () =
         | Some p when p <> "" -> p
         | _ -> "BENCH_csp2.json"
       in
-      let oc = open_out out in
-      output_string oc (Csp2opt.to_json totals);
-      close_out oc;
+      Resilience.Artifact.write_atomic out (Csp2opt.to_json totals);
       Printf.printf "  json written to %s\n" out);
 
   run_section "RANDOMNESS (Section VII-B)" (fun () -> print_string (Variance.render (Variance.run config)));
@@ -166,7 +162,5 @@ let () =
   | Some out ->
     Telemetry.stop ();
     let events = Telemetry.drain () in
-    let oc = open_out out in
-    output_string oc (Telemetry.to_chrome_json events);
-    close_out oc;
+    Resilience.Artifact.write_atomic out (Telemetry.to_chrome_json events);
     Printf.printf "trace (%d events) written to %s\n" (List.length events) out

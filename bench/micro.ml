@@ -67,6 +67,12 @@ let telemetry_disabled_span_test =
   Test.make ~name:"telemetry.with_span(off)"
     (Staged.stage (fun () -> Telemetry.with_span "bench" (fun () -> ())))
 
+(* Same guard for failpoints: with nothing armed (the default), a [hit] in
+   a solver checkpoint is one atomic load on [armed_flag]. *)
+let failpoint_disarmed_test =
+  Test.make ~name:"failpoint.hit(off)"
+    (Staged.stage (fun () -> Resilience.Failpoint.hit "bench"))
+
 let sim_test =
   Test.make ~name:"sim.edf(example)"
     (Staged.stage (fun () -> ignore (Sched.Sim.run running_example ~m:2)))
@@ -93,6 +99,7 @@ let tests =
       generator_test;
       telemetry_disabled_heartbeat_test;
       telemetry_disabled_span_test;
+      failpoint_disarmed_test;
     ]
 
 let run () =

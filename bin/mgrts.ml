@@ -43,6 +43,30 @@ let file_arg =
 let budget_of_limit limit =
   if limit <= 0. then Prelude.Timer.unlimited else Prelude.Timer.budget ~wall_s:limit ()
 
+(* ------------------------------------------------------------------ *)
+(* Typed error handling.
+
+   Every subcommand body runs under [guard]: bad input and resource
+   exhaustion become a one-line "mgrts: ..." message on stderr and a
+   stable nonzero exit code instead of a crash dump.  Exit codes:
+   0 decided, 1 tool-specific failure, 2 undecided, 3 invalid input
+   (malformed task set, m < 1, bad flags), 4 hyperperiod overflow,
+   5 all portfolio arms crashed.  Genuinely unexpected exceptions
+   (solver soundness bugs) still escape with a backtrace. *)
+
+let guard f =
+  try f () with
+  | Failure msg ->
+    (* [Io] parse errors ("line N: ...") and ad-hoc option validation. *)
+    Printf.eprintf "mgrts: %s\n%!" msg;
+    Core.error_exit_code (Core.Invalid_input msg)
+  | e -> (
+    match Core.error_of_exn e with
+    | Some err ->
+      Printf.eprintf "mgrts: %s\n%!" (Core.error_message err);
+      Core.error_exit_code err
+    | None -> raise e)
+
 let solver_conv =
   let parse s =
     match String.lowercase_ascii s with
@@ -103,6 +127,7 @@ let split_depth_arg =
 
 let gen_cmd =
   let run n m tmax seed count offsets order =
+    guard @@ fun () ->
     let order =
       match order with
       | "d" -> Gen.Generator.D_first
@@ -136,7 +161,10 @@ let gen_cmd =
     Term.(const run $ n $ m $ tmax $ seed_arg $ count $ offsets $ order)
 
 let solve_cmd =
-  let run file m solver jobs memo_mb split_depth limit seed quiet trace progress =
+  let run file m solver jobs memo_mb split_depth limit seed quiet trace progress failpoints
+      watchdog_beats =
+    guard @@ fun () ->
+    Option.iter Resilience.Failpoint.arm_spec failpoints;
     let ts = read_taskset file in
     let budget = budget_of_limit limit in
     (* Telemetry: --trace records spans/counters for a Chrome trace dump,
@@ -159,9 +187,9 @@ let solve_cmd =
         Telemetry.stop ();
         let events = Telemetry.drain () in
         let json = Telemetry.to_chrome_json ~stats:(List.rev !stats_acc) events in
-        let oc = open_out out in
-        output_string oc json;
-        close_out oc;
+        (* Atomic: a crash or Ctrl-C mid-write must not leave a truncated
+           trace for the CI shape check to choke on. *)
+        Resilience.Artifact.write_atomic out json;
         let dropped = Telemetry.dropped () in
         Printf.eprintf "trace: %d event(s) written to %s%s\n%!" (List.length events) out
           (if dropped > 0 then Printf.sprintf " (%d dropped)" dropped else "")
@@ -178,7 +206,7 @@ let solve_cmd =
       match solver with
       | Core.Portfolio _ ->
         let jobs = if jobs > 0 then Some jobs else None in
-        let r = Core.solve_portfolio ?jobs ~budget ~seed ts ~m in
+        let r = Core.solve_portfolio ?jobs ~budget ~seed ~stall_beats:watchdog_beats ts ~m in
         List.iter
           (fun b ->
             if b.Portfolio.outcome <> None then
@@ -235,11 +263,31 @@ let solve_cmd =
       & info [ "progress" ]
           ~doc:"Stream rate-limited progress heartbeats (nodes, depth, node rate) to stderr.")
   in
+  let failpoints =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "failpoints" ] ~docv:"SPEC"
+          ~doc:
+            "Arm deterministic failpoints for fault-tolerance testing (same grammar as the \
+             MGRTS_FAILPOINTS environment variable: \
+             'site=raise:Out_of_memory@3,site2=delay:50ms').  Armed sites fire only inside \
+             supervised portfolio arms.")
+  in
+  let watchdog_beats =
+    Arg.(
+      value & opt float 16.
+      & info [ "watchdog-beats" ] ~docv:"BEATS"
+          ~doc:
+            "Portfolio stall-watchdog window, in heartbeat intervals: an arm silent for \
+             this many intervals is cancelled alone and marked stalled (<= 0 disables the \
+             watchdog).")
+  in
   Cmd.v
     (Cmd.info "solve" ~doc:"Decide feasibility of a task-set file.")
     Term.(
       const run $ file_arg $ m_arg $ solver_arg $ jobs_arg $ memo_mb_arg $ split_depth_arg
-      $ limit_arg $ seed_arg $ quiet $ trace $ progress)
+      $ limit_arg $ seed_arg $ quiet $ trace $ progress $ failpoints $ watchdog_beats)
 
 let fig1_cmd =
   let run () =
@@ -265,6 +313,7 @@ let instances_arg =
 
 let table1_cmd =
   let run limit instances seed =
+    guard @@ fun () ->
     with_config limit instances seed (fun config ->
         let campaign = Experiments.Campaign.run config in
         print_string (Experiments.Tables.render_table1 (Experiments.Tables.table1 campaign));
@@ -278,6 +327,7 @@ let table1_cmd =
 
 let table3_cmd =
   let run limit instances seed =
+    guard @@ fun () ->
     with_config limit instances seed (fun config ->
         let campaign = Experiments.Campaign.run config in
         print_string (Experiments.Tables.render_bucket_rows (Experiments.Tables.table3 campaign));
@@ -289,6 +339,7 @@ let table3_cmd =
 
 let table4_cmd =
   let run limit instances seed =
+    guard @@ fun () ->
     with_config limit instances seed (fun config ->
         let config =
           if instances > 0 then { config with Experiments.Config.table4_instances = instances }
@@ -303,6 +354,7 @@ let table4_cmd =
 
 let ablation_cmd =
   let run limit instances seed =
+    guard @@ fun () ->
     with_config limit instances seed (fun config ->
         print_string (Experiments.Ablation.render (Experiments.Ablation.run config));
         0)
@@ -313,6 +365,7 @@ let ablation_cmd =
 
 let baselines_cmd =
   let run limit instances seed =
+    guard @@ fun () ->
     with_config limit instances seed (fun config ->
         print_string (Experiments.Baselines.render (Experiments.Baselines.run config));
         0)
@@ -323,6 +376,7 @@ let baselines_cmd =
 
 let analyze_cmd =
   let run file m work_budget quiet =
+    guard @@ fun () ->
     let ts = read_taskset file in
     let work_budget = if work_budget > 0 then Some work_budget else None in
     let report, analyzed = Core.analyze ?work_budget ts ~m in
@@ -370,6 +424,7 @@ let analyze_cmd =
 
 let minproc_cmd =
   let run file solver limit =
+    guard @@ fun () ->
     let ts = read_taskset file in
     let budget_per_m = if limit > 0. then Some (Prelude.Timer.budget ~wall_s:limit ()) else None in
     match Core.min_processors ~solver ~budget_per_m ts with
@@ -400,6 +455,7 @@ let minproc_cmd =
 
 let priority_cmd =
   let run file m limit =
+    guard @@ fun () ->
     let ts = read_taskset file in
     let budget = budget_of_limit limit in
     (match Priority.Assignment.search ~budget ts ~m with
@@ -419,6 +475,7 @@ let priority_cmd =
 
 let simulate_cmd =
   let run file m policy =
+    guard @@ fun () ->
     let ts = read_taskset file in
     let policy, label =
       match String.lowercase_ascii policy with
@@ -451,6 +508,7 @@ let simulate_cmd =
 
 let clone_cmd =
   let run file =
+    guard @@ fun () ->
     let ts = read_taskset file in
     let reduction = Clone.transform ts in
     let cloned = Clone.cloned reduction in
@@ -468,6 +526,7 @@ let clone_cmd =
 
 let dimacs_cmd =
   let run file m =
+    guard @@ fun () ->
     let ts = read_taskset file in
     let model = Encodings.Csp1_sat.build ts ~m in
     print_string (Sat.Dimacs.to_string (Encodings.Csp1_sat.to_dimacs model));
@@ -479,6 +538,7 @@ let dimacs_cmd =
 
 let metrics_cmd =
   let run file m solver limit polish =
+    guard @@ fun () ->
     let ts = read_taskset file in
     match Core.solve ~solver ~budget:(budget_of_limit limit) ts ~m with
     | Core.Feasible sched, elapsed ->
@@ -503,6 +563,7 @@ let metrics_cmd =
 
 let verify_cmd =
   let run taskset_file schedule_file =
+    guard @@ fun () ->
     let ts = read_taskset taskset_file in
     let ic = open_in schedule_file in
     let text = really_input_string ic (in_channel_length ic) in

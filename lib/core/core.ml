@@ -250,7 +250,7 @@ let feasible ?solver ?budget ts ~m =
   | Limit | Memout _ -> None
 
 let solve_portfolio ?specs ?jobs ?(budget = Timer.unlimited) ?(seed = 0) ?(verify = true)
-    ?analyze ts ~m =
+    ?analyze ?stall_beats ts ~m =
   let platform = Platform.identical ~m in
   let fail_invalid v =
     failwith
@@ -265,7 +265,7 @@ let solve_portfolio ?specs ?jobs ?(budget = Timer.unlimited) ?(seed = 0) ?(verif
       | Error [] -> assert false
   in
   if Taskset.is_constrained ts then begin
-    let r = Portfolio.solve ?specs ?jobs ~budget ~seed ?analyze ts ~m in
+    let r = Portfolio.solve ?specs ?jobs ~budget ~seed ?analyze ?stall_beats ts ~m in
     (match r.Portfolio.verdict with
      | Feasible schedule -> check ~platform ts schedule
      | Infeasible | Limit | Memout _ -> ());
@@ -275,7 +275,7 @@ let solve_portfolio ?specs ?jobs ?(budget = Timer.unlimited) ?(seed = 0) ?(verif
     let reduction = Clone.transform ts in
     let cloned = Clone.cloned reduction in
     let clone_platform = Clone.map_platform reduction platform in
-    let r = Portfolio.solve ?specs ?jobs ~budget ~seed ?analyze cloned ~m in
+    let r = Portfolio.solve ?specs ?jobs ~budget ~seed ?analyze ?stall_beats cloned ~m in
     match r.Portfolio.verdict with
     | Feasible clone_schedule ->
       check ~platform:clone_platform cloned clone_schedule;
@@ -323,3 +323,54 @@ let min_processors_exn ?solver ?budget_per_m ?max_m ts =
     invalid_arg
       (Printf.sprintf
          "Core.min_processors_exn: undecided at m=%d (raise the budget)" first_limit)
+
+(* ------------------------------------------------------------------ *)
+(* Typed top-level errors.
+
+   The solver layers report bad input and resource exhaustion through a
+   small set of exceptions; this is the one place that classifies them
+   into values a CLI (or any embedding service) can turn into messages
+   and exit codes instead of crash dumps. *)
+
+type error =
+  | Invalid_input of string
+  | Overflow of string
+  | All_arms_crashed of (string * string) list
+
+let contains_overflow msg =
+  let msg = String.lowercase_ascii msg in
+  let needle = "overflow" in
+  let nl = String.length needle and hl = String.length msg in
+  let rec go i = i + nl <= hl && (String.sub msg i nl = needle || go (i + 1)) in
+  go 0
+
+let error_of_exn = function
+  (* Hyperperiod overflow surfaces as [Intmath.Overflow] from raw lcm
+     callers and as [Invalid_argument "...: hyperperiod overflow"] from
+     [Taskset.of_tasks]; classify both as [Overflow]. *)
+  | Prelude.Intmath.Overflow what -> Some (Overflow what)
+  | Invalid_argument msg when contains_overflow msg -> Some (Overflow msg)
+  | Invalid_argument msg -> Some (Invalid_input msg)
+  | Portfolio.All_arms_crashed crashes -> Some (All_arms_crashed crashes)
+  | _ -> None
+
+let error_message = function
+  | Invalid_input msg -> "invalid input: " ^ msg
+  | Overflow what ->
+    Printf.sprintf "integer overflow in %s (hyperperiod too large for this machine's int)" what
+  | All_arms_crashed crashes ->
+    Printf.sprintf "all %d portfolio arms crashed%s" (List.length crashes)
+      (match crashes with
+      | (name, exn) :: _ -> Printf.sprintf " (first: %s: %s)" name exn
+      | [] -> "")
+
+let error_exit_code = function
+  | Invalid_input _ -> 3
+  | Overflow _ -> 4
+  | All_arms_crashed _ -> 5
+
+let solve_result ?solver ?platform ?budget ?seed ?verify ?analyze ts ~m =
+  match solve ?solver ?platform ?budget ?seed ?verify ?analyze ts ~m with
+  | v -> Ok v
+  | exception e -> (
+    match error_of_exn e with Some err -> Error err | None -> raise e)

@@ -135,6 +135,7 @@ val solve_portfolio :
   ?seed:int ->
   ?verify:bool ->
   ?analyze:bool ->
+  ?stall_beats:float ->
   Rt_model.Taskset.t ->
   m:int ->
   Portfolio.result
@@ -142,9 +143,10 @@ val solve_portfolio :
     — per-backend outcome, node/fail counts, times and the winner — for
     callers that report statistics ({!Portfolio.summary} renders it as one
     line).  The static analyzer runs as arm 0 of the race unless
-    [analyze:false] (see {!Portfolio.solve}).  Applies the same clone
-    transform and schedule verification as {!solve}; identical platforms
-    only. *)
+    [analyze:false] (see {!Portfolio.solve}); [stall_beats] tunes (or,
+    with a non-positive value, disables) the stall watchdog.  Applies the
+    same clone transform and schedule verification as {!solve}; identical
+    platforms only. *)
 
 val analyze :
   ?work_budget:int -> Rt_model.Taskset.t -> m:int -> Analysis.report * Rt_model.Taskset.t
@@ -178,3 +180,47 @@ val min_processors_exn :
 (** Convenience wrapper for unbudgeted use: [Some m] for {!Exact},
     [None] for {!All_infeasible}.
     @raise Invalid_argument on an {!Inconclusive} outcome. *)
+
+(** {1 Typed top-level errors}
+
+    Bad input and resource exhaustion surface from the solver layers as a
+    small set of exceptions: [Invalid_argument] for malformed task sets
+    and parameters, {!Prelude.Intmath.Overflow} (or an [Invalid_argument]
+    mentioning overflow, from [Taskset.of_tasks]) for hyperperiods that
+    do not fit a native [int], and {!Portfolio.All_arms_crashed} when
+    containment ran out of arms.  {!solve_result} and {!error_of_exn}
+    classify them into a typed error a CLI or service can render —
+    [mgrts] maps them to distinct nonzero exit codes
+    ({!error_exit_code}). *)
+
+type error =
+  | Invalid_input of string  (** Malformed task set or invalid parameter. *)
+  | Overflow of string  (** Hyperperiod (or other exact arithmetic) overflow. *)
+  | All_arms_crashed of (string * string) list
+      (** Every portfolio arm crashed ([(arm, exception text)] pairs). *)
+
+val solve_result :
+  ?solver:solver ->
+  ?platform:Rt_model.Platform.t ->
+  ?budget:Prelude.Timer.budget ->
+  ?seed:int ->
+  ?verify:bool ->
+  ?analyze:bool ->
+  Rt_model.Taskset.t ->
+  m:int ->
+  (verdict * float, error) result
+(** {!solve} with the classified exceptions caught into [Error].
+    Exceptions outside the classification (solver soundness bugs reported
+    as [Failure], [Out_of_memory] on the unsupervised sequential paths)
+    still raise. *)
+
+val error_of_exn : exn -> error option
+(** The classifier behind {!solve_result}, exposed so other entry points
+    (the CLI wraps every subcommand) can reuse it. *)
+
+val error_message : error -> string
+(** One human line, no trailing newline. *)
+
+val error_exit_code : error -> int
+(** Stable nonzero exit codes: 3 invalid input, 4 overflow, 5 all arms
+    crashed.  (The CLI reserves 0 for decided, 2 for undecided runs.) *)

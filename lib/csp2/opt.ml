@@ -126,6 +126,7 @@ module Memo = struct
      slot function needs, keys are blitted wholesale.  Rehash collisions
      just overwrite (direct-mapped replacement either way). *)
   let grow t =
+    Resilience.Failpoint.hit "csp2opt.memo_grow";
     let old_mask = t.mask and old_times = t.times and old_hashes = t.hashes in
     let old_keys = t.keys in
     let size = 2 * (old_mask + 1) in
@@ -497,6 +498,7 @@ let search_loop s ~start ~stop_time ~on_frontier =
     if !depth = 0 then result := Some R_exhausted
     else if
       (if s.nodes land 255 = 0 then begin
+         Resilience.Failpoint.hit "csp2opt.node";
          Telemetry.heartbeat ~name:"csp2-opt" ~nodes:s.nodes ~fails:s.fails ~depth:s.max_time;
          (* Memo hit-rate sample, an order of magnitude sparser than the
             heartbeat checkpoints so a fast search cannot flood the ring. *)

@@ -279,8 +279,10 @@ let solve ?(heuristic = Heuristic.DC) ?(budget = Timer.unlimited) ?(urgency = tr
   while !outcome = None do
     if !depth = 0 then outcome := Some Encodings.Outcome.Infeasible
     else if
-      (if s.nodes land 255 = 0 then
-         Telemetry.heartbeat ~name:"csp2" ~nodes:s.nodes ~fails:s.fails ~depth:s.max_time;
+      (if s.nodes land 255 = 0 then begin
+         Resilience.Failpoint.hit "csp2.node";
+         Telemetry.heartbeat ~name:"csp2" ~nodes:s.nodes ~fails:s.fails ~depth:s.max_time
+       end;
        Timer.nodes_exceeded budget ~nodes:s.nodes
        || Timer.cancelled budget
        || (s.nodes land 255 = 0 && Timer.exceeded budget ~nodes:s.nodes))

@@ -198,9 +198,11 @@ let solve ?(seed = 0) ?(noise = 0.08) ?(budget = Timer.unlimited) ?restart_every
       result := Some (Encodings.Outcome.Feasible sched)
     end
     else if
-      (if !iterations land 63 = 0 then
+      (if !iterations land 63 = 0 then begin
+         Resilience.Failpoint.hit "localsearch.iter";
          Telemetry.heartbeat ~name:"min-conflicts" ~nodes:!iterations ~fails:!restarts
-           ~depth:!best_cost;
+           ~depth:!best_cost
+       end;
        Timer.cancelled budget
        || Timer.nodes_exceeded budget ~nodes:!iterations
        || (!iterations land 63 = 0 && Timer.exceeded budget ~nodes:!iterations))
@@ -208,6 +210,7 @@ let solve ?(seed = 0) ?(noise = 0.08) ?(budget = Timer.unlimited) ?restart_every
     else begin
       incr iterations;
       if !iterations mod restart_every = 0 then begin
+        Resilience.Failpoint.hit "localsearch.restart";
         incr restarts;
         greedy_init st
       end

@@ -28,12 +28,21 @@ let default_specs =
     Csp2 Csp2.Heuristic.DC;
   ]
 
+type arm_status =
+  | Ran
+  | Crashed of string
+  | Stalled
+  | Not_started
+
 type backend_stats = {
   name : string;
   outcome : Encodings.Outcome.t option;
   stats : Telemetry.Stats.t;
   winner : bool;
+  status : arm_status;
 }
+
+exception All_arms_crashed of (string * string) list
 
 type result = {
   verdict : Encodings.Outcome.t;
@@ -44,8 +53,9 @@ type result = {
 
 (* The unified {!Telemetry.Stats} view of each backend's native stats:
    SAT decisions/conflicts and local-search iterations/restarts play the
-   roles of nodes/fails. *)
-let run_spec spec ~budget ~seed ?domains ts ~m =
+   roles of nodes/fails.  [memo_mb] only reaches the optimized engine —
+   the degradation retry runs it with a reduced table. *)
+let run_spec spec ~budget ~seed ?memo_mb ?domains ts ~m =
   let backend = spec_name spec in
   match spec with
   | Csp2 heuristic ->
@@ -54,7 +64,7 @@ let run_spec spec ~budget ~seed ?domains ts ~m =
   | Csp2_opt heuristic ->
     (* Sequential engine on purpose: each arm owns one domain already, so
        subtree splitting inside an arm would oversubscribe the race. *)
-    let outcome, st = Csp2.Opt.solve ~heuristic ~budget ?domains ts ~m in
+    let outcome, st = Csp2.Opt.solve ~heuristic ~budget ?memo_mb ?domains ts ~m in
     (outcome, Csp2.Opt.to_stats ~backend st)
   | Csp1_sat ->
     let outcome, st = Encodings.Csp1_sat.solve ~budget ~seed ?domains ts ~m in
@@ -70,8 +80,19 @@ let run_spec spec ~budget ~seed ?domains ts ~m =
 
 let analysis_arm_name = "static-analysis"
 
+(* A queued unit of race work.  Originals occupy report slots [0..n-1] in
+   spec order; the (at most one) retry of the arm in slot [i] reports in
+   slot [n+i], so retry reports never race their originals. *)
+type arm_job = {
+  j_spec : spec;
+  j_slot : int;
+  j_seed : int;
+  j_memo_mb : int option;
+  j_retry : bool;
+}
+
 let solve ?(specs = default_specs) ?jobs ?(budget = Timer.unlimited) ?(seed = 0)
-    ?(analyze = true) ?domains ts ~m =
+    ?(analyze = true) ?(stall_beats = 16.) ?domains ts ~m =
   if m < 1 then invalid_arg "Portfolio.solve: m must be >= 1";
   if specs = [] then invalid_arg "Portfolio.solve: empty backend list";
   let race_t0 = Timer.start () in
@@ -95,39 +116,66 @@ let solve ?(specs = default_specs) ?jobs ?(budget = Timer.unlimited) ?(seed = 0)
     | None when not analyze -> `Race (None, None)
     | None when Timer.cancelled budget -> `Race (None, None)
     | None -> (
-      let report =
-        Telemetry.with_span analysis_arm_name ~cat:"portfolio" (fun () ->
-            Analysis.analyze ~wall:analysis_wall ts ~m)
+      (* The analyzer is an arm like any other: contained.  A crashing
+         analysis must not take the search arms with it — the race just
+         proceeds without pruned domains. *)
+      let protected =
+        Resilience.Supervise.protect ~name:analysis_arm_name (fun () ->
+            Telemetry.with_span analysis_arm_name ~cat:"portfolio" (fun () ->
+                Resilience.Failpoint.hit "portfolio.analysis";
+                Analysis.analyze ~wall:analysis_wall ts ~m))
       in
-      (* For this arm, nodes/fails report what the analysis produced:
-         statically forced cells and statically blocked cells. *)
-      let entry outcome winner ~forced ~blocked =
-        {
-          name = analysis_arm_name;
-          outcome = Some outcome;
-          stats =
-            Telemetry.Stats.make ~backend:analysis_arm_name ~nodes:forced ~fails:blocked
-              ~time_s:report.Analysis.time_s ();
-          winner;
-        }
-      in
-      match report.Analysis.verdict with
-      | Analysis.Infeasible _ ->
-        `Decided (Encodings.Outcome.Infeasible, entry Encodings.Outcome.Infeasible true ~forced:0 ~blocked:0)
-      | Analysis.Trivially_feasible sched ->
-        let o = Encodings.Outcome.Feasible sched in
-        `Decided (o, entry o true ~forced:0 ~blocked:0)
-      | Analysis.Pruned d ->
+      match protected with
+      | Error crash ->
         `Race
-          ( Some d,
+          ( None,
             Some
-              (entry Encodings.Outcome.Limit false
-                 ~forced:(Analysis.Domains.forced_cells d)
-                 ~blocked:(Analysis.Domains.blocked_cells d)) ))
+              {
+                name = analysis_arm_name;
+                outcome = None;
+                stats = Telemetry.Stats.make ~backend:analysis_arm_name ();
+                winner = false;
+                status = Crashed (Resilience.Supervise.crash_message crash);
+              } )
+      | Ok report -> (
+        (* For this arm, nodes/fails report what the analysis produced:
+           statically forced cells and statically blocked cells. *)
+        let entry outcome winner ~forced ~blocked =
+          {
+            name = analysis_arm_name;
+            outcome = Some outcome;
+            stats =
+              Telemetry.Stats.make ~backend:analysis_arm_name ~nodes:forced ~fails:blocked
+                ~time_s:report.Analysis.time_s ();
+            winner;
+            status = Ran;
+          }
+        in
+        match report.Analysis.verdict with
+        | Analysis.Infeasible _ ->
+          `Decided
+            ( Encodings.Outcome.Infeasible,
+              entry Encodings.Outcome.Infeasible true ~forced:0 ~blocked:0 )
+        | Analysis.Trivially_feasible sched ->
+          let o = Encodings.Outcome.Feasible sched in
+          `Decided (o, entry o true ~forced:0 ~blocked:0)
+        | Analysis.Pruned d ->
+          `Race
+            ( Some d,
+              Some
+                (entry Encodings.Outcome.Limit false
+                   ~forced:(Analysis.Domains.forced_cells d)
+                   ~blocked:(Analysis.Domains.blocked_cells d)) )))
   in
   let never_started i =
     let name = spec_name specs.(i) in
-    { name; outcome = None; stats = Telemetry.Stats.make ~backend:name (); winner = false }
+    {
+      name;
+      outcome = None;
+      stats = Telemetry.Stats.make ~backend:name ();
+      winner = false;
+      status = Not_started;
+    }
   in
   match pre with
   | `Decided (verdict, arm0) ->
@@ -151,44 +199,132 @@ let solve ?(specs = default_specs) ?jobs ?(budget = Timer.unlimited) ?(seed = 0)
      an external [Timer.cancel] on [budget] still stops every arm. *)
   let stop = Atomic.make false in
   let arm_budget = Timer.with_stop budget stop in
-  let next = Atomic.make 0 in
   let winner = Atomic.make (-1) in
-  let reports = Array.make n None in
+  let reports = Array.make (2 * n) None in
+  (* A mutex-protected queue instead of a bare fetch-and-add index: a
+     crashed or stalled arm can re-enqueue its (single) degraded retry,
+     and freed domains backfill from whatever work is left. *)
+  let qlock = Mutex.create () in
+  let queue = Queue.create () in
+  Array.iteri
+    (fun i spec ->
+      Queue.add { j_spec = spec; j_slot = i; j_seed = seed + i; j_memo_mb = None; j_retry = false }
+        queue)
+    specs;
+  let pop () =
+    Mutex.protect qlock (fun () -> if Queue.is_empty queue then None else Some (Queue.pop queue))
+  in
+  let push j = Mutex.protect qlock (fun () -> Queue.add j queue) in
+  let watchdog =
+    if stall_beats > 0. then Some (Resilience.Watchdog.create ~stall_beats ()) else None
+  in
+  let job_name j = spec_name j.j_spec ^ if j.j_retry then "(retry)" else "" in
+  (* Retry-with-degradation: one retry per arm, from the original attempt
+     only.  A failing csp2-opt arm rides again with its memo budget
+     halved (a further failure disables the arm — no third attempt); a
+     crashed SAT arm rides again under a fresh seed.  The classic CSP2
+     and local-search arms have nothing to degrade. *)
+  let retry_of j =
+    if j.j_retry then None
+    else
+      match j.j_spec with
+      | Csp2_opt _ ->
+        Some { j with j_slot = n + j.j_slot; j_retry = true;
+               j_memo_mb = Some (Csp2.Opt.default_memo_mb / 2) }
+      | Csp1_sat -> Some { j with j_slot = n + j.j_slot; j_retry = true; j_seed = j.j_seed + 7919 }
+      | Csp2 _ | Local_search -> None
+  in
+  let maybe_retry j =
+    if (not (Atomic.get stop)) && not (Timer.cancelled arm_budget) then
+      Option.iter push (retry_of j)
+  in
+  let run_job j =
+    let name = job_name j in
+    (* Each arm gets a private cancellation point on top of the shared
+       race budget: the watchdog can cancel a stalled arm alone. *)
+    let my_budget = Timer.fork arm_budget in
+    let cell =
+      Option.map
+        (fun wd ->
+          Resilience.Watchdog.watch wd ~name ~cancel:(fun () -> Timer.cancel my_budget))
+        watchdog
+    in
+    let run () =
+      Telemetry.with_span name ~cat:"arm" (fun () ->
+          Resilience.Failpoint.hit "portfolio.arm_start";
+          run_spec j.j_spec ~budget:my_budget ~seed:j.j_seed ?memo_mb:j.j_memo_mb ?domains ts
+            ~m)
+    in
+    let protected =
+      match cell with
+      | Some c -> Resilience.Watchdog.with_cell c (fun () -> Resilience.Supervise.protect ~name run)
+      | None -> Resilience.Supervise.protect ~name run
+    in
+    Option.iter Resilience.Watchdog.unwatch cell;
+    match protected with
+    | Ok (outcome, stats) ->
+      let stalled = match cell with Some c -> Resilience.Watchdog.stalled c | None -> false in
+      let won =
+        Encodings.Outcome.is_decided outcome && Atomic.compare_and_set winner (-1) j.j_slot
+      in
+      if won then Atomic.set stop true;
+      reports.(j.j_slot) <-
+        Some
+          {
+            name;
+            outcome = Some outcome;
+            stats;
+            winner = won;
+            status = (if stalled then Stalled else Ran);
+          };
+      (* A memory-starved csp2-opt arm degrades like a crashed one. *)
+      (match (outcome, j.j_spec) with
+      | Encodings.Outcome.Memout _, Csp2_opt _ when not won -> maybe_retry j
+      | _ -> ())
+    | Error crash ->
+      reports.(j.j_slot) <-
+        Some
+          {
+            name;
+            outcome = None;
+            stats = Telemetry.Stats.make ~backend:name ();
+            winner = false;
+            status = Crashed (Resilience.Supervise.crash_message crash);
+          };
+      maybe_retry j
+  in
   let worker () =
     let rec loop () =
-      if not (Atomic.get stop) then begin
-        let i = Atomic.fetch_and_add next 1 in
-        if i < n then begin
-          let name = spec_name specs.(i) in
-          let outcome, stats =
-            Telemetry.with_span name ~cat:"arm" (fun () ->
-                run_spec specs.(i) ~budget:arm_budget ~seed:(seed + i) ?domains ts ~m)
-          in
-          let won =
-            Encodings.Outcome.is_decided outcome && Atomic.compare_and_set winner (-1) i
-          in
-          if won then Atomic.set stop true;
-          reports.(i) <- Some { name; outcome = Some outcome; stats; winner = won };
+      if not (Atomic.get stop) then
+        match pop () with
+        | None -> ()
+        | Some j ->
+          run_job j;
           loop ()
-        end
-      end
     in
     loop ()
   in
-  let domains = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+  Option.iter Resilience.Watchdog.start watchdog;
+  let doms = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
   worker ();
-  Array.iter Domain.join domains;
-  let backends =
-    Array.to_list
-      (Array.mapi
-         (fun i report ->
-           match report with
-           | Some r -> r
-           (* Never started: the race was over before this spec's turn. *)
-           | None -> never_started i)
-         reports)
+  Array.iter Domain.join doms;
+  Option.iter Resilience.Watchdog.stop watchdog;
+  let originals =
+    List.init n (fun i -> match reports.(i) with Some r -> r | None -> never_started i)
   in
-  let backends = match arm0 with None -> backends | Some a -> a :: backends in
+  let retries = List.filter_map (fun i -> reports.(n + i)) (List.init n Fun.id) in
+  (* Containment has a floor: when every arm that ran crashed (retries
+     included) and none was even cut short by the budget, there is no
+     honest verdict to report — surface the typed error instead of a
+     fabricated [Limit]. *)
+  let attempts = originals @ retries in
+  let crashes =
+    List.filter_map
+      (fun r -> match r.status with Crashed msg -> Some (r.name, msg) | _ -> None)
+      attempts
+  in
+  if List.length crashes = List.length attempts then raise (All_arms_crashed crashes);
+  let backends = match arm0 with None -> attempts | Some a -> a :: attempts in
   (* Arms race on the same instance, so decisive verdicts must agree; a
      Feasible alongside an Infeasible is a solver soundness bug. *)
   List.iter
@@ -221,8 +357,8 @@ let solve ?(specs = default_specs) ?jobs ?(budget = Timer.unlimited) ?(seed = 0)
           backends
       in
       ((match memouts with o :: _ when all_memout -> o | _ -> Encodings.Outcome.Limit), None)
-    | i ->
-      let r = Option.get reports.(i) in
+    | slot ->
+      let r = Option.get reports.(slot) in
       (Option.get r.outcome, Some r.name)
   in
   { verdict; winner = winner_name; time_s = Timer.elapsed race_t0; backends }
@@ -235,12 +371,17 @@ let summary r =
     | Encodings.Outcome.Memout _ -> "memout"
   in
   let backend b =
-    match b.outcome with
-    | None -> Printf.sprintf "%s -" b.name
-    | Some o ->
-      Printf.sprintf "%s%s %s %s"
-        b.name (if b.winner then "*" else "") (outcome_tag o)
-        (Telemetry.Stats.summary b.stats)
+    match b.status with
+    | Crashed msg -> Printf.sprintf "%s !crashed(%s)" b.name msg
+    | Not_started -> Printf.sprintf "%s -" b.name
+    | Ran | Stalled -> (
+      let stalled = if b.status = Stalled then " ~stalled" else "" in
+      match b.outcome with
+      | None -> Printf.sprintf "%s -%s" b.name stalled
+      | Some o ->
+        Printf.sprintf "%s%s %s %s%s"
+          b.name (if b.winner then "*" else "") (outcome_tag o)
+          (Telemetry.Stats.summary b.stats) stalled)
   in
   Printf.sprintf "portfolio: %s in %.4fs (winner %s) | %s"
     (outcome_tag r.verdict) r.time_s

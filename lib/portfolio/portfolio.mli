@@ -1,4 +1,4 @@
-(** Parallel solver portfolio on OCaml 5 domains.
+(** Parallel solver portfolio on OCaml 5 domains, with fault containment.
 
     Tables I–IV of the paper show no single strategy dominating: CSP1 wins
     some instances, each CSP2 value-ordering heuristic wins others, and the
@@ -15,9 +15,24 @@
     promptly.  [Limit]/[Memout] arms are never winners: a local-search arm
     that gives up does not stop a complete solver mid-proof.
 
+    {b Supervision} (see DESIGN.md §9): every arm — the analyzer
+    included — runs inside a containment wrapper
+    ({!Resilience.Supervise.protect}).  A crash ([Out_of_memory] while
+    growing a memo, a [Stack_overflow] in a deep subtree, any solver
+    bug) is recorded as that arm's {!arm_status} and the race continues;
+    the freed domain backfills from the remaining work.  Failing
+    csp2-opt and SAT arms are re-enqueued once in degraded form
+    (retry-with-degradation), and a stall watchdog cancels — via that
+    arm's private {!Prelude.Timer.fork} budget — any arm whose telemetry
+    heartbeats go silent.  Only when {e every} search arm (retries
+    included) crashed does the race surface the typed
+    {!All_arms_crashed} error.
+
     The race is {e sound} because each backend is: a [Feasible] schedule is
     verified by the caller exactly as in the sequential paths, and an
-    [Infeasible] only comes from complete searches.  It is not
+    [Infeasible] only comes from complete searches.  Containment preserves
+    this: a crashed arm contributes no verdict at all, so it can remove
+    potential deciders but never inject a wrong answer.  The race is not
     deterministic in {e which} arm wins a tie, but the verdict itself is
     the same for any winner (decisive verdicts must agree; disagreement is
     reported as a solver bug by raising [Failure]). *)
@@ -45,16 +60,39 @@ val default_specs : spec list
     first [jobs] arms keeps the strongest mix; the classic (memo-free) D−C
     engine rides at the tail as a cross-check arm. *)
 
+type arm_status =
+  | Ran  (** Completed normally (its [outcome] says how). *)
+  | Crashed of string
+      (** Contained crash; the string is the exception text
+          ({!Resilience.Supervise.crash_message}).  The exception and
+          backtrace are also recorded as a [crash:<arm>] telemetry
+          instant. *)
+  | Stalled
+      (** Cancelled by the stall watchdog: its heartbeats went silent for
+          the stall window while the budget was live.  The arm still
+          reports the (non-decisive) outcome it returned after the
+          cancellation landed. *)
+  | Not_started  (** The race ended before this spec's turn. *)
+
 type backend_stats = {
   name : string;
+      (** Spec name; a degraded re-run carries a ["(retry)"] suffix. *)
   outcome : Encodings.Outcome.t option;
-      (** [None] when the race ended before this arm started. *)
+      (** [None] when the arm never started or crashed. *)
   stats : Telemetry.Stats.t;
       (** The backend's unified counters ({!Telemetry.Stats}): SAT
           decisions/conflicts and local-search iterations/restarts map to
-          [nodes]/[fails]; all-zero for an arm that never started. *)
+          [nodes]/[fails]; all-zero for an arm that never started or
+          crashed. *)
   winner : bool;
+  status : arm_status;
 }
+
+exception All_arms_crashed of (string * string) list
+(** Every search arm that ran (retries included) crashed: no arm was even
+    cut short by a budget, so there is no honest [Limit] to report.  The
+    payload lists [(arm name, exception text)] per crash.  {!Core.solve_result}
+    maps this to a typed error and [mgrts] to a dedicated exit code. *)
 
 type result = {
   verdict : Encodings.Outcome.t;
@@ -64,9 +102,11 @@ type result = {
   time_s : float;  (** Wall clock of the whole race, analysis included. *)
   backends : backend_stats list;
       (** One entry per spec, in spec order, preceded by the
-          {!analysis_arm_name} entry when the analyzer ran.  For that arm,
-          [nodes]/[fails] report statically forced/blocked cells and a
-          non-decisive pass shows as [Limit]. *)
+          {!analysis_arm_name} entry when the analyzer ran and followed by
+          one ["<spec>(retry)"] entry per degraded re-run that started.
+          For the analyzer arm, [nodes]/[fails] report statically
+          forced/blocked cells and a non-decisive pass shows as
+          [Limit]. *)
 }
 
 val solve :
@@ -75,6 +115,7 @@ val solve :
   ?budget:Prelude.Timer.budget ->
   ?seed:int ->
   ?analyze:bool ->
+  ?stall_beats:float ->
   ?domains:Analysis.Domains.t ->
   Rt_model.Taskset.t ->
   m:int ->
@@ -91,7 +132,13 @@ val solve :
     its stop flag: the race installs its own flag for the winner signal,
     but the caller's flag is kept watched ({!Prelude.Timer.with_stop}), so
     [Timer.cancel] on the original budget stops the analyzer and every
-    arm promptly and the race returns [Limit].
+    arm promptly and the race returns [Limit].  Each arm additionally
+    runs under a private {!Prelude.Timer.fork} of the race budget, which
+    is what the stall watchdog cancels: an arm whose heartbeats go silent
+    for [stall_beats] × {!Telemetry.heartbeat_interval} seconds (default
+    16 beats of 0.5 s) is cancelled alone and marked {!Stalled}, and its
+    domain backfills from the queue.  [stall_beats <= 0] disables the
+    watchdog.
 
     Unless [analyze:false], the static analyzer runs first as a sequential
     arm 0, capped by its own work-unit budget {e and} by half of
@@ -102,9 +149,11 @@ val solve :
     hands every arm the reduced domains.  Pass [domains] to supply
     already-computed facts instead; the analyzer is then skipped.
     @raise Invalid_argument on [m < 1], an empty [specs], or a [domains]
-    fingerprint that does not match the instance. *)
+    fingerprint that does not match the instance.
+    @raise All_arms_crashed when every arm that ran crashed. *)
 
 val summary : result -> string
 (** One line: overall verdict, wall time, winner, then per-arm
     [name outcome] followed by {!Telemetry.Stats.summary} cells ([*] marks
-    the winner, [-] an arm that never started). *)
+    the winner, [-] an arm that never started, [!crashed(exn)] a contained
+    crash, [~stalled] a watchdog cancellation). *)

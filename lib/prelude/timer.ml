@@ -45,6 +45,8 @@ let with_stop b stop =
   let watches = match b.stop with Some f when f != stop -> f :: b.watches | _ -> b.watches in
   { b with stop = Some stop; watches }
 
+let fork b = with_stop b (Atomic.make false)
+
 let sub ?wall_s ?nodes b =
   let fresh = budget ?wall_s ?nodes () in
   let inherited = match b.stop with Some f -> f :: b.watches | None -> b.watches in

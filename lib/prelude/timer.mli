@@ -51,6 +51,13 @@ val with_stop : budget -> bool Atomic.t -> budget
     per-backend budgets that share one cancellation point without
     disconnecting the caller's. *)
 
+val fork : budget -> budget
+(** [with_stop b (Atomic.make f)] for a fresh flag: same limits, the
+    parent's flags still watched, but independently cancellable — a
+    [cancel] on the fork stops only its holder.  This is how the
+    portfolio gives each arm a private cancellation point (the stall
+    watchdog cancels a single stalled arm without touching the race). *)
+
 val sub : ?wall_s:float -> ?nodes:int -> budget -> budget
 (** A fresh budget with the given (tighter) limits and its own fresh stop
     flag, which additionally observes every stop flag of the argument:

@@ -1,0 +1,11 @@
+(** Atomic artifact writes.
+
+    Bench tables and trace exports are consumed by CI jobs and diffed
+    across runs; a crash or Ctrl-C mid-write must never leave a truncated
+    half-file behind.  [write_atomic path contents] writes to
+    [path ^ ".tmp"] and [Sys.rename]s it into place — rename is atomic on
+    POSIX filesystems, so readers observe either the old file or the
+    complete new one.  On any error the temporary is removed and the
+    destination left untouched. *)
+
+val write_atomic : string -> string -> unit

@@ -1,0 +1,18 @@
+type crash = { exn : string; backtrace : string }
+
+let crash_message c = c.exn
+
+(* Backtraces cost nothing until an exception is actually raised, and a
+   contained crash without one is near-undiagnosable. *)
+let () = Printexc.record_backtrace true
+
+let protect ~name f =
+  match Failpoint.with_scope f with
+  | v -> Ok v
+  | exception Sys.Break -> raise Sys.Break
+  | exception e ->
+    let backtrace = Printexc.get_backtrace () in
+    let exn = Printexc.to_string e in
+    Telemetry.instant ("crash:" ^ name) ~cat:"resilience"
+      ~args:[ ("exception", exn); ("backtrace", backtrace) ];
+    Error { exn; backtrace }

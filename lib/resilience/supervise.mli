@@ -1,0 +1,25 @@
+(** Crash containment for supervised units of work.
+
+    {!protect} is the portfolio's per-arm containment wrapper: it turns an
+    arbitrary crash — [Out_of_memory] while growing a memo, a
+    [Stack_overflow] in a deep subtree, any solver bug — into a value the
+    race loop can record and route around, instead of an exception that
+    propagates through [Domain.join] and kills every arm.
+
+    [Sys.Break] is deliberately {e not} contained: containing it would
+    make a supervised solver uninterruptible from the keyboard. *)
+
+type crash = {
+  exn : string;  (** [Printexc.to_string] of the caught exception. *)
+  backtrace : string;  (** Raw backtrace; empty when unavailable. *)
+}
+
+val protect : name:string -> (unit -> 'a) -> ('a, crash) result
+(** Run [f] inside a failpoint injection scope
+    ({!Failpoint.with_scope}), catching every exception except
+    [Sys.Break].  A crash records a [crash:<name>] telemetry instant
+    carrying the exception and backtrace, and returns [Error]. *)
+
+val crash_message : crash -> string
+(** The exception text alone — stable across environments (backtraces are
+    not), so callers can pattern-match or log it compactly. *)

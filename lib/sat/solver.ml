@@ -458,9 +458,11 @@ let solve ?(budget = Timer.unlimited) ?(seed = 0) t =
     while !result = None do
       (* Polled before propagation so a cancellation also lands during
          conflict-heavy phases that never reach the decision branch. *)
-      if t.n_decisions land 1023 = 0 then
+      if t.n_decisions land 1023 = 0 then begin
+        Resilience.Failpoint.hit "sat.propagate";
         Telemetry.heartbeat ~name:"sat" ~nodes:t.n_decisions ~fails:t.n_conflicts
-          ~depth:t.nlevels;
+          ~depth:t.nlevels
+      end;
       if Timer.cancelled budget then result := Some Unknown
       else begin
       let confl = propagate t in

@@ -155,12 +155,20 @@ let record ev =
   b.events.(idx) <- Some ev;
   b.next <- b.next + 1
 
+(* [hb_active] (defined with the heartbeat machinery below) must track
+   [enabled_flag]; forward through a mutable hook to keep definition
+   order simple. *)
+let refresh_hb_hook = ref (fun () -> ())
+
 let start () =
   Atomic.incr current_epoch;
   Atomic.set t_zero (Timer.now ());
-  Atomic.set enabled_flag true
+  Atomic.set enabled_flag true;
+  !refresh_hb_hook ()
 
-let stop () = Atomic.set enabled_flag false
+let stop () =
+  Atomic.set enabled_flag false;
+  !refresh_hb_hook ()
 
 let rel t = t -. Atomic.get t_zero
 
@@ -260,8 +268,24 @@ type progress = {
 let on_progress : (progress -> unit) option Atomic.t = Atomic.make None
 let set_on_progress f = Atomic.set on_progress f
 
-let heartbeat_interval = Atomic.make 0.5
-let set_heartbeat_interval s = Atomic.set heartbeat_interval (Float.max 1e-6 s)
+let hb_interval = Atomic.make 0.5
+let set_heartbeat_interval s = Atomic.set hb_interval (Float.max 1e-6 s)
+let heartbeat_interval () = Atomic.get hb_interval
+
+(* The liveness hook (the resilience watchdog): called on every
+   rate-limited beat emission, whether or not event recording is on.
+   [hb_active] is the combined gate — recording enabled OR a beat hook
+   installed — kept as a single derived atomic so the heartbeat disabled
+   path stays one atomic load. *)
+let on_beat : (unit -> unit) option Atomic.t = Atomic.make None
+let hb_active = Atomic.make false
+let refresh_hb () = Atomic.set hb_active (Atomic.get enabled_flag || Atomic.get on_beat <> None)
+
+let set_on_beat f =
+  Atomic.set on_beat f;
+  refresh_hb ()
+
+let () = refresh_hb_hook := refresh_hb
 
 type beat_state = { mutable last_t : float; mutable last_nodes : int }
 
@@ -269,31 +293,34 @@ let dls_beat : beat_state Domain.DLS.key =
   Domain.DLS.new_key (fun () -> { last_t = 0.; last_nodes = 0 })
 
 let heartbeat ~name ~nodes ~fails ~depth =
-  if enabled () then begin
+  if Atomic.get hb_active then begin
     let st = Domain.DLS.get dls_beat in
     let t = Timer.now () in
-    if t -. st.last_t >= Atomic.get heartbeat_interval then begin
+    if t -. st.last_t >= Atomic.get hb_interval then begin
       let rate =
         if st.last_t = 0. || t <= st.last_t then 0.
         else float_of_int (nodes - st.last_nodes) /. (t -. st.last_t)
       in
       st.last_t <- t;
       st.last_nodes <- nodes;
-      counter (name ^ ".nodes") nodes;
-      counter (name ^ ".depth") depth;
-      counter (name ^ ".rate") (int_of_float rate);
-      match Atomic.get on_progress with
-      | None -> ()
-      | Some f ->
-        f
-          {
-            p_name = name;
-            p_nodes = nodes;
-            p_fails = fails;
-            p_depth = depth;
-            p_rate = rate;
-            p_elapsed = rel t;
-          }
+      (match Atomic.get on_beat with None -> () | Some f -> f ());
+      if enabled () then begin
+        counter (name ^ ".nodes") nodes;
+        counter (name ^ ".depth") depth;
+        counter (name ^ ".rate") (int_of_float rate);
+        match Atomic.get on_progress with
+        | None -> ()
+        | Some f ->
+          f
+            {
+              p_name = name;
+              p_nodes = nodes;
+              p_fails = fails;
+              p_depth = depth;
+              p_rate = rate;
+              p_elapsed = rel t;
+            }
+      end
     end
   end
 

@@ -130,6 +130,19 @@ val heartbeat : name:string -> nodes:int -> fails:int -> depth:int -> unit
 val set_heartbeat_interval : float -> unit
 (** Default 0.5 s; clamped to be positive. *)
 
+val heartbeat_interval : unit -> float
+(** The current rate-limit interval — the resilience watchdog derives its
+    stall window from it. *)
+
+val set_on_beat : (unit -> unit) option -> unit
+(** Install a liveness hook invoked on {e every} rate-limited beat
+    emission, even when event recording is off — heartbeats become active
+    whenever recording is enabled {e or} a beat hook is installed, at the
+    cost of one (combined) atomic load on the disabled path.  The hook
+    runs on the solver's domain: keep it tiny and re-entrant.  This is
+    the resilience watchdog's progress signal; it installs the hook only
+    while a watchdog is live. *)
+
 (** {1 Draining and export} *)
 
 type event = {

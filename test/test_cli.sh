@@ -1,0 +1,52 @@
+#!/bin/sh
+# Exit-code pinning for the mgrts CLI (see DESIGN.md §9): bad input and
+# resource exhaustion must surface as a one-line "mgrts: ..." message and
+# a stable nonzero code, never a crash dump.
+#   0 decided   2 undecided   3 invalid input   4 hyperperiod overflow
+set -u
+
+MGRTS=$1
+EXAMPLE=$2
+MALFORMED=$3
+OVERFLOW=$4
+
+fail() {
+  echo "test_cli: $1" >&2
+  exit 1
+}
+
+expect() {
+  want=$1
+  label=$2
+  shift 2
+  "$MGRTS" "$@" >/dev/null 2>&1
+  got=$?
+  [ "$got" -eq "$want" ] || fail "$label: expected exit $want, got $got"
+}
+
+expect 0 "decided solve" solve "$EXAMPLE" -m 2 --quiet
+expect 3 "m = 0" solve "$EXAMPLE" -m 0
+expect 3 "malformed task set" solve "$MALFORMED" -m 2
+expect 4 "hyperperiod overflow" solve "$OVERFLOW" -m 2
+expect 4 "overflow reaches every reader" analyze "$OVERFLOW" -m 2
+expect 3 "unknown failpoint site" solve "$EXAMPLE" -m 2 --failpoints bogus=raise:Out_of_memory
+
+# Injected single-arm crash: the race must still decide, exit 0.
+expect 0 "portfolio survives one crash" \
+  solve "$EXAMPLE" -m 2 --quiet --solver portfolio \
+  --failpoints portfolio.arm_start=raise:Out_of_memory@1
+
+# The messages are one-liners on stderr, prefixed for grepping.
+err=$("$MGRTS" solve "$OVERFLOW" -m 2 2>&1 >/dev/null)
+case "$err" in
+mgrts:*overflow*) ;;
+*) fail "overflow message: got '$err'" ;;
+esac
+
+err=$("$MGRTS" solve "$MALFORMED" -m 2 2>&1 >/dev/null)
+case "$err" in
+mgrts:*) ;;
+*) fail "malformed-input message: got '$err'" ;;
+esac
+
+echo "cli exit codes ok"

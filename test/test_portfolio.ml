@@ -11,6 +11,14 @@ let qtest = Test_util.qtest
 
 let running = Examples.running_example
 
+(* The CI failpoints job reruns this whole suite with one injection site
+   armed (MGRTS_FAILPOINTS).  Containment must keep every race sound, but
+   a test that pins *which* arm wins, or how fast, can legitimately see a
+   different story when its decisive arm is the one being crashed — those
+   few assertions relax under injection. *)
+let injected () = Resilience.Failpoint.armed ()
+let arm_crashed (b : P.backend_stats) = match b.P.status with P.Crashed _ -> true | _ -> false
+
 (* The regression workhorse: r > 1, so the only decisive verdict is an
    exhaustive infeasibility proof — quick with urgency propagation on,
    endless for local search. *)
@@ -53,7 +61,7 @@ let test_cancellation_prompt () =
      can never prove infeasibility and would otherwise spin until the
      wall limit). *)
   let ts, m = hard_instance () in
-  let backstop = 30. in
+  let backstop = if injected () then 5. else 30. in
   let t0 = Prelude.Timer.start () in
   (* [analyze:false]: this test exercises the race's cancellation
      machinery, which needs an arm to actually search — the static
@@ -66,14 +74,18 @@ let test_cancellation_prompt () =
       ts ~m
   in
   let elapsed = Prelude.Timer.elapsed t0 in
-  (match r.P.verdict with
-  | O.Infeasible -> ()
-  | O.Feasible _ | O.Limit | O.Memout _ -> Alcotest.fail "r > 1: expected an infeasibility proof");
-  check Alcotest.(option string) "complete arm wins" (Some "csp2+D-C") r.P.winner;
-  Alcotest.(check bool)
-    (Printf.sprintf "losers cancelled promptly (%.3fs)" elapsed)
-    true
-    (elapsed < backstop /. 3.)
+  match r.P.verdict with
+  | O.Infeasible ->
+    check Alcotest.(option string) "complete arm wins" (Some "csp2+D-C") r.P.winner;
+    Alcotest.(check bool)
+      (Printf.sprintf "losers cancelled promptly (%.3fs)" elapsed)
+      true
+      (elapsed < backstop /. 3.)
+  | O.Limit when injected () && List.exists arm_crashed r.P.backends ->
+    (* The only complete arm was the one crashed by the injection matrix:
+       containment leaves an honest [Limit], not a wrong verdict. *)
+    ()
+  | O.Feasible _ | O.Limit | O.Memout _ -> Alcotest.fail "r > 1: expected an infeasibility proof"
 
 (* Regression: [Timer.cancel] on the race budget must interrupt the whole
    race — both the analyzer pre-pass (which runs under a [Timer.sub] of
@@ -94,17 +106,27 @@ let test_external_cancel_stops_race () =
         Unix.sleepf 0.05;
         Prelude.Timer.cancel budget)
   in
-  let r = P.solve ~specs:[ P.Local_search ] ~jobs:1 ~analyze:false ~budget ts ~m in
+  let r =
+    match P.solve ~specs:[ P.Local_search ] ~jobs:1 ~analyze:false ~budget ts ~m with
+    | r -> Some r
+    | exception P.All_arms_crashed _ when injected () ->
+      (* The injection matrix crashed the only arm of this race before the
+         cancel could land — nothing left to assert about cancellation. *)
+      None
+  in
   Domain.join canceller;
   let elapsed = Prelude.Timer.elapsed t0 in
-  (match r.P.verdict with
-  | O.Limit -> ()
-  | O.Feasible _ | O.Infeasible | O.Memout _ -> Alcotest.fail "expected Limit after cancel");
-  Alcotest.(check bool) "no winner" true (r.P.winner = None);
-  Alcotest.(check bool)
-    (Printf.sprintf "cancel landed promptly (%.3fs)" elapsed)
-    true
-    (elapsed < backstop /. 3.)
+  match r with
+  | None -> ()
+  | Some r ->
+    (match r.P.verdict with
+    | O.Limit -> ()
+    | O.Feasible _ | O.Infeasible | O.Memout _ -> Alcotest.fail "expected Limit after cancel");
+    Alcotest.(check bool) "no winner" true (r.P.winner = None);
+    Alcotest.(check bool)
+      (Printf.sprintf "cancel landed promptly (%.3fs)" elapsed)
+      true
+      (elapsed < backstop /. 3.)
 
 let test_cancel_before_race_skips_analysis () =
   (* A budget cancelled before the call returns [Limit] without running
