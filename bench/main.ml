@@ -138,7 +138,15 @@ let () =
 
   run_section "CSP2OPT (classic search vs bitset+memo engine, node parity and wall clock)"
     (fun () ->
-      let totals = Csp2opt.run ~progress:(progress_every 100 "instance") config in
+      (* MGRTS_JOBS forces the parallel run's domain count (e.g. [2] to
+         measure the work-stealing path even on a single-core box);
+         unset, the section uses the engine's own clamped default. *)
+      let jobs =
+        match Sys.getenv_opt "MGRTS_JOBS" with
+        | Some v -> int_of_string_opt (String.trim v)
+        | None -> None
+      in
+      let totals = Csp2opt.run ~progress:(progress_every 100 "instance") ?jobs config in
       print_string (Csp2opt.render totals);
       let out =
         match Sys.getenv_opt "MGRTS_BENCH_OUT" with

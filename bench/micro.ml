@@ -73,6 +73,40 @@ let failpoint_disarmed_test =
   Test.make ~name:"failpoint.hit(off)"
     (Staged.stage (fun () -> Resilience.Failpoint.hit "bench"))
 
+(* Guard for the [Int.compare] clause-dedup fix in [Sat.Solver.add_clause]:
+   encoding-bound instances add tens of thousands of clauses, and a
+   polymorphic [compare] in the dedup sort is pure constant-factor loss.
+   The run measures clause ingestion (create + add), the phase the sort
+   sits in. *)
+let sat_clause_dedup_test =
+  Test.make ~name:"sat.clause-dedup"
+    (Staged.stage (fun () ->
+         let s = Sat.Solver.create () in
+         let vs = Array.init 24 (fun _ -> Sat.Solver.new_var s) in
+         for c = 0 to 63 do
+           Sat.Solver.add_clause s
+             [
+               Sat.Solver.pos vs.(c mod 24);
+               Sat.Solver.neg vs.((c + 7) mod 24);
+               Sat.Solver.pos vs.((c + 13) mod 24);
+               Sat.Solver.pos vs.(c mod 24);
+             ]
+         done))
+
+(* The work-stealing deque's owner path: push/pop must stay in the few-ns
+   range or lazy splitting would tax every expansion. *)
+let deque_test =
+  Test.make ~name:"deque.push-pop"
+    (Staged.stage
+       (let d = Prelude.Deque.create () in
+        fun () ->
+          for i = 0 to 15 do
+            Prelude.Deque.push d i
+          done;
+          for _ = 0 to 15 do
+            ignore (Prelude.Deque.pop d)
+          done))
+
 let sim_test =
   Test.make ~name:"sim.edf(example)"
     (Staged.stage (fun () -> ignore (Sched.Sim.run running_example ~m:2)))
@@ -95,6 +129,8 @@ let tests =
       csp1_sat_test;
       csp2_test;
       csp2_opt_test;
+      sat_clause_dedup_test;
+      deque_test;
       sim_test;
       generator_test;
       telemetry_disabled_heartbeat_test;

@@ -228,10 +228,10 @@ let solve_cmd =
             (fun st ->
               Printf.sprintf
                 "csp2-opt: nodes=%d fails=%d memo hits=%d misses=%d stores=%d subtrees=%d \
-                 steals=%d"
+                 pulls=%d steals=%d parks=%d"
                 st.Csp2.Opt.nodes st.Csp2.Opt.fails st.Csp2.Opt.memo_hits
                 st.Csp2.Opt.memo_misses st.Csp2.Opt.memo_stores st.Csp2.Opt.subtrees
-                st.Csp2.Opt.steals)
+                st.Csp2.Opt.pulls st.Csp2.Opt.steals st.Csp2.Opt.parks)
             stats
         in
         (verdict, report)

@@ -8,12 +8,15 @@ type stats = {
   memo_misses : int;
   memo_stores : int;
   subtrees : int;
+  pulls : int;
   steals : int;
+  parks : int;
   max_time_reached : int;
   time_s : float;
 }
 
 let default_memo_mb = 64
+let default_probe_nodes = 4096
 
 (* ------------------------------------------------------------------ *)
 (* Transposition table.
@@ -24,7 +27,14 @@ let default_memo_mb = 64
    a fixed-capacity direct-mapped cache (replace on collision): memory is
    bounded by construction, and pruning compares the *full* rem vector —
    the incremental hash only picks the slot, so a hash collision costs a
-   missed prune, never a wrong one. *)
+   missed prune, never a wrong one.
+
+   Entries carry an epoch stamp: an entry is live only while its stamp
+   equals the table's current epoch, and [reset] — used when a pooled
+   engine is rebound to a new instance — just bumps the epoch.  This is
+   O(1) invalidation of a table that may have grown to tens of MB, and
+   it is what makes engine reuse across back-to-back solves safe: a
+   stale entry from a previous task set can never satisfy a lookup. *)
 
 module Memo = struct
   type t = {
@@ -32,17 +42,19 @@ module Memo = struct
     wide : bool;  (* two bytes per job (any wcet > 255) *)
     cap_mask : int;  (* final entry count - 1 allowed by the MB cap *)
     mutable mask : int;  (* current entry count - 1, power of two *)
-    mutable times : int array;  (* -1 marks an empty entry *)
+    mutable epoch : int;  (* entries are live iff their stamp matches *)
+    mutable stamps : int array;
+    mutable times : int array;
     mutable hashes : int array;
     mutable keys : Bytes.t;  (* flat (mask+1) * key_len buffer: no per-entry alloc *)
-    mutable occupied : int;  (* filled entries, drives geometric growth *)
+    mutable occupied : int;  (* live entries, drives geometric growth *)
     mutable hits : int;
     mutable lookups : int;
     mutable stores : int;
   }
 
-  (* Two int-array cells per entry, on top of the key bytes. *)
-  let entry_overhead = 16
+  (* Three int-array cells per entry, on top of the key bytes. *)
+  let entry_overhead = 24
 
   (* Start tiny and double toward the cap: eager full-cap allocation
      (zeroing tens of MB) would dominate the wall clock of the many
@@ -65,7 +77,9 @@ module Memo = struct
           wide;
           cap_mask = cap_size - 1;
           mask = size - 1;
-          times = Array.make size (-1);
+          epoch = 1;
+          stamps = Array.make size 0;
+          times = Array.make size 0;
           hashes = Array.make size 0;
           keys = Bytes.create (size * key_len);
           occupied = 0;
@@ -74,6 +88,16 @@ module Memo = struct
           stores = 0;
         }
     end
+
+  (* O(1) wholesale invalidation: stale entries fail the stamp check and
+     are overwritten by later stores.  Counters restart with the solve
+     they now describe. *)
+  let reset t =
+    t.epoch <- t.epoch + 1;
+    t.occupied <- 0;
+    t.hits <- 0;
+    t.lookups <- 0;
+    t.stores <- 0
 
   let slot_index t ~time ~hash =
     let h = hash lxor (time * 0x9E3779B1) in
@@ -116,31 +140,42 @@ module Memo = struct
   let known_infeasible t ~time ~hash rem =
     t.lookups <- t.lookups + 1;
     let idx = slot_index t ~time ~hash in
-    if t.times.(idx) = time && t.hashes.(idx) = hash && key_matches t idx rem then begin
+    if
+      t.stamps.(idx) = t.epoch
+      && t.times.(idx) = time
+      && t.hashes.(idx) = hash
+      && key_matches t idx rem
+    then begin
       t.hits <- t.hits + 1;
       true
     end
     else false
 
-  (* Double the table and reinsert: times/hashes carry everything the
-     slot function needs, keys are blitted wholesale.  Rehash collisions
-     just overwrite (direct-mapped replacement either way). *)
+  (* Double the table and reinsert the live entries: times/hashes carry
+     everything the slot function needs, keys are blitted wholesale.
+     Rehash collisions just overwrite (direct-mapped replacement either
+     way); stale-epoch entries are dropped. *)
   let grow t =
     Resilience.Failpoint.hit "csp2opt.memo_grow";
-    let old_mask = t.mask and old_times = t.times and old_hashes = t.hashes in
+    let old_mask = t.mask
+    and old_stamps = t.stamps
+    and old_times = t.times
+    and old_hashes = t.hashes in
     let old_keys = t.keys in
     let size = 2 * (old_mask + 1) in
     t.mask <- size - 1;
-    t.times <- Array.make size (-1);
+    t.stamps <- Array.make size 0;
+    t.times <- Array.make size 0;
     t.hashes <- Array.make size 0;
     t.keys <- Bytes.create (size * t.key_len);
     t.occupied <- 0;
     for idx = 0 to old_mask do
-      let time = old_times.(idx) in
-      if time >= 0 then begin
+      if old_stamps.(idx) = t.epoch then begin
+        let time = old_times.(idx) in
         let hash = old_hashes.(idx) in
         let idx' = slot_index t ~time ~hash in
-        if t.times.(idx') < 0 then t.occupied <- t.occupied + 1;
+        if t.stamps.(idx') <> t.epoch then t.occupied <- t.occupied + 1;
+        t.stamps.(idx') <- t.epoch;
         t.times.(idx') <- time;
         t.hashes.(idx') <- hash;
         Bytes.blit old_keys (idx * t.key_len) t.keys (idx' * t.key_len) t.key_len
@@ -151,7 +186,8 @@ module Memo = struct
     t.stores <- t.stores + 1;
     if t.occupied * 2 > t.mask + 1 && t.mask < t.cap_mask then grow t;
     let idx = slot_index t ~time ~hash in
-    if t.times.(idx) < 0 then t.occupied <- t.occupied + 1;
+    if t.stamps.(idx) <> t.epoch then t.occupied <- t.occupied + 1;
+    t.stamps.(idx) <- t.epoch;
     t.times.(idx) <- time;
     t.hashes.(idx) <- hash;
     write_key t idx rem
@@ -276,9 +312,16 @@ let force_elig cx ~from =
     if not cx.elig_built.(t) then build_elig cx t
   done
 
+let init_hash cx =
+  let h = ref 0 in
+  Array.iteri (fun g c -> h := !h lxor cx.zob.(g).(c)) cx.job_wcet;
+  !h
+
 (* ------------------------------------------------------------------ *)
 (* Per-engine mutable state.  All per-slot buffers are preallocated and
-   reused: a search node allocates nothing. *)
+   reused: a search node allocates nothing.  Engines themselves are
+   pooled per domain (see [acquire]) so back-to-back solves reuse the
+   frames, the rem buffer and the — epoch-invalidated — memo table. *)
 
 type frame = {
   mutable time : int;
@@ -314,13 +357,17 @@ let reset_frame f time =
   f.fresh <- true
 
 type search = {
-  cx : ctx;
-  rem : int array;  (* per global job: units still owed *)
+  mutable cx : ctx;
+  mutable rem : int array;  (* per global job: units still owed *)
   mutable total_rem : int;
   mutable hash : int;  (* Zobrist hash of [rem], maintained incrementally *)
-  memo : Memo.t option;
-  budget : Timer.budget;
-  frames : frame array;
+  mutable memo : Memo.t option;
+  mutable memo_cap_mb : int;  (* the cap [memo] was created under *)
+  mutable memo_store : bool;  (* stores gated off during frontier expansion *)
+  mutable budget : Timer.budget;
+  mutable frames : frame array;
+  mutable frame_cap : int;  (* task capacity of each frame's buffers *)
+  mutable in_use : bool;
   mutable nodes : int;
   mutable fails : int;
   mutable max_time : int;
@@ -329,21 +376,78 @@ type search = {
 let make_search cx ~budget ~memo_mb =
   let rem = Array.copy cx.job_wcet in
   let total_rem = Array.fold_left ( + ) 0 rem in
-  let hash = ref 0 in
-  Array.iteri (fun g c -> hash := !hash lxor cx.zob.(g).(c)) rem;
   let max_rem = Array.fold_left Int.max 0 cx.wcet in
   {
     cx;
     rem;
     total_rem;
-    hash = !hash;
+    hash = init_hash cx;
     memo = Memo.create ~job_count:(Array.length rem) ~max_rem ~cap_mb:memo_mb;
+    memo_cap_mb = memo_mb;
+    memo_store = true;
     budget;
     frames = Array.init (cx.horizon + 1) (fun _ -> new_frame cx.n);
+    frame_cap = Int.max 1 cx.n;
+    in_use = false;
     nodes = 0;
     fails = 0;
     max_time = 0;
   }
+
+(* Rebind a cached engine to a (possibly different) instance: reuse every
+   buffer that still fits, bump the memo epoch instead of freeing the
+   table, and zero the per-solve counters. *)
+let rebind s cx ~budget ~memo_mb =
+  let jn = Array.length cx.job_wcet in
+  if Array.length s.rem <> jn then s.rem <- Array.copy cx.job_wcet
+  else Array.blit cx.job_wcet 0 s.rem 0 jn;
+  s.total_rem <- Array.fold_left ( + ) 0 s.rem;
+  s.hash <- init_hash cx;
+  let n = Int.max 1 cx.n in
+  if Array.length s.frames < cx.horizon + 1 || s.frame_cap < n then begin
+    let cap = Int.max s.frame_cap n in
+    s.frames <-
+      Array.init (Int.max (Array.length s.frames) (cx.horizon + 1)) (fun _ -> new_frame cap);
+    s.frame_cap <- cap
+  end;
+  let max_rem = Array.fold_left Int.max 0 cx.wcet in
+  let wide = max_rem > 0xFF in
+  let key_len = Int.max 1 (jn * if wide then 2 else 1) in
+  (match s.memo with
+  | Some m
+    when memo_mb = s.memo_cap_mb && memo_mb > 0 && max_rem <= 0xFFFF
+         && m.Memo.key_len = key_len && m.Memo.wide = wide ->
+    Memo.reset m
+  | _ ->
+    s.memo <- Memo.create ~job_count:jn ~max_rem ~cap_mb:memo_mb;
+    s.memo_cap_mb <- memo_mb);
+  s.memo_store <- true;
+  s.budget <- budget;
+  s.cx <- cx;
+  s.nodes <- 0;
+  s.fails <- 0;
+  s.max_time <- 0
+
+(* One cached engine per domain.  The cache survives across solves —
+   that is the point — so acquisition marks it busy and a nested acquire
+   (never taken on purpose, but cheap to keep correct) falls back to a
+   fresh transient engine. *)
+let engine_slot : search option ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref None)
+
+let acquire cx ~budget ~memo_mb =
+  let cell = Domain.DLS.get engine_slot in
+  match !cell with
+  | Some s when not s.in_use ->
+    s.in_use <- true;
+    rebind s cx ~budget ~memo_mb;
+    s
+  | cached ->
+    let s = make_search cx ~budget ~memo_mb in
+    s.in_use <- true;
+    (match cached with None -> cell := Some s | Some _ -> ());
+    s
+
+let release s = s.in_use <- false
 
 let undo s f =
   if f.applied_n > 0 then begin
@@ -454,10 +558,13 @@ let advance s f =
         (* Every subset of this state was tried and every subtree failed
            through normal backtracking (a budget stop aborts the whole
            loop before reaching here), so (t, rem) is proven infeasible:
-           record it.  [undo] above restored rem/hash to the entry state. *)
+           record it.  [undo] above restored rem/hash to the entry state.
+           Stores are gated off while a worker merely *enumerates* a
+           slot's children for the work deque — exhausting a truncated
+           sweep proves nothing about the full subtree. *)
         (match s.memo with
-        | Some memo -> Memo.store memo ~time:t ~hash:s.hash s.rem
-        | None -> ());
+        | Some memo when s.memo_store -> Memo.store memo ~time:t ~hash:s.hash s.rem
+        | _ -> ());
         Exhausted
       end
       else begin
@@ -486,11 +593,11 @@ type run_result = R_feasible | R_exhausted | R_stopped
    horizon] decides the subtree: [R_feasible] leaves the assignment in
    the frames.  With [stop_time < horizon] the loop enumerates surviving
    prefixes instead: [on_frontier] fires for each, the prefix is then
-   abandoned and the sweep continues with its next sibling — the memo
+   abandoned and the sweep continues with its next sibling — memo stores
    must be off in that mode (an ancestor exhausted by truncated subtrees
-   is not refuted). *)
+   is not refuted; lookups remain sound either way). *)
 let search_loop s ~start ~stop_time ~on_frontier =
-  assert (stop_time = s.cx.horizon || s.memo = None);
+  assert (stop_time = s.cx.horizon || not s.memo_store);
   let depth = ref 1 in
   reset_frame s.frames.(0) start;
   let result = ref None in
@@ -547,7 +654,34 @@ let build_schedule s ~prefix ~depth =
   done;
   sched
 
-let stats_of ?(subtrees = 0) ?(steals = 0) searches ~t0 =
+(* A per-engine counter snapshot: engines outlive solves (they are
+   pooled), so stats are assembled from copies taken while the engine is
+   still bound to this solve. *)
+type slice = {
+  sl_nodes : int;
+  sl_fails : int;
+  sl_hits : int;
+  sl_lookups : int;
+  sl_stores : int;
+  sl_max_time : int;
+}
+
+let slice_of s =
+  let hits, lookups, stores =
+    match s.memo with
+    | None -> (0, 0, 0)
+    | Some m -> (m.Memo.hits, m.Memo.lookups, m.Memo.stores)
+  in
+  {
+    sl_nodes = s.nodes;
+    sl_fails = s.fails;
+    sl_hits = hits;
+    sl_lookups = lookups;
+    sl_stores = stores;
+    sl_max_time = s.max_time;
+  }
+
+let stats_of ?(subtrees = 0) ?(pulls = 0) ?(steals = 0) ?(parks = 0) slices ~t0 =
   let nodes = ref 0
   and fails = ref 0
   and hits = ref 0
@@ -555,17 +689,14 @@ let stats_of ?(subtrees = 0) ?(steals = 0) searches ~t0 =
   and stores = ref 0
   and max_time = ref 0 in
   List.iter
-    (fun s ->
-      nodes := !nodes + s.nodes;
-      fails := !fails + s.fails;
-      if s.max_time > !max_time then max_time := s.max_time;
-      match s.memo with
-      | None -> ()
-      | Some m ->
-        hits := !hits + m.Memo.hits;
-        lookups := !lookups + m.Memo.lookups;
-        stores := !stores + m.Memo.stores)
-    searches;
+    (fun sl ->
+      nodes := !nodes + sl.sl_nodes;
+      fails := !fails + sl.sl_fails;
+      hits := !hits + sl.sl_hits;
+      lookups := !lookups + sl.sl_lookups;
+      stores := !stores + sl.sl_stores;
+      if sl.sl_max_time > !max_time then max_time := sl.sl_max_time)
+    slices;
   {
     nodes = !nodes;
     fails = !fails;
@@ -573,7 +704,9 @@ let stats_of ?(subtrees = 0) ?(steals = 0) searches ~t0 =
     memo_misses = !lookups - !hits;
     memo_stores = !stores;
     subtrees;
+    pulls;
     steals;
+    parks;
     max_time_reached = !max_time;
     time_s = Timer.elapsed t0;
   }
@@ -581,152 +714,325 @@ let stats_of ?(subtrees = 0) ?(steals = 0) searches ~t0 =
 let to_stats ~backend (st : stats) =
   Telemetry.Stats.make ~backend ~nodes:st.nodes ~fails:st.fails ~depth:st.max_time_reached
     ~memo_hits:st.memo_hits ~memo_misses:st.memo_misses ~memo_stores:st.memo_stores
-    ~subtrees:st.subtrees ~steals:st.steals ~time_s:st.time_s ()
+    ~subtrees:st.subtrees ~pulls:st.pulls ~steals:st.steals ~parks:st.parks ~time_s:st.time_s
+    ()
+
+(* ------------------------------------------------------------------ *)
+(* Phase-0 probe: a static node-count estimate.
+
+   Branching at slot [t] is at most C(|elig(t)|, min m |elig(t)|); the
+   product over the horizon (saturating, pruned domains already folded
+   into [elig]) bounds the tree size of the *unpruned* search.  When even
+   that bound is small, parallel setup can never pay for itself and the
+   solve stays on the sequential path.  The estimate errs on the large
+   side (it ignores urgency propagation, the capacity bound and the
+   memo), so the follow-up bounded sequential burst — not this number —
+   is what keeps moderately sized instances sequential. *)
+
+let est_saturated = 1 lsl 40
+
+let choose_sat n k =
+  let k = Int.min k (n - k) in
+  if k <= 0 then 1
+  else begin
+    let acc = ref 1 in
+    (try
+       for i = 1 to k do
+         acc := !acc * (n - k + i) / i;
+         if !acc >= est_saturated then raise Exit
+       done
+     with Exit -> acc := est_saturated);
+    !acc
+  end
+
+let estimate_nodes cx =
+  let est = ref 1 in
+  (try
+     for t = 0 to cx.horizon - 1 do
+       if not cx.elig_built.(t) then build_elig cx t;
+       let e = Ibits.popcount cx.elig.(t) in
+       let b = choose_sat e (Int.min cx.m e) in
+       est := !est * Int.max 1 b;
+       if !est >= est_saturated then raise Exit
+     done
+   with Exit -> est := est_saturated);
+  !est
 
 (* ------------------------------------------------------------------ *)
 (* Entry points. *)
+
+let run_sequential s =
+  match search_loop s ~start:0 ~stop_time:s.cx.horizon ~on_frontier:no_frontier with
+  | R_feasible -> Encodings.Outcome.Feasible (build_schedule s ~prefix:[||] ~depth:s.cx.horizon)
+  | R_exhausted -> Encodings.Outcome.Infeasible
+  | R_stopped -> Encodings.Outcome.Limit
 
 let solve ?(heuristic = Heuristic.DC) ?(budget = Timer.unlimited) ?domains
     ?(memo_mb = default_memo_mb) ts ~m =
   let t0 = Timer.start () in
   let cx = make_ctx ~heuristic ?domains ts ~m in
-  let s = make_search cx ~budget ~memo_mb in
-  let outcome =
-    match search_loop s ~start:0 ~stop_time:cx.horizon ~on_frontier:no_frontier with
-    | R_feasible ->
-      Encodings.Outcome.Feasible (build_schedule s ~prefix:[||] ~depth:cx.horizon)
-    | R_exhausted -> Encodings.Outcome.Infeasible
-    | R_stopped -> Encodings.Outcome.Limit
-  in
-  (outcome, stats_of [ s ] ~t0)
+  let s = acquire cx ~budget ~memo_mb in
+  Fun.protect ~finally:(fun () -> release s) @@ fun () ->
+  let outcome = run_sequential s in
+  (outcome, stats_of [ slice_of s ] ~t0)
 
-type frontier_item = {
-  f_rem : int array;
-  f_hash : int;
-  f_total : int;
-  f_prefix : int array array;  (* per slot 0..split-1: applied task ids *)
+(* A unit of parallel work: the search state at the root of an
+   unexplored subtree, plus the concrete slot assignments above it (for
+   rebuilding a witness schedule). *)
+type work_item = {
+  w_time : int;  (* next slot to decide; < horizon by construction *)
+  w_rem : int array;
+  w_hash : int;
+  w_total : int;
+  w_prefix : int array array;  (* per slot 0 .. w_time-1: applied task ids *)
 }
 
+let load_item s it =
+  Array.blit it.w_rem 0 s.rem 0 (Array.length s.rem);
+  s.hash <- it.w_hash;
+  s.total_rem <- it.w_total
+
 let solve_parallel ?(heuristic = Heuristic.DC) ?(budget = Timer.unlimited) ?domains
-    ?(memo_mb = default_memo_mb) ?jobs ?split_depth ts ~m =
+    ?(memo_mb = default_memo_mb) ?jobs ?split_depth ?(probe_nodes = default_probe_nodes) ts
+    ~m =
   let t0 = Timer.start () in
   let cx = make_ctx ~heuristic ?domains ts ~m in
   let jobs =
-    match jobs with
-    | Some j -> Int.max 1 j
-    | None -> Domain.recommended_domain_count ()
+    match jobs with Some j -> Int.max 1 j | None -> Parallel.recommended_jobs ()
   in
   let split =
     let d = match split_depth with Some d -> d | None -> 2 in
     Intmath.clamp ~lo:0 ~hi:(cx.horizon - 1) d
   in
-  if jobs <= 1 || split = 0 then begin
-    let s = make_search cx ~budget ~memo_mb in
-    let outcome =
-      match search_loop s ~start:0 ~stop_time:cx.horizon ~on_frontier:no_frontier with
-      | R_feasible ->
-        Encodings.Outcome.Feasible (build_schedule s ~prefix:[||] ~depth:cx.horizon)
-      | R_exhausted -> Encodings.Outcome.Infeasible
-      | R_stopped -> Encodings.Outcome.Limit
-    in
-    (outcome, stats_of [ s ] ~t0)
-  end
+  let sequential () =
+    let s = acquire cx ~budget ~memo_mb in
+    Fun.protect ~finally:(fun () -> release s) @@ fun () ->
+    let outcome = run_sequential s in
+    (outcome, stats_of [ slice_of s ] ~t0)
+  in
+  if jobs <= 1 || split = 0 then sequential ()
+  else if probe_nodes > 0 && estimate_nodes cx <= probe_nodes then
+    (* The whole tree is provably smaller than one probe burst: domain
+       coordination can only add overhead. *)
+    sequential ()
   else begin
-    (* Phase 1 (sequential): enumerate every surviving assignment of the
-       first [split] slots.  Memo off — see [search_loop]. *)
-    let s0 = make_search cx ~budget ~memo_mb:0 in
-    let frontier = ref [] in
-    let capture depth =
-      let prefix =
-        Array.init depth (fun d -> Array.sub s0.frames.(d).applied 0 s0.frames.(d).applied_n)
-      in
-      frontier :=
-        { f_rem = Array.copy s0.rem; f_hash = s0.hash; f_total = s0.total_rem; f_prefix = prefix }
-        :: !frontier
-    in
-    match search_loop s0 ~start:0 ~stop_time:split ~on_frontier:capture with
-    | R_feasible -> assert false (* split < horizon *)
-    | R_stopped -> (Encodings.Outcome.Limit, stats_of [ s0 ] ~t0)
-    | R_exhausted ->
-      let frontier = Array.of_list (List.rev !frontier) in
-      let nf = Array.length frontier in
-      if nf = 0 then
-        (* No prefix survives the first [split] slots: a complete proof. *)
-        (Encodings.Outcome.Infeasible, stats_of [ s0 ] ~t0)
+    let workers = jobs in
+    let per_worker_mb = Int.max 1 (memo_mb / workers) in
+    let s0 = acquire cx ~budget ~memo_mb:per_worker_mb in
+    Fun.protect ~finally:(fun () -> release s0) @@ fun () ->
+    (* Phase 0b: a bounded sequential burst.  The Table I population is
+       dominated by instances a warm engine decides in a few hundred
+       nodes; they must never pay for work distribution.  Node caps are
+       exact and deterministic where wall clocks are not, and the burst's
+       memo entries stay valid for worker 0's parallel phase, so at most
+       [probe_nodes] of exploration is duplicated across workers. *)
+    let probe_result =
+      if probe_nodes <= 0 then R_stopped
       else begin
-        force_elig cx ~from:split;
-        let workers = Int.min jobs nf in
-        let stop = Atomic.make false in
-        let worker_budget = Timer.with_stop budget stop in
-        let next = Atomic.make 0 in
-        let winner = Atomic.make (-1) in
-        let refuted = Atomic.make 0 in
-        let solutions = Array.make workers None in
-        let searches = Array.make workers None in
-        let pulls = Array.make workers 0 in
-        let limited = Array.make workers false in
-        let worker wid () =
-          (* One engine (and one memo slice) per worker, reused across the
-             subtrees it pulls: refuted states are global facts of the
-             instance, so entries stay valid from one subtree to the next. *)
-          let s = make_search cx ~budget:worker_budget ~memo_mb:(memo_mb / workers) in
-          searches.(wid) <- Some s;
-          let continue_ = ref true in
-          while !continue_ do
-            (* A cancel on the caller's own budget is observed through
-               [worker_budget]: [Timer.with_stop] keeps the caller's flag
-               attached (it used to replace it — the PR 1 bug). *)
-            if Atomic.get stop then continue_ := false
-            else begin
-              let i = Atomic.fetch_and_add next 1 in
-              if i >= nf then continue_ := false
-              else begin
-                pulls.(wid) <- pulls.(wid) + 1;
-                if Telemetry.enabled () then
-                  Telemetry.instant "csp2-opt.subtree-pull"
-                    ~args:[ ("subtree", string_of_int i); ("worker", string_of_int wid) ];
-                let fr = frontier.(i) in
-                Array.blit fr.f_rem 0 s.rem 0 (Array.length s.rem);
-                s.hash <- fr.f_hash;
-                s.total_rem <- fr.f_total;
-                match
-                  search_loop s ~start:split ~stop_time:cx.horizon ~on_frontier:no_frontier
-                with
-                | R_feasible ->
-                  if Atomic.compare_and_set winner (-1) i then begin
-                    solutions.(wid) <-
-                      Some (build_schedule s ~prefix:fr.f_prefix ~depth:(cx.horizon - split));
-                    Atomic.set stop true
-                  end;
-                  continue_ := false
-                | R_exhausted -> ignore (Atomic.fetch_and_add refuted 1)
-                | R_stopped ->
-                  limited.(wid) <- true;
-                  continue_ := false
-              end
-            end
-          done
-        in
-        let spawned = Array.init (workers - 1) (fun w -> Domain.spawn (fun () -> worker (w + 1) ())) in
-        worker 0 ();
-        Array.iter Domain.join spawned;
-        let searches =
-          s0 :: List.filter_map Fun.id (Array.to_list searches)
-        in
-        let steals = ref 0 in
-        for wid = 1 to workers - 1 do
-          steals := !steals + pulls.(wid)
-        done;
-        let stats = stats_of searches ~subtrees:nf ~steals:!steals ~t0 in
-        let outcome =
-          if Atomic.get winner >= 0 then begin
-            match Array.fold_left (fun acc o -> match acc with Some _ -> acc | None -> o) None solutions with
-            | Some sched -> Encodings.Outcome.Feasible sched
-            | None -> assert false
-          end
-          else if Atomic.get refuted = nf then Encodings.Outcome.Infeasible
-          else Encodings.Outcome.Limit
-        in
-        (outcome, stats)
+        let caller = s0.budget in
+        s0.budget <-
+          (match Timer.remaining_wall budget with
+          | None -> Timer.sub ~nodes:probe_nodes budget
+          | Some w -> Timer.sub ~wall_s:w ~nodes:probe_nodes budget);
+        let r = search_loop s0 ~start:0 ~stop_time:cx.horizon ~on_frontier:no_frontier in
+        s0.budget <- caller;
+        r
       end
+    in
+    match probe_result with
+    | R_feasible ->
+      ( Encodings.Outcome.Feasible (build_schedule s0 ~prefix:[||] ~depth:cx.horizon),
+        stats_of [ slice_of s0 ] ~t0 )
+    | R_exhausted -> (Encodings.Outcome.Infeasible, stats_of [ slice_of s0 ] ~t0)
+    | R_stopped
+      when probe_nodes > 0
+           && (Timer.cancelled budget || Timer.exceeded budget ~nodes:s0.nodes) ->
+      (* The caller's own budget — not the probe cap — ran out. *)
+      (Encodings.Outcome.Limit, stats_of [ slice_of s0 ] ~t0)
+    | R_stopped ->
+      (* Phase 1: depth-adaptive lazy splitting over work-stealing
+         deques.  Every worker owns a deque; expanding an item pushes its
+         children (the surviving assignments of one slot) onto the
+         owner's deque, where idle workers steal them.  Splitting is
+         adaptive: a worker only expands (rather than deep-solves) an
+         item while it is shallow or the worker's own deque has run dry,
+         so skewed subtrees keep shedding work exactly when someone needs
+         it. *)
+      force_elig cx ~from:0;
+      let hard_split = Intmath.clamp ~lo:split ~hi:(cx.horizon - 1) (split + 4) in
+      let stop = Atomic.make false in
+      let worker_budget = Timer.with_stop budget stop in
+      s0.budget <- worker_budget;
+      let solution : Schedule.t option Atomic.t = Atomic.make None in
+      (* Items not yet fully processed; [Infeasible] requires it to reach
+         zero with nobody limited.  Incremented for every child *before*
+         the parent is retired, so it can never transiently hit zero
+         while work is still outstanding. *)
+      let pending = Atomic.make 1 in
+      let deques = Array.init workers (fun _ -> Deque.create ()) in
+      Deque.push deques.(0)
+        {
+          w_time = 0;
+          w_rem = Array.copy cx.job_wcet;
+          w_hash = init_hash cx;
+          w_total = Array.fold_left ( + ) 0 cx.job_wcet;
+          w_prefix = [||];
+        };
+      let limited = Array.make workers false in
+      let pulls = Array.make workers 0 in
+      let steals = Array.make workers 0 in
+      let parks = Array.make workers 0 in
+      let subtrees = Array.make workers 0 in
+      let slices = Array.make workers None in
+      let worker wid =
+        let s =
+          if wid = 0 then s0
+          else acquire cx ~budget:worker_budget ~memo_mb:per_worker_mb
+        in
+        let my = deques.(wid) in
+        let rng = Prng.create ~seed:(0x51ED2701 + (wid * 7919)) in
+        let running = ref true in
+        let process it =
+          if
+            it.w_time < hard_split
+            && (it.w_time < split || Deque.size my = 0)
+          then begin
+            (* Expand: enumerate the surviving assignments of slot
+               [w_time] and push each as a child item.  Memo stores off —
+               the sweep truncates every child at depth one — but lookups
+               stay on, so a state already refuted by any worker expands
+               to nothing. *)
+            load_item s it;
+            let children = ref [] in
+            let nchildren = ref 0 in
+            let capture _depth =
+              let f = s.frames.(0) in
+              children :=
+                {
+                  w_time = it.w_time + 1;
+                  w_rem = Array.copy s.rem;
+                  w_hash = s.hash;
+                  w_total = s.total_rem;
+                  w_prefix =
+                    Array.append it.w_prefix [| Array.sub f.applied 0 f.applied_n |];
+                }
+                :: !children;
+              incr nchildren
+            in
+            s.memo_store <- false;
+            let r =
+              search_loop s ~start:it.w_time ~stop_time:(it.w_time + 1)
+                ~on_frontier:capture
+            in
+            s.memo_store <- true;
+            (match r with
+            | R_exhausted ->
+              if !nchildren > 0 then begin
+                ignore (Atomic.fetch_and_add pending !nchildren);
+                (* [children] holds the last-enumerated child first, so
+                   this pushes in reverse order: the owner pops the
+                   heuristically best child next (depth-first, like the
+                   sequential engine) while thieves steal the tail. *)
+                List.iter (Deque.push my) !children
+              end
+            | R_stopped ->
+              limited.(wid) <- true;
+              running := false
+            | R_feasible -> assert false (* stop_time < horizon *));
+            ignore (Atomic.fetch_and_add pending (-1))
+          end
+          else begin
+            subtrees.(wid) <- subtrees.(wid) + 1;
+            load_item s it;
+            (match
+               search_loop s ~start:it.w_time ~stop_time:cx.horizon
+                 ~on_frontier:no_frontier
+             with
+            | R_feasible ->
+              let sched =
+                build_schedule s ~prefix:it.w_prefix ~depth:(cx.horizon - it.w_time)
+              in
+              if Atomic.compare_and_set solution None (Some sched) then
+                Atomic.set stop true;
+              running := false
+            | R_exhausted -> ()
+            | R_stopped ->
+              limited.(wid) <- true;
+              running := false);
+            ignore (Atomic.fetch_and_add pending (-1))
+          end
+        in
+        let backoff = ref 0 in
+        Fun.protect
+          ~finally:(fun () ->
+            slices.(wid) <- Some (slice_of s);
+            if wid <> 0 then release s)
+        @@ fun () ->
+        try
+          while !running do
+            if Atomic.get stop || Timer.cancelled worker_budget then running := false
+            else
+              match Deque.pop my with
+              | Some it ->
+                backoff := 0;
+                pulls.(wid) <- pulls.(wid) + 1;
+                process it
+              | None ->
+                if Atomic.get pending = 0 then running := false
+                else begin
+                  Resilience.Failpoint.hit "csp2opt.steal";
+                  let victim =
+                    let v = Prng.int rng (workers - 1) in
+                    if v >= wid then v + 1 else v
+                  in
+                  match Deque.steal deques.(victim) with
+                  | Some it ->
+                    backoff := 0;
+                    steals.(wid) <- steals.(wid) + 1;
+                    if Telemetry.enabled () then
+                      Telemetry.instant "csp2-opt.steal"
+                        ~args:
+                          [
+                            ("thief", string_of_int wid); ("victim", string_of_int victim);
+                          ];
+                    process it
+                  | None ->
+                    incr backoff;
+                    if !backoff >= 2 * workers then begin
+                      (* Nothing to steal anywhere right now: park.  An
+                         actual sleep (not just a pause hint) matters on
+                         oversubscribed boxes, where a spinning thief
+                         would steal the OS slice from the worker it is
+                         waiting on. *)
+                      parks.(wid) <- parks.(wid) + 1;
+                      backoff := 0;
+                      Unix.sleepf 5e-5
+                    end
+                    else Domain.cpu_relax ()
+                end
+          done
+        with e ->
+          (* A crashing worker (an armed failpoint, a genuine bug) must
+             not leave its siblings spinning on [pending]: abort the
+             race, then let {!Pool.run} re-raise on the caller. *)
+          Atomic.set stop true;
+          raise e
+      in
+      Pool.run ~jobs:workers worker;
+      let sum a = Array.fold_left ( + ) 0 a in
+      let slices = List.filter_map Fun.id (Array.to_list slices) in
+      let stats =
+        stats_of slices ~subtrees:(sum subtrees) ~pulls:(sum pulls) ~steals:(sum steals)
+          ~parks:(sum parks) ~t0
+      in
+      let outcome =
+        match Atomic.get solution with
+        | Some sched -> Encodings.Outcome.Feasible sched
+        | None ->
+          if Array.exists Fun.id limited || Timer.cancelled budget then
+            Encodings.Outcome.Limit
+          else if Atomic.get pending = 0 then Encodings.Outcome.Infeasible
+          else Encodings.Outcome.Limit
+      in
+      (outcome, stats)
   end

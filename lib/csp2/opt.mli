@@ -19,19 +19,35 @@
       incrementally maintained Zobrist hash;
       pruning compares the {e full} rem vector, so collisions cost a missed
       prune, never a wrong verdict.  Entries are written only on genuine
-      exhaustion — never on a budget stop, never during frontier
-      enumeration — so [Infeasible] remains a proof;
+      exhaustion — never on a budget stop, never while enumerating work
+      items for the parallel phase — so [Infeasible] remains a proof.
+      Entries are epoch-stamped: rebinding a pooled engine to the next
+      instance invalidates the whole table in O(1) by bumping the epoch,
+      which is what makes cross-solve engine reuse sound;
 
     - {b aggregate capacity bound}: a state with more remaining work than
       [m · (T − t)] slot-units left fails immediately (urgency propagation
       keeps every unfinished job's window open, so all remaining work
       competes for those units);
 
-    - {b subtree splitting} ({!solve_parallel}): the surviving assignments
-      of the first [split_depth] slots are enumerated sequentially, then
-      raced across Domains pulling from a shared work queue with a common
-      stop flag — first [Feasible] wins; [Infeasible] requires every
-      subtree refuted; anything cut short degrades the verdict to [Limit].
+    - {b engine pooling}: each domain caches one warm engine (frames, rem
+      and hash buffers, the memo table); back-to-back solves rebind it
+      instead of reallocating, and the parallel phase draws its worker
+      domains from {!Pool}, so a bench campaign of hundreds of
+      millisecond-sized instances pays for neither [Domain.spawn] nor
+      table zeroing per instance;
+
+    - {b work-stealing parallel search} ({!solve_parallel}): after a
+      cheap sequential probe (static tree-size estimate, then a bounded
+      node burst) fails to decide the instance, workers explore subtrees
+      drawn from per-worker lock-free Chase-Lev deques
+      ({!Prelude.Deque}).  Splitting is lazy and depth-adaptive: a worker
+      expands an item into its children (the surviving assignments of
+      one slot) while the item is shallow or the worker's own deque has
+      run dry, and deep-solves it otherwise; idle workers steal from
+      random victims.  First [Feasible] wins and stops the race;
+      [Infeasible] requires a pending-work counter to reach zero with no
+      worker budget-limited; anything cut short degrades to [Limit].
 
     Verdict-equivalent to {!Solver} with [urgency:true] (property-tested in
     [test/test_csp2.ml]); node counts are lower, not equal, because the
@@ -43,8 +59,10 @@ type stats = {
   memo_hits : int;  (** Lookups that pruned a known-infeasible state. *)
   memo_misses : int;
   memo_stores : int;
-  subtrees : int;  (** Frontier size handed to the parallel phase (0 = sequential). *)
-  steals : int;  (** Subtrees pulled by spawned domains (not the caller's). *)
+  subtrees : int;  (** Work items deep-solved to the horizon (0 = sequential). *)
+  pulls : int;  (** Work items taken from a worker's own deque. *)
+  steals : int;  (** Work items taken from {e another} worker's deque. *)
+  parks : int;  (** Times an idle worker slept after finding nothing to steal. *)
   max_time_reached : int;
   time_s : float;
 }
@@ -52,9 +70,12 @@ type stats = {
 val default_memo_mb : int
 (** 64 MiB; an explicit upper bound on table memory, not a reservation. *)
 
+val default_probe_nodes : int
+(** 4096: the sequential-burst node cap of {!solve_parallel}'s probe. *)
+
 val to_stats : backend:string -> stats -> Telemetry.Stats.t
-(** The unified telemetry view: the memo and splitting counters map to
-    their namesake fields, [max_time_reached] to [depth]. *)
+(** The unified telemetry view: the memo and work-distribution counters
+    map to their namesake fields, [max_time_reached] to [depth]. *)
 
 val solve :
   ?heuristic:Heuristic.t ->
@@ -76,14 +97,25 @@ val solve_parallel :
   ?memo_mb:int ->
   ?jobs:int ->
   ?split_depth:int ->
+  ?probe_nodes:int ->
   Rt_model.Taskset.t ->
   m:int ->
   Encodings.Outcome.t * stats
-(** Race the frontier after [split_depth] slots (default 2, clamped to
-    [T − 1]) across [jobs] domains (default
-    [Domain.recommended_domain_count ()]); [memo_mb] is split evenly across
-    workers.  [jobs <= 1] or [split_depth = 0] falls back to {!solve}'s
-    sequential loop.  Deterministic in its verdict — [Feasible]/[Infeasible]
-    never depends on [jobs] — though which witness schedule is returned may
-    (any returned schedule verifies).  The wall budget is honored in both
-    phases; node budgets apply per engine. *)
+(** Work-stealing parallel search across [jobs] domains (default
+    {!Prelude.Parallel.recommended_jobs}, so [1] on a single-core box);
+    [memo_mb] is split evenly across workers.  [jobs <= 1] or
+    [split_depth = 0] falls back to {!solve}'s sequential loop, and so
+    does any instance the probe decides: a static tree-size estimate
+    under [probe_nodes] skips parallel setup outright, otherwise a
+    sequential burst of at most [probe_nodes] nodes (default
+    {!default_probe_nodes}) runs first and its memo entries stay warm
+    for worker 0.  [probe_nodes <= 0] disables the probe and forces the
+    parallel phase — tests use this to exercise the deques on small
+    instances.  [split_depth] (default 2, clamped to [T − 1]) is the
+    depth below which items are always expanded rather than deep-solved;
+    beyond it workers still split adaptively (up to [split_depth + 4])
+    whenever their own deque runs dry.  Deterministic in its verdict —
+    [Feasible]/[Infeasible] never depends on [jobs] — though which
+    witness schedule is returned may (any returned schedule verifies).
+    The wall budget is honored in all phases; node budgets apply per
+    engine. *)

@@ -28,8 +28,10 @@ type totals = {
   memo_hits : int;
   memo_misses : int;
   memo_stores : int;
-  subtrees : int;  (** Frontier items raced by the parallel runs. *)
-  steals : int;
+  subtrees : int;  (** Work items deep-solved by the parallel runs. *)
+  pulls : int;  (** Items workers took from their own deques. *)
+  steals : int;  (** Items taken from {e another} worker's deque — the honest count. *)
+  parks : int;  (** Idle-worker sleeps while out of stealable work. *)
   parallel_jobs : int;
   classic_wall_s : float;  (** Summed over compared instances. *)
   opt_wall_s : float;
@@ -37,8 +39,10 @@ type totals = {
 }
 
 val run : ?progress:(int -> unit) -> ?jobs:int -> Config.t -> totals
-(** [jobs] defaults to [max 2 (Domain.recommended_domain_count ())], so
-    the splitting machinery is exercised even on a single-core box. *)
+(** [jobs] defaults to {!Prelude.Parallel.recommended_jobs} — [1] on a
+    single-core box, where the parallel entry point then takes its
+    sequential path.  Pass [~jobs] (or [MGRTS_JOBS] on the bench
+    harness) to force oversubscribed domains explicitly. *)
 
 val node_reduction_pct : totals -> float
 (** Percent fewer nodes for the optimized engine on compared instances. *)

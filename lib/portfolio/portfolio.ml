@@ -188,7 +188,7 @@ let solve ?(specs = default_specs) ?jobs ?(budget = Timer.unlimited) ?(seed = 0)
   | `Race (domains, arm0) ->
   let jobs =
     let requested =
-      match jobs with Some j -> j | None -> Domain.recommended_domain_count ()
+      match jobs with Some j -> j | None -> Parallel.recommended_jobs ()
     in
     Intmath.clamp ~lo:1 ~hi:n requested
   in
@@ -305,9 +305,11 @@ let solve ?(specs = default_specs) ?jobs ?(budget = Timer.unlimited) ?(seed = 0)
     loop ()
   in
   Option.iter Resilience.Watchdog.start watchdog;
-  let doms = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
-  worker ();
-  Array.iter Domain.join doms;
+  (* Pooled domains, not per-race spawns: the portfolio is called in
+     tight benchmark loops, and each arm supervises itself, so a warm
+     worker carries no state across races beyond its domain-local engine
+     caches — which are exactly what we want reused. *)
+  Csp2.Pool.run ~jobs (fun _ -> worker ());
   Option.iter Resilience.Watchdog.stop watchdog;
   let originals =
     List.init n (fun i -> match reports.(i) with Some r -> r | None -> never_started i)

@@ -1,0 +1,102 @@
+(* Chase–Lev work-stealing deque on sequentially consistent Atomics.
+
+   Layout: a circular buffer of per-cell Atomics indexed by [i land
+   (size - 1)], with [top <= bottom] delimiting the live region
+   [top, bottom).  The owner works at [bottom], thieves CAS [top].
+
+   Why per-cell Atomics rather than a plain array: a thief reads a cell
+   it does not own, and the OCaml memory model only promises a
+   non-teared, happens-before-ordered read through an atomic location.
+   The cost (one extra indirection per cell) is irrelevant next to the
+   work items stored here (subtree descriptors, milliseconds each).
+
+   The delicate orderings, all inherited from the published algorithm:
+   - [push] writes the cell BEFORE publishing the new [bottom], so any
+     thief that observes the new bottom also observes the cell value;
+   - [pop] lowers [bottom] BEFORE reading [top]: once bottom = b is
+     visible, no thief can CAS top past b, so the owner's element at
+     index b is fenced off (the top = b single-element case is the only
+     owner/thief race, and the CAS on [top] arbitrates it);
+   - [steal] reads [top] before [bottom]; a stale [bottom] can only
+     make the deque look emptier than it is (a lost steal, never a
+     duplicated element). *)
+
+type 'a t = {
+  top : int Atomic.t;
+  bottom : int Atomic.t;
+  buf : 'a option Atomic.t array Atomic.t;
+}
+
+let rec pow2 n p = if p >= n then p else pow2 n (2 * p)
+
+let create ?(capacity = 64) () =
+  let size = pow2 (Int.max 16 capacity) 16 in
+  {
+    top = Atomic.make 0;
+    bottom = Atomic.make 0;
+    buf = Atomic.make (Array.init size (fun _ -> Atomic.make None));
+  }
+
+(* Owner only.  Copy the live region [t0, b) into a buffer twice the
+   size and publish it; thieves still holding the old buffer read the
+   same values there (cells are never cleared by [grow]), and their CAS
+   on [top] remains the single synchronization point. *)
+let grow t a ~top:t0 ~bottom:b =
+  let old_mask = Array.length a - 1 in
+  let size = 2 * (old_mask + 1) in
+  let mask = size - 1 in
+  let bigger = Array.init size (fun _ -> Atomic.make None) in
+  for i = t0 to b - 1 do
+    Atomic.set bigger.(i land mask) (Atomic.get a.(i land old_mask))
+  done;
+  Atomic.set t.buf bigger;
+  bigger
+
+let push t x =
+  let b = Atomic.get t.bottom in
+  let tp = Atomic.get t.top in
+  let a = Atomic.get t.buf in
+  let a = if b - tp >= Array.length a then grow t a ~top:tp ~bottom:b else a in
+  Atomic.set a.(b land (Array.length a - 1)) (Some x);
+  Atomic.set t.bottom (b + 1)
+
+let pop t =
+  let b = Atomic.get t.bottom - 1 in
+  Atomic.set t.bottom b;
+  let tp = Atomic.get t.top in
+  if b < tp then begin
+    (* Empty; restore the canonical empty shape. *)
+    Atomic.set t.bottom tp;
+    None
+  end
+  else begin
+    let a = Atomic.get t.buf in
+    let cell = a.(b land (Array.length a - 1)) in
+    let x = Atomic.get cell in
+    if b > tp then begin
+      Atomic.set cell None;
+      x
+    end
+    else begin
+      (* Last element: race any thief for it via [top]. *)
+      let won = Atomic.compare_and_set t.top tp (tp + 1) in
+      Atomic.set t.bottom (tp + 1);
+      Atomic.set cell None;
+      if won then x else None
+    end
+  end
+
+let steal t =
+  let tp = Atomic.get t.top in
+  let b = Atomic.get t.bottom in
+  if tp >= b then None
+  else begin
+    let a = Atomic.get t.buf in
+    let x = Atomic.get a.(tp land (Array.length a - 1)) in
+    if Atomic.compare_and_set t.top tp (tp + 1) then x else None
+  end
+
+let size t =
+  let b = Atomic.get t.bottom in
+  let tp = Atomic.get t.top in
+  Int.max 0 (b - tp)

@@ -1,0 +1,57 @@
+(** Lock-free Chase–Lev work-stealing deque.
+
+    One {e owner} domain pushes and pops work at the bottom (LIFO, so the
+    owner keeps working depth-first on what it just produced); any number
+    of {e thief} domains steal from the top (FIFO, so thieves take the
+    oldest — and for tree search the largest — pending branch).  This is
+    the distribution substrate for {!Csp2.Opt.solve_parallel}: static
+    subtree partitioning collapses on skewed search trees, because one
+    worker ends up owning the whole hard region; with per-worker deques
+    the hard region keeps shedding open sibling branches that idle
+    workers steal.
+
+    The implementation is the classic Chase–Lev circular-array deque
+    ("Dynamic circular work-stealing deque", SPAA 2005) on OCaml 5
+    [Atomic]s, which are sequentially consistent — strong enough to
+    subsume the fences of the original:
+
+    - [top] only ever increases and is the thieves' CAS point;
+    - [bottom] is written by the owner alone;
+    - the buffer is an array of per-cell [Atomic]s published through an
+      [Atomic] holding the array itself, so growth (double and copy)
+      is safe against concurrent readers of the old buffer — cells keep
+      their values in both copies, and any steal decided against a stale
+      buffer still synchronizes on the [top] CAS;
+    - slot reuse after wrap-around requires [top] to have advanced past
+      the reader's snapshot, which makes the reader's CAS fail: a stale
+      cell read is never returned.
+
+    Operations never block and never lock; [pop]/[steal] return [None]
+    on emptiness {e or} on losing a race (a thief that loses a CAS does
+    not retry internally — callers typically move on to another victim,
+    which is exactly what a work-stealing scheduler wants). *)
+
+type 'a t
+
+val create : ?capacity:int -> unit -> 'a t
+(** An empty deque.  [capacity] (default 64, rounded up to a power of
+    two, minimum 16) is only the initial buffer size: pushes beyond it
+    double the buffer. *)
+
+val push : 'a t -> 'a -> unit
+(** Owner only: add at the bottom. *)
+
+val pop : 'a t -> 'a option
+(** Owner only: take the most recently pushed remaining element, or
+    [None] when empty (a last-element race against a thief is decided by
+    a CAS on [top]; the loser sees [None]). *)
+
+val steal : 'a t -> 'a option
+(** Any domain: take the oldest element, or [None] when the deque looks
+    empty or the CAS was lost to a concurrent pop/steal.  Safe to call
+    from many thieves concurrently. *)
+
+val size : 'a t -> int
+(** A snapshot estimate of the element count (never negative).  Exact
+    when no other domain is mutating; used by the owner to decide when
+    to shed more work. *)

@@ -1,0 +1,2 @@
+let recommended_jobs ?(lo = 1) ?(hi = 64) () =
+  Intmath.clamp ~lo ~hi (Domain.recommended_domain_count ())

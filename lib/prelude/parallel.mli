@@ -1,0 +1,15 @@
+(** The one place that decides how many domains a parallel path gets.
+
+    Before this module, each caller rolled its own default:
+    [Opt.solve_parallel] used a bare [Domain.recommended_domain_count ()]
+    while the CSP2OPT bench forced [max 2 (...)] — so a single-core CI
+    box still spawned two domains and recorded the oversubscription
+    slowdown as if it were a parallelism result.  Every default now funnels
+    through {!recommended_jobs}; callers that want to oversubscribe must
+    say so explicitly (e.g. [MGRTS_JOBS=2] on the bench harness). *)
+
+val recommended_jobs : ?lo:int -> ?hi:int -> unit -> int
+(** [Domain.recommended_domain_count ()] clamped into [[lo, hi]]
+    (defaults: [lo = 1], [hi = 64]).  On a 1-core machine this is [1]:
+    parallel entry points then take their sequential path instead of
+    time-slicing domains against each other. *)

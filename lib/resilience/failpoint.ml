@@ -16,6 +16,7 @@ let catalogue =
     "csp2.node";
     "csp2opt.node";
     "csp2opt.memo_grow";
+    "csp2opt.steal";
     "sat.propagate";
     "localsearch.restart";
     "localsearch.iter";

@@ -15,13 +15,15 @@ module Stats = struct
     memo_misses : int;
     memo_stores : int;
     subtrees : int;
+    pulls : int;
     steals : int;
+    parks : int;
     time_s : float;
   }
 
   let make ~backend ?(nodes = 0) ?(fails = 0) ?(depth = 0) ?(propagations = 0) ?(restarts = 0)
-      ?(memo_hits = 0) ?(memo_misses = 0) ?(memo_stores = 0) ?(subtrees = 0) ?(steals = 0)
-      ?(time_s = 0.) () =
+      ?(memo_hits = 0) ?(memo_misses = 0) ?(memo_stores = 0) ?(subtrees = 0) ?(pulls = 0)
+      ?(steals = 0) ?(parks = 0) ?(time_s = 0.) () =
     {
       backend;
       nodes;
@@ -33,7 +35,9 @@ module Stats = struct
       memo_misses;
       memo_stores;
       subtrees;
+      pulls;
       steals;
+      parks;
       time_s;
     }
 
@@ -44,7 +48,9 @@ module Stats = struct
       Buffer.add_string b
         (Printf.sprintf " memo=%d/%d/%d" s.memo_hits s.memo_misses s.memo_stores);
     if s.subtrees > 0 then Buffer.add_string b (Printf.sprintf " sub=%d" s.subtrees);
+    if s.pulls > 0 then Buffer.add_string b (Printf.sprintf " pull=%d" s.pulls);
     if s.steals > 0 then Buffer.add_string b (Printf.sprintf " steal=%d" s.steals);
+    if s.parks > 0 then Buffer.add_string b (Printf.sprintf " park=%d" s.parks);
     Buffer.contents b
 
   (* Hand-rolled: the repo deliberately has no JSON dependency. *)
@@ -65,9 +71,9 @@ module Stats = struct
     Printf.sprintf
       "{\"backend\": \"%s\", \"nodes\": %d, \"fails\": %d, \"depth\": %d, \"propagations\": \
        %d, \"restarts\": %d, \"memo_hits\": %d, \"memo_misses\": %d, \"memo_stores\": %d, \
-       \"subtrees\": %d, \"steals\": %d, \"time_s\": %.6f}"
+       \"subtrees\": %d, \"pulls\": %d, \"steals\": %d, \"parks\": %d, \"time_s\": %.6f}"
       (json_escape s.backend) s.nodes s.fails s.depth s.propagations s.restarts s.memo_hits
-      s.memo_misses s.memo_stores s.subtrees s.steals s.time_s
+      s.memo_misses s.memo_stores s.subtrees s.pulls s.steals s.parks s.time_s
 end
 
 (* ------------------------------------------------------------------ *)

@@ -48,7 +48,9 @@ module Stats : sig
     memo_misses : int;
     memo_stores : int;
     subtrees : int;
-    steals : int;
+    pulls : int;  (** Parallel work items taken from the worker's own queue. *)
+    steals : int;  (** Parallel work items taken from {e another} worker's queue. *)
+    parks : int;  (** Idle-worker sleeps while waiting for stealable work. *)
     time_s : float;
   }
 
@@ -63,7 +65,9 @@ module Stats : sig
     ?memo_misses:int ->
     ?memo_stores:int ->
     ?subtrees:int ->
+    ?pulls:int ->
     ?steals:int ->
+    ?parks:int ->
     ?time_s:float ->
     unit ->
     t
@@ -71,7 +75,7 @@ module Stats : sig
 
   val summary : t -> string
   (** Compact one-cell rendering: ["n=<nodes> f=<fails> <time>s"] plus the
-      non-zero extras ([memo=h/m/s], [sub=], [steal=]). *)
+      non-zero extras ([memo=h/m/s], [sub=], [pull=], [steal=], [park=]). *)
 
   val to_json : t -> string
   (** One flat JSON object (hand-rolled; the repo has no JSON dep). *)

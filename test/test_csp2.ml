@@ -344,6 +344,121 @@ let test_frame_reuse_regression () =
     ]
 
 (* ------------------------------------------------------------------ *)
+(* Work-stealing parallel phase, engine pooling                         *)
+
+let prop_opt_worksteal_matches_sequential =
+  (* [probe_nodes:0] disables the sequential probe, so small random
+     instances actually flow through the deques — otherwise the probe
+     would decide them all and this property would only test the probe.
+     Every processed item must have been pulled or stolen. *)
+  qtest ~count:60 "work-stealing phase (probe off) = sequential"
+    (Test_util.instance_gen ~nmax:5 ~tmax:5 ())
+    (fun (ts, m) ->
+      let seq, _ = Csp2.Opt.solve_parallel ~jobs:1 ~budget:(budget ()) ts ~m in
+      let par, st =
+        Csp2.Opt.solve_parallel ~jobs:3 ~split_depth:2 ~probe_nodes:0 ~budget:(budget ())
+          ts ~m
+      in
+      decided seq && decided par
+      && O.is_feasible seq = O.is_feasible par
+      && st.Csp2.Opt.pulls + st.Csp2.Opt.steals >= st.Csp2.Opt.subtrees
+      && (match par with O.Feasible s -> Verify.is_feasible ts s | _ -> true))
+
+let test_opt_pool_memo_epoch () =
+  (* Engine pooling must be invisible: solving B, then a different
+     instance A, then B again reuses one domain-cached engine whose memo
+     was only epoch-bumped between solves.  If invalidation leaked any
+     entry across task sets, B's second run would see hits the first did
+     not (or worse, a wrong verdict from a stale refutation). *)
+  let params = Gen.Generator.default ~n:10 ~m:(Gen.Generator.Fixed_m 5) ~tmax:7 in
+  let instances = Gen.Generator.batch ~seed:11 ~count:2 params in
+  let a_ts, a_m = instances.(0) and b_ts, b_m = instances.(1) in
+  let run ts m =
+    let o, st = Csp2.Opt.solve ~budget:(budget ()) ts ~m in
+    (O.is_feasible o, st.Csp2.Opt.nodes, st.Csp2.Opt.memo_hits, st.Csp2.Opt.memo_stores)
+  in
+  let f1, n1, h1, s1 = run b_ts b_m in
+  let (_ : bool * int * int * int) = run a_ts a_m in
+  let f2, n2, h2, s2 = run b_ts b_m in
+  Alcotest.(check bool) "same verdict across reuse" f1 f2;
+  check Alcotest.int "same node count across reuse" n1 n2;
+  check Alcotest.int "same memo hits across reuse" h1 h2;
+  check Alcotest.int "same memo stores across reuse" s1 s2
+
+let test_pool_reuses_domains () =
+  let before = Csp2.Pool.spawned_count () in
+  for _ = 1 to 5 do
+    Csp2.Pool.run ~jobs:3 (fun _ -> ())
+  done;
+  let after = Csp2.Pool.spawned_count () in
+  Alcotest.(check bool)
+    (Printf.sprintf "5 runs at jobs=3 spawned at most 2 domains (spawned %d)"
+       (after - before))
+    true
+    (after - before <= 2)
+
+let test_opt_parallel_cancel_mid_race () =
+  (* External cancellation must tear the whole work-stealing race down
+     promptly — workers parked between steals included — and degrade the
+     verdict to [Limit].  The instance must be hard for the *opt* engine
+     specifically (the classic wall-budget workhorse is pruned to zero
+     nodes here): this one still searches after 0.5 s sequentially, so
+     the race cannot decide before the cancel lands. *)
+  let params = Gen.Generator.default ~n:16 ~m:(Gen.Generator.Fixed_m 5) ~tmax:12 in
+  let ts, m = (Gen.Generator.batch ~seed:4 ~count:2 params).(1) in
+  let b = Prelude.Timer.budget () in
+  let canceller =
+    Domain.spawn (fun () ->
+        Unix.sleepf 0.03;
+        Prelude.Timer.cancel b)
+  in
+  let t0 = Prelude.Timer.start () in
+  let outcome, _ =
+    Csp2.Opt.solve_parallel ~jobs:2 ~split_depth:2 ~probe_nodes:0 ~budget:b ts ~m
+  in
+  let elapsed = Prelude.Timer.elapsed t0 in
+  Domain.join canceller;
+  (match outcome with
+  | O.Limit -> ()
+  | O.Feasible _ | O.Infeasible | O.Memout _ ->
+    Alcotest.fail "expected Limit from a mid-race cancel");
+  Alcotest.(check bool)
+    (Printf.sprintf "race tore down promptly (took %.3fs)" elapsed)
+    true (elapsed <= 1.0)
+
+let test_opt_steal_failpoint () =
+  let module F = Resilience.Failpoint in
+  let module S = Resilience.Supervise in
+  F.reset ();
+  Fun.protect ~finally:F.reset @@ fun () ->
+  F.arm "csp2opt.steal" (F.Raise (F.Failure_msg "injected steal crash"));
+  (* Outside a supervision scope an armed site is inert — production
+     parallel solves must be unaffected even with the site armed. *)
+  let seq, _ = Csp2.Opt.solve running ~m:2 in
+  let par, _ =
+    Csp2.Opt.solve_parallel ~jobs:2 ~split_depth:2 ~probe_nodes:0 ~budget:(budget ())
+      running ~m:2
+  in
+  Alcotest.(check bool) "unsupervised verdict unchanged" true
+    (decided par && O.is_feasible par = O.is_feasible seq);
+  (* Under supervision the site fires on whichever worker first runs out
+     of local work (the pool propagates the scope to its domains), and
+     the crash must come back contained — not hang the race, not poison
+     the verdict with a fabricated decision.  The instance must keep the
+     race alive long enough for a steal attempt: this one is still
+     searching after 0.5 s sequentially. *)
+  let params = Gen.Generator.default ~n:16 ~m:(Gen.Generator.Fixed_m 5) ~tmax:12 in
+  let ts, m = (Gen.Generator.batch ~seed:4 ~count:2 params).(1) in
+  match
+    S.protect ~name:"steal-crash" (fun () ->
+        Csp2.Opt.solve_parallel ~jobs:2 ~split_depth:2 ~probe_nodes:0
+          ~budget:(Prelude.Timer.budget ~wall_s:2.0 ())
+          ts ~m)
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "armed steal site did not fire under supervision"
+
+(* ------------------------------------------------------------------ *)
 (* Heterogeneous dedicated solver                                       *)
 
 let test_het_dedicated_example () =
@@ -437,6 +552,15 @@ let () =
           Alcotest.test_case "node budget" `Quick test_opt_node_budget;
           Alcotest.test_case "wrapped windows" `Quick test_opt_wrapped_windows;
           Alcotest.test_case "frame reuse regression" `Quick test_frame_reuse_regression;
+        ] );
+      ( "work-stealing",
+        [
+          prop_opt_worksteal_matches_sequential;
+          Alcotest.test_case "memo epoch isolates pooled solves" `Quick
+            test_opt_pool_memo_epoch;
+          Alcotest.test_case "pool reuses domains" `Quick test_pool_reuses_domains;
+          Alcotest.test_case "cancel mid-race" `Quick test_opt_parallel_cancel_mid_race;
+          Alcotest.test_case "steal failpoint contained" `Quick test_opt_steal_failpoint;
         ] );
       ( "heterogeneous",
         [

@@ -473,6 +473,118 @@ let test_sub_budget () =
   Alcotest.(check bool) "child node limit" true (Timer.exceeded c3 ~nodes:10);
   Alcotest.(check bool) "parent node limit unchanged" false (Timer.exceeded p3 ~nodes:10)
 
+(* ------------------------------------------------------------------ *)
+(* Deque (Chase-Lev work-stealing)                                     *)
+
+(* Sequential refinement: against a plain list model the deque is exact —
+   [push]/[pop] act on the newest end, [steal] takes the oldest, and with
+   no contention a steal of a non-empty deque never fails. *)
+let prop_deque_model =
+  qtest "deque matches list model (sequential)"
+    QCheck2.Gen.(list_size (int_range 0 300) (int_range 0 3))
+    (fun ops ->
+      let d = Deque.create ~capacity:16 () in
+      let model = ref [] in
+      (* head = newest *)
+      let counter = ref 0 in
+      List.for_all
+        (fun op ->
+          match op with
+          | 0 | 1 ->
+            incr counter;
+            Deque.push d !counter;
+            model := !counter :: !model;
+            true
+          | 2 -> (
+            match (Deque.pop d, !model) with
+            | Some x, y :: rest when x = y ->
+              model := rest;
+              true
+            | None, [] -> true
+            | _ -> false)
+          | _ -> (
+            match (Deque.steal d, List.rev !model) with
+            | Some x, y :: rest when x = y ->
+              model := List.rev rest;
+              true
+            | None, [] -> true
+            | _ -> false))
+        ops
+      && Deque.size d = List.length !model)
+
+let test_deque_steal_fifo () =
+  let d = Deque.create () in
+  for i = 1 to 10 do
+    Deque.push d i
+  done;
+  for i = 1 to 10 do
+    check Alcotest.(option int) "steal takes the oldest" (Some i) (Deque.steal d)
+  done;
+  check Alcotest.(option int) "empty" None (Deque.steal d)
+
+let test_deque_grow () =
+  (* Push far past the initial capacity: growth must preserve both the
+     contents and the LIFO pop order. *)
+  let d = Deque.create ~capacity:16 () in
+  for i = 0 to 999 do
+    Deque.push d i
+  done;
+  check Alcotest.int "size after growth" 1000 (Deque.size d);
+  for i = 999 downto 0 do
+    check Alcotest.(option int) "pop order preserved" (Some i) (Deque.pop d)
+  done;
+  check Alcotest.(option int) "drained" None (Deque.pop d)
+
+(* The linearizability smoke test: one owner pushing and popping, two
+   thieves stealing concurrently.  Whatever the interleaving, every
+   pushed item must surface exactly once across the three actors — a
+   double-take or a lost element is exactly the class of bug a Chase-Lev
+   implementation gets wrong. *)
+let test_deque_concurrent () =
+  let n = 20000 in
+  let d = Deque.create ~capacity:16 () in
+  let stop = Atomic.make false in
+  let stolen = Array.make 2 [] in
+  let thieves =
+    Array.init 2 (fun t ->
+        Domain.spawn (fun () ->
+            let acc = ref [] in
+            let rec drain () =
+              match Deque.steal d with
+              | Some x ->
+                acc := x :: !acc;
+                drain ()
+              | None -> ()
+            in
+            while not (Atomic.get stop) do
+              drain ();
+              Domain.cpu_relax ()
+            done;
+            drain ();
+            stolen.(t) <- !acc))
+  in
+  let popped = ref [] in
+  for i = 0 to n - 1 do
+    Deque.push d i;
+    if i land 3 = 0 then
+      match Deque.pop d with Some x -> popped := x :: !popped | None -> ()
+  done;
+  let rec drain () =
+    match Deque.pop d with
+    | Some x ->
+      popped := x :: !popped;
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  Atomic.set stop true;
+  Array.iter Domain.join thieves;
+  let all = !popped @ stolen.(0) @ stolen.(1) in
+  check Alcotest.int "every item surfaced exactly once" n (List.length all);
+  List.iteri
+    (fun i x -> if i <> x then Alcotest.failf "item %d surfaced as %d" i x)
+    (List.sort Int.compare all)
+
 let () =
   Alcotest.run "prelude"
     [
@@ -521,6 +633,13 @@ let () =
           Alcotest.test_case "basics" `Quick test_ibits_basics;
           Alcotest.test_case "set operations" `Quick test_ibits_setops;
           prop_ibits_model;
+        ] );
+      ( "deque",
+        [
+          Alcotest.test_case "steal is FIFO" `Quick test_deque_steal_fifo;
+          Alcotest.test_case "growth preserves order" `Quick test_deque_grow;
+          Alcotest.test_case "concurrent owner + thieves" `Quick test_deque_concurrent;
+          prop_deque_model;
         ] );
       ( "misc",
         [
