@@ -100,7 +100,7 @@ let check_step st step =
       for task = 0 to Taskset.size st.ts - 1 do
         if st.allowed.(task).(time) then incr avail
       done;
-      cap := !cap + min st.m !avail
+      cap := !cap + Int.min st.m !avail
     done;
     demand = total && supply = !cap && supply < demand
   | Interval_demand { start; len; demand; supply } ->
@@ -113,7 +113,7 @@ let check_step st step =
           let wcet = (Taskset.task st.ts job.task).wcet in
           let inside = allowed_inside st job ~start ~len in
           let outside = allowed_slots st job - inside in
-          acc + max 0 (wcet - outside))
+          acc + Int.max 0 (wcet - outside))
         0 (Windows.jobs st.windows)
     in
     demand = forced_demand && demand > supply

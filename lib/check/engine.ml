@@ -1,0 +1,643 @@
+(* A stateless concurrency model checker on OCaml 5 effects.
+
+   The pieces under test (Deque, Race, Pool_proto, Ringcore) are
+   functors over the Sync signatures; this module provides the
+   instrumented instantiation (Shim) plus the scheduler that drives it.
+   Every shared operation in a shim performs a [Sched] effect *before*
+   executing; the scheduler captures the fiber's continuation at that
+   point, so the set of captured continuations is exactly the frontier
+   of the interleaving tree, and resuming one fiber runs it atomically
+   up to its next shared operation (the whole checker is one OS thread —
+   atomicity of the resumed slice is by construction).  Sequential
+   consistency of the model matches OCaml's Atomic.
+
+   Exploration is stateless: a state is identified by the schedule
+   prefix that reaches it, and visiting a node re-executes the scenario
+   from scratch under that prefix.  Scenarios are a few dozen shared ops,
+   so a replay is microseconds; determinism of replay is guaranteed
+   because scenarios are pure OCaml over shim state (no time, no I/O).
+
+   Two reduction modes, deliberately not combined:
+   - [Exhaustive {preemptions = None}] explores every interleaving,
+     pruned by sleep sets (Godefroid): after the subtree reached by
+     running fiber [t] from node [n] is fully explored, [t] sleeps in
+     the later siblings of that subtree until an op *dependent* with
+     [t]'s pending op executes.  Sound and complete for the safety
+     properties asserted here.
+   - [Exhaustive {preemptions = Some k}] bounds *preemptive* context
+     switches (CHESS): switching away from a fiber that is still
+     enabled costs 1, switching away from a blocked/done fiber is free.
+     Sleep sets are OFF in this mode — combining them naively is
+     unsound (a sleeping sibling may only be reachable under a schedule
+     the bound forbids, and the sleep set would then prune it from the
+     budgeted subtree too).  Used for the deque scenarios, whose
+     unbounded trees are astronomically large; bound 2–3 covers every
+     published Chase–Lev bug shape.
+   - [Random] does seeded uniform walks: no guarantees, deterministic
+     given the seed, used as a cheap smoke layer and to test the
+     engine's own determinism.
+
+   Blocking is modeled by *enabledness*, not by spinning: a fiber whose
+   pending op is [Lock]/[Reacquire] on a held mutex, [Join] on a live
+   fiber, or that sits in a condition's wait queue is simply not
+   schedulable.  No spurious wakeups: a [wait]er runs again only after
+   a signal/broadcast moves it to the reacquire state (documented
+   divergence from POSIX, on the strict side for liveness: code that
+   relies on spurious wakeups to terminate would deadlock here —
+   but such code is already wrong under the invariants we check).
+   Deadlock = some fiber undone and nothing enabled. *)
+
+type opdesc =
+  | Op_start  (* a spawned fiber's first slice *)
+  | Op_get of int
+  | Op_set of int
+  | Op_exchange of int
+  | Op_cas of int
+  | Op_faa of int
+  | Op_lock of int
+  | Op_unlock of int
+  | Op_wait of int * int  (* cond, mutex *)
+  | Op_reacquire of int   (* synthesized: the mutex re-take after a wakeup *)
+  | Op_signal of int
+  | Op_broadcast of int
+  | Op_spawn of int  (* child fid *)
+  | Op_join of int
+  | Op_relax
+
+let op_to_string = function
+  | Op_start -> "start"
+  | Op_get l -> Printf.sprintf "get a%d" l
+  | Op_set l -> Printf.sprintf "set a%d" l
+  | Op_exchange l -> Printf.sprintf "exchange a%d" l
+  | Op_cas l -> Printf.sprintf "cas a%d" l
+  | Op_faa l -> Printf.sprintf "fetch_and_add a%d" l
+  | Op_lock m -> Printf.sprintf "lock m%d" m
+  | Op_unlock m -> Printf.sprintf "unlock m%d" m
+  | Op_wait (c, m) -> Printf.sprintf "wait c%d (releasing m%d)" c m
+  | Op_reacquire m -> Printf.sprintf "reacquire m%d" m
+  | Op_signal c -> Printf.sprintf "signal c%d" c
+  | Op_broadcast c -> Printf.sprintf "broadcast c%d" c
+  | Op_spawn t -> Printf.sprintf "spawn t%d" t
+  | Op_join t -> Printf.sprintf "join t%d" t
+  | Op_relax -> "cpu_relax"
+
+exception Invariant of string
+(* Raised by scenarios (via [ensure]) and by the scheduler itself on
+   protocol violations (unlock of an unheld mutex, wait without the
+   lock). *)
+
+let ensure cond msg = if not cond then raise (Invariant msg)
+
+(* ------------------------------------------------------------------ *)
+(* The world: one per execution, reachable by the shims through a
+   global — the checker is strictly single-threaded, so a global
+   current-world is race-free by construction. *)
+
+type fstate =
+  | Not_started of (unit -> unit)
+  | Runnable of opdesc * (unit, unit) Effect.Deep.continuation
+  | Blocked of int * int * (unit, unit) Effect.Deep.continuation
+      (* parked in cond [c]'s wait queue, will reacquire mutex [m] *)
+  | Done
+
+type fiber = { fid : int; mutable state : fstate }
+type mutex_st = { mutable holder : int option }
+type cond_st = { mutable waiters : int list (* FIFO *) }
+
+type world = {
+  mutable fibers : fiber list;  (* reversed: fid = length - 1 - index *)
+  mutable nfibers : int;
+  mutable mutexes : mutex_st list;
+  mutable nmutexes : int;
+  mutable conds : cond_st list;
+  mutable nconds : int;
+  mutable next_loc : int;
+  mutable trace : (int * opdesc) list;  (* reversed executed schedule *)
+}
+
+let dummy_world () =
+  {
+    fibers = [];
+    nfibers = 0;
+    mutexes = [];
+    nmutexes = 0;
+    conds = [];
+    nconds = 0;
+    next_loc = 0;
+    trace = [];
+  }
+
+let the_world = ref (dummy_world ())
+
+let nth_rev l n len = List.nth l (len - 1 - n)
+let fiber w fid = nth_rev w.fibers fid w.nfibers
+let mutex w m = nth_rev w.mutexes m w.nmutexes
+let cond w c = nth_rev w.conds c w.nconds
+
+let new_fiber w body =
+  let fid = w.nfibers in
+  w.fibers <- { fid; state = Not_started body } :: w.fibers;
+  w.nfibers <- fid + 1;
+  fid
+
+(* ------------------------------------------------------------------ *)
+(* Instrumented primitives.  Each shared operation is: one [Sched]
+   effect (the interleaving point), then the operation itself run
+   atomically on plain mutable state. *)
+
+type _ Effect.t +=
+  | Sched : opdesc -> unit Effect.t
+  | Spawn : (unit -> unit) -> int Effect.t
+
+module Shim : Prelude.Sync.PRIMS = struct
+  module Atomic = struct
+    type 'a t = { id : int; mutable v : 'a }
+
+    let make v =
+      let w = !the_world in
+      let id = w.next_loc in
+      w.next_loc <- id + 1;
+      { id; v }
+
+    let get r =
+      Effect.perform (Sched (Op_get r.id));
+      r.v
+
+    let set r x =
+      Effect.perform (Sched (Op_set r.id));
+      r.v <- x
+
+    let exchange r x =
+      Effect.perform (Sched (Op_exchange r.id));
+      let old = r.v in
+      r.v <- x;
+      old
+
+    (* Physical equality, like Stdlib.Atomic. *)
+    let compare_and_set r old next =
+      Effect.perform (Sched (Op_cas r.id));
+      if r.v == old then begin
+        r.v <- next;
+        true
+      end
+      else false
+
+    let fetch_and_add r d =
+      Effect.perform (Sched (Op_faa r.id));
+      let old = r.v in
+      r.v <- old + d;
+      old
+
+    let incr r = ignore (fetch_and_add r 1)
+    let decr r = ignore (fetch_and_add r (-1))
+  end
+
+  module Mutex = struct
+    type t = int
+
+    let create () =
+      let w = !the_world in
+      let m = w.nmutexes in
+      w.mutexes <- { holder = None } :: w.mutexes;
+      w.nmutexes <- m + 1;
+      m
+
+    (* The scheduler performs the acquire/release transitions; a fiber
+       pending on [lock] is simply unschedulable while the mutex is
+       held (self-deadlock on relock included, as in Stdlib.Mutex). *)
+    let lock m = Effect.perform (Sched (Op_lock m))
+    let unlock m = Effect.perform (Sched (Op_unlock m))
+  end
+
+  module Condition = struct
+    type t = int
+    type mutex = int
+
+    let create () =
+      let w = !the_world in
+      let c = w.nconds in
+      w.conds <- { waiters = [] } :: w.conds;
+      w.nconds <- c + 1;
+      c
+
+    let wait c m = Effect.perform (Sched (Op_wait (c, m)))
+    let signal c = Effect.perform (Sched (Op_signal c))
+    let broadcast c = Effect.perform (Sched (Op_broadcast c))
+  end
+
+  module Thread = struct
+    type t = int
+
+    let spawn f = Effect.perform (Spawn f)
+    let join t = Effect.perform (Sched (Op_join t))
+    let cpu_relax () = Effect.perform (Sched Op_relax)
+  end
+end
+
+(* ------------------------------------------------------------------ *)
+(* Scheduler: run one fiber for one slice. *)
+
+let current : fiber ref = ref { fid = -1; state = Done }
+
+let handler : (unit, unit) Effect.Deep.handler =
+  {
+    retc = (fun () -> !current.state <- Done);
+    exnc = (fun e -> raise e);
+    effc =
+      (fun (type a) (eff : a Effect.t) ->
+        match eff with
+        | Sched op ->
+          Some
+            (fun (k : (a, unit) Effect.Deep.continuation) ->
+              !current.state <- Runnable (op, k))
+        | Spawn f ->
+          Some
+            (fun (k : (a, unit) Effect.Deep.continuation) ->
+              let fid = new_fiber !the_world f in
+              let w = !the_world in
+              w.trace <- (!current.fid, Op_spawn fid) :: w.trace;
+              Effect.Deep.continue k fid)
+        | _ -> None);
+  }
+
+let is_done w fid = match (fiber w fid).state with Done -> true | _ -> false
+
+let enabled w f =
+  match f.state with
+  | Done | Blocked _ -> false
+  | Not_started _ -> true
+  | Runnable (op, _) -> (
+    match op with
+    | Op_lock m | Op_reacquire m -> (mutex w m).holder = None
+    | Op_join t -> is_done w t
+    | _ -> true)
+
+let wake w fid =
+  let f = fiber w fid in
+  match f.state with
+  | Blocked (_, m, k) -> f.state <- Runnable (Op_reacquire m, k)
+  | _ -> raise (Invariant "signal woke a fiber that was not waiting")
+
+(* Execute fiber [fid]'s pending slice.  Caller guarantees enabledness. *)
+let step w fid =
+  let f = fiber w fid in
+  match f.state with
+  | Done | Blocked _ -> raise (Invariant "scheduled an unrunnable fiber")
+  | Not_started body ->
+    w.trace <- (fid, Op_start) :: w.trace;
+    current := f;
+    Effect.Deep.match_with body () handler
+  | Runnable (op, k) ->
+    w.trace <- (fid, op) :: w.trace;
+    current := f;
+    let continue () = Effect.Deep.continue k () in
+    (match op with
+    | Op_lock m | Op_reacquire m ->
+      (mutex w m).holder <- Some fid;
+      continue ()
+    | Op_unlock m ->
+      let mu = mutex w m in
+      if mu.holder <> Some fid then raise (Invariant "unlock of a mutex not held");
+      mu.holder <- None;
+      continue ()
+    | Op_wait (c, m) ->
+      let mu = mutex w m in
+      if mu.holder <> Some fid then raise (Invariant "wait without holding the mutex");
+      mu.holder <- None;
+      let cv = cond w c in
+      cv.waiters <- cv.waiters @ [ fid ];
+      f.state <- Blocked (c, m, k)
+    | Op_signal c ->
+      let cv = cond w c in
+      (match cv.waiters with
+      | [] -> ()
+      | fid' :: rest ->
+        cv.waiters <- rest;
+        wake w fid');
+      continue ()
+    | Op_broadcast c ->
+      let cv = cond w c in
+      let ws = cv.waiters in
+      cv.waiters <- [];
+      List.iter (wake w) ws;
+      continue ()
+    | Op_start | Op_spawn _ -> raise (Invariant "impossible pending op")
+    | Op_get _ | Op_set _ | Op_exchange _ | Op_cas _ | Op_faa _ | Op_join _ | Op_relax ->
+      continue ())
+
+(* ------------------------------------------------------------------ *)
+(* Dependence, for sleep sets.  Conservative: anything not provably
+   commuting is dependent (more dependence = less pruning = still
+   sound). *)
+
+let footprint = function
+  | Op_get l | Op_set l | Op_exchange l | Op_cas l | Op_faa l -> `Loc l
+  | Op_lock m | Op_unlock m | Op_reacquire m -> `Mutex m
+  | Op_wait (c, m) -> `Cond_mutex (c, m)
+  | Op_signal c | Op_broadcast c -> `Cond c
+  | Op_relax -> `Pure
+  | Op_start | Op_spawn _ | Op_join _ -> `Global
+
+let is_load = function Op_get _ -> true | _ -> false
+
+let independent a b =
+  match (footprint a, footprint b) with
+  | `Pure, _ | _, `Pure -> true
+  | `Global, _ | _, `Global -> false
+  | `Loc i, `Loc j -> i <> j || (is_load a && is_load b)
+  | `Mutex i, `Mutex j -> i <> j
+  | `Mutex i, `Cond_mutex (_, j) | `Cond_mutex (_, j), `Mutex i -> i <> j
+  | `Cond i, `Cond j -> i <> j
+  | `Cond i, `Cond_mutex (j, _) | `Cond_mutex (j, _), `Cond i -> i <> j
+  | `Cond_mutex (c1, m1), `Cond_mutex (c2, m2) -> c1 <> c2 && m1 <> m2
+  | `Loc _, (`Mutex _ | `Cond _ | `Cond_mutex _) | (`Mutex _ | `Cond _ | `Cond_mutex _), `Loc _
+    ->
+    true
+  | `Mutex _, `Cond _ | `Cond _, `Mutex _ -> true
+
+(* ------------------------------------------------------------------ *)
+(* Exploration. *)
+
+type mode =
+  | Exhaustive of { preemptions : int option }
+  | Random of { walks : int; seed : int }
+
+type violation = {
+  v_kind : string;
+  v_schedule : (int * opdesc) list;  (* executed steps, oldest first *)
+}
+
+type outcome = {
+  executions : int;  (* complete (non-pruned) interleavings run *)
+  choice_points : int;  (* scheduler decisions with >= 2 candidates *)
+  max_depth : int;
+  violation : violation option;
+}
+
+let pp_violation ppf v =
+  Format.fprintf ppf "violation: %s@.schedule (%d steps, replayable):@." v.v_kind
+    (List.length v.v_schedule);
+  List.iteri
+    (fun i (fid, op) -> Format.fprintf ppf "  %3d. t%d: %s@." i fid (op_to_string op))
+    v.v_schedule
+
+let violation_of_exn e w =
+  let kind =
+    match e with
+    | Invariant msg -> "invariant broken: " ^ msg
+    | e -> "exception: " ^ Printexc.to_string e
+  in
+  { v_kind = kind; v_schedule = List.rev w.trace }
+
+let pending_of f =
+  match f.state with
+  | Not_started _ -> Op_start
+  | Runnable (op, _) -> op
+  | Blocked _ | Done -> Op_relax  (* unschedulable; never consulted *)
+
+let enabled_fids w = List.rev (List.filter_map (fun f -> if enabled w f then Some f.fid else None) w.fibers)
+
+exception Budget_exceeded of string
+(* Not a concurrency bug: the exploration itself outgrew its caps.
+   Surfaced as a hard error so CI never silently under-explores. *)
+
+let step_limit = 20_000
+
+(* One execution: replay [prefix], then extend with the default policy
+   (keep running the last fiber while it is enabled and not sleeping,
+   else lowest-numbered candidate) to completion, recording every
+   decision taken past the prefix so the caller can branch there. *)
+type snap = {
+  s_prefix : int list;  (* reversed schedule up to (excluding) this decision *)
+  s_cands : (int * opdesc) list;  (* candidate fid -> its pending op *)
+  s_chosen : int;
+  s_sleep : (int * opdesc) list;
+  s_last : int;
+  s_preempts : int;
+}
+
+type run_result =
+  | Completed
+  | Pruned  (* sleep set emptied the candidates: subtree covered elsewhere *)
+  | Violated of violation
+
+let run_one scenario ~prefix ~sleep0 =
+  let w = dummy_world () in
+  the_world := w;
+  ignore (new_fiber w scenario);
+  let snaps = ref [] in
+  let sleep = ref sleep0 in
+  let last = ref (-1) in
+  let preempts = ref 0 in
+  let sched = ref [] in  (* reversed fids *)
+  let depth = ref 0 in
+  let result = ref Completed in
+  (try
+     let take fid =
+       if not (enabled w (fiber w fid)) then raise (Invariant "schedule picks a disabled fiber");
+       (if !last >= 0 && fid <> !last && enabled w (fiber w !last) then incr preempts);
+       step w fid;
+       sched := fid :: !sched;
+       last := fid;
+       incr depth;
+       if !depth > step_limit then
+         raise (Budget_exceeded (Printf.sprintf "execution exceeded %d steps" step_limit))
+     in
+     (* [sleep0] describes the state *after* the prefix, so the
+        dependence-based wakeups below only apply past it. *)
+     List.iter take prefix;
+     let rec extend () =
+       let en = enabled_fids w in
+       if en = [] then begin
+         if List.exists (fun f -> f.state <> Done) w.fibers then
+           result := Violated { v_kind = "deadlock: no fiber enabled"; v_schedule = List.rev w.trace }
+       end
+       else begin
+         let cands = List.filter (fun fid -> not (List.mem_assoc fid !sleep)) en in
+         match cands with
+         | [] -> result := Pruned
+         | _ ->
+           let chosen = if List.mem !last cands then !last else List.hd cands in
+           let chosen_op = pending_of (fiber w chosen) in
+           if List.length cands > 1 then
+             snaps :=
+               {
+                 s_prefix = !sched;
+                 s_cands = List.map (fun fid -> (fid, pending_of (fiber w fid))) cands;
+                 s_chosen = chosen;
+                 s_sleep = !sleep;
+                 s_last = !last;
+                 s_preempts = !preempts;
+               }
+               :: !snaps;
+           take chosen;
+           (* Wake sleepers whose pending op no longer commutes with
+              what just ran. *)
+           sleep := List.filter (fun (_, sop) -> independent sop chosen_op) !sleep;
+           extend ()
+       end
+     in
+     extend ()
+   with
+  | Budget_exceeded _ as e -> raise e
+  | e -> result := Violated (violation_of_exn e w));
+  (!result, List.rev !snaps, !depth)
+
+let explore_exhaustive scenario ~bound ~max_execs =
+  let executions = ref 0 in
+  let choice_points = ref 0 in
+  let max_depth = ref 0 in
+  let use_sleep = bound = None in
+  (* DFS by re-execution.  Each call runs one full execution from
+     [prefix], then branches at its recorded decisions deepest-first
+     (so a sibling enters the sleep set only after its subtree is fully
+     explored). *)
+  let rec explore prefix sleep0 =
+    incr executions;
+    if !executions > max_execs then
+      raise
+        (Budget_exceeded
+           (Printf.sprintf "exploration exceeded %d executions" max_execs));
+    let result, snaps, depth = run_one scenario ~prefix ~sleep0 in
+    if depth > !max_depth then max_depth := depth;
+    choice_points := !choice_points + List.length snaps;
+    match result with
+    | Violated v -> Some v
+    | Pruned | Completed ->
+      let rec branch = function
+        | [] -> None
+        | s :: deeper -> (
+          (* Deeper snapshots first: they live inside the subtree of
+             [s.s_chosen], which must be complete before the chosen
+             fiber may sleep in its siblings. *)
+          match branch deeper with
+          | Some v -> Some v
+          | None ->
+            let chosen_op = List.assoc s.s_chosen s.s_cands in
+            let slept = ref ((s.s_chosen, chosen_op) :: s.s_sleep) in
+            let rec try_alts = function
+              | [] -> None
+              | (fid, op) :: rest ->
+                if fid = s.s_chosen then try_alts rest
+                else begin
+                  let allowed =
+                    match bound with
+                    | None -> true
+                    | Some b ->
+                      (* Branching away from a still-enabled [s_last] is
+                         a preemption; other switches are free. *)
+                      s.s_last < 0
+                      || fid = s.s_last
+                      || (not (List.mem_assoc s.s_last s.s_cands))
+                      || s.s_preempts < b
+                  in
+                  if not allowed then try_alts rest
+                  else begin
+                    let child_sleep =
+                      if use_sleep then
+                        List.filter (fun (_, sop) -> independent sop op) !slept
+                      else []
+                    in
+                    match explore (List.rev (fid :: s.s_prefix)) child_sleep with
+                    | Some v -> Some v
+                    | None ->
+                      if use_sleep then slept := (fid, op) :: !slept;
+                      try_alts rest
+                  end
+                end
+            in
+            try_alts s.s_cands)
+      in
+      branch snaps
+  in
+  let violation = explore [] [] in
+  {
+    executions = !executions;
+    choice_points = !choice_points;
+    max_depth = !max_depth;
+    violation;
+  }
+
+let explore_random scenario ~walks ~seed =
+  let rng = Prelude.Prng.create ~seed in
+  let executions = ref 0 in
+  let choice_points = ref 0 in
+  let max_depth = ref 0 in
+  let violation = ref None in
+  let walk () =
+    let w = dummy_world () in
+    the_world := w;
+    ignore (new_fiber w scenario);
+    let depth = ref 0 in
+    try
+      let rec go () =
+        let en = enabled_fids w in
+        match en with
+        | [] ->
+          if List.exists (fun f -> f.state <> Done) w.fibers then
+            violation :=
+              Some { v_kind = "deadlock: no fiber enabled"; v_schedule = List.rev w.trace }
+        | _ ->
+          if List.length en > 1 then incr choice_points;
+          let fid = List.nth en (Prelude.Prng.int rng (List.length en)) in
+          step w fid;
+          incr depth;
+          if !depth > step_limit then
+            raise (Budget_exceeded (Printf.sprintf "walk exceeded %d steps" step_limit));
+          go ()
+      in
+      go ();
+      if !depth > !max_depth then max_depth := !depth
+    with
+    | Budget_exceeded _ as e -> raise e
+    | e -> violation := Some (violation_of_exn e w)
+  in
+  (try
+     for _ = 1 to walks do
+       if !violation = None then begin
+         incr executions;
+         walk ()
+       end
+     done
+   with Budget_exceeded _ as e -> raise e);
+  {
+    executions = !executions;
+    choice_points = !choice_points;
+    max_depth = !max_depth;
+    violation = !violation;
+  }
+
+let default_max_execs = 2_000_000
+
+let explore ?(max_execs = default_max_execs) mode scenario =
+  match mode with
+  | Exhaustive { preemptions } -> explore_exhaustive scenario ~bound:preemptions ~max_execs
+  | Random { walks; seed } -> explore_random scenario ~walks ~seed
+
+(* Re-run a recorded violating schedule, step by step.  Returns the
+   violation it reproduces ([None] means the schedule no longer
+   triggers — the code under test changed). *)
+let replay scenario schedule =
+  (* [Op_spawn] entries are trace annotations recorded mid-slice (the
+     parent does not yield to spawn); they are not scheduling decisions,
+     so stepping on them would double-step the parent. *)
+  let fids =
+    List.filter_map
+      (fun (fid, op) -> match op with Op_spawn _ -> None | _ -> Some fid)
+      schedule
+  in
+  let w = dummy_world () in
+  the_world := w;
+  ignore (new_fiber w scenario);
+  try
+    List.iter
+      (fun fid ->
+        if not (enabled w (fiber w fid)) then
+          raise (Invariant "replay schedule picks a disabled fiber");
+        step w fid)
+      fids;
+    let en = enabled_fids w in
+    if en = [] && List.exists (fun f -> f.state <> Done) w.fibers then
+      Some { v_kind = "deadlock: no fiber enabled"; v_schedule = List.rev w.trace }
+    else None
+  with e -> Some (violation_of_exn e w)

@@ -1,0 +1,106 @@
+(** A stateless concurrency model checker on OCaml 5 effects.
+
+    The lock-free core of this repo ({!Prelude.Deque}, {!Prelude.Race},
+    {!Csp2.Pool_proto}, {!Telemetry.Ringcore}) is functorized over
+    {!Prelude.Sync} signatures; {!Shim} is the instrumented
+    instantiation.  Every shared operation in a shim performs a
+    scheduling-point effect before executing, so the checker — one OS
+    thread, cooperative fibers, one-shot continuations — controls
+    exactly which fiber takes the next shared step and can enumerate
+    interleavings systematically.  The memory model is sequential
+    consistency, which matches OCaml's [Atomic].
+
+    Modeling choices a scenario author must know:
+    - blocking ([Mutex.lock], [Condition.wait], [Thread.join]) is
+      modeled by enabledness, never by spinning; a deadlock is reported
+      when some fiber is unfinished and nothing is schedulable;
+    - there are no spurious condition wakeups: a waiter runs again only
+      after a signal/broadcast (then re-acquires the mutex as its next
+      step).  This is stricter than POSIX in the direction that matters:
+      protocols proven live here are live under spurious wakeups too iff
+      they re-check their predicate in a loop — which the lint's
+      companion review and the scenarios both enforce;
+    - scenario code between two shared operations runs atomically, so
+      plain [ref]s are safe for single-fiber bookkeeping (and only for
+      that).
+
+    Exploration is stateless re-execution over schedule prefixes:
+    - [Exhaustive {preemptions = None}]: every interleaving, pruned by
+      sleep sets (Godefroid) — sound and complete for the safety
+      invariants asserted by scenarios;
+    - [Exhaustive {preemptions = Some k}]: CHESS-style preemption
+      bounding for scenarios whose full trees are intractable; sleep
+      sets are deliberately off in this mode (the naive combination is
+      unsound);
+    - [Random {walks; seed}]: seeded uniform walks, deterministic given
+      the seed; no coverage guarantee. *)
+
+type opdesc =
+  | Op_start
+  | Op_get of int
+  | Op_set of int
+  | Op_exchange of int
+  | Op_cas of int
+  | Op_faa of int
+  | Op_lock of int
+  | Op_unlock of int
+  | Op_wait of int * int
+  | Op_reacquire of int
+  | Op_signal of int
+  | Op_broadcast of int
+  | Op_spawn of int
+  | Op_join of int
+  | Op_relax
+
+val op_to_string : opdesc -> string
+
+exception Invariant of string
+(** A broken scenario invariant or a synchronization-protocol error the
+    scheduler itself detected (unlock of an unheld mutex, [wait]
+    without holding the lock, …). *)
+
+val ensure : bool -> string -> unit
+(** [ensure cond msg] raises {!Invariant} [msg] unless [cond] — the
+    assertion primitive scenarios use, so a failure carries the
+    violating schedule. *)
+
+exception Budget_exceeded of string
+(** The exploration outgrew its execution or step caps.  Not a
+    concurrency bug — a hard error, so CI never silently
+    under-explores. *)
+
+module Shim : Prelude.Sync.PRIMS
+(** The instrumented primitives.  Usable only inside {!explore} /
+    {!replay} (operations perform effects the scheduler handles);
+    calling them elsewhere raises [Effect.Unhandled]. *)
+
+type mode =
+  | Exhaustive of { preemptions : int option }
+  | Random of { walks : int; seed : int }
+
+type violation = {
+  v_kind : string;
+  v_schedule : (int * opdesc) list;
+      (** executed steps, oldest first: fiber id, operation *)
+}
+
+type outcome = {
+  executions : int;
+  choice_points : int;
+  max_depth : int;
+  violation : violation option;
+}
+
+val pp_violation : Format.formatter -> violation -> unit
+
+val explore : ?max_execs:int -> mode -> (unit -> unit) -> outcome
+(** [explore mode scenario] systematically runs [scenario] (the body of
+    fiber 0, which spawns the others through {!Shim.Thread.spawn})
+    under [mode].  Stops at the first violation; [max_execs] (default
+    2e6) caps the number of executions, {!Budget_exceeded} past it. *)
+
+val replay : (unit -> unit) -> (int * opdesc) list -> violation option
+(** [replay scenario schedule] re-executes a recorded (violating)
+    schedule step by step.  Returns the violation it reproduces, [None]
+    if the schedule no longer triggers one (i.e. the code under test
+    changed). *)

@@ -1,0 +1,289 @@
+(* The checked scenarios: small closed programs over the instrumented
+   instantiations of the repo's lock-free primitives, each asserting
+   the invariant its production call site relies on.
+
+   Scenario-writing rules (enforced by review, relied on by the
+   engine):
+   - shared state goes through Engine.Shim primitives, full stop;
+   - plain refs are only written by a single fiber (per-fiber
+     bookkeeping), and only read by others after a join;
+   - scenarios are deterministic given the schedule: no time, no
+     randomness, no I/O. *)
+
+open Engine
+
+(* The structures under test, instantiated over the instrumented
+   primitives.  Same functor bodies as production — that is the point. *)
+module DQ = Prelude.Deque.Make (Shim.Atomic)
+module RC = Prelude.Race.Make (Shim.Atomic)
+module RG = Telemetry.Ringcore.Make (Shim.Atomic)
+module PP = Csp2.Pool_proto.Make (Shim)
+module T = Shim.Thread
+
+type t = {
+  name : string;
+  descr : string;
+  mode : Engine.mode;
+  body : unit -> unit;
+  mutation : bool;
+      (* true: deliberately broken variant, excluded from the default
+         suite; the CLI's mutation gate runs it expecting a violation *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Deque: multiset preservation and single-take.                       *)
+
+let sorted l = List.sort_uniq Int.compare l
+
+(* One element, owner pops while a thief steals: the top CAS must
+   arbitrate so exactly one of them gets it. *)
+let deque_pop_vs_steal () =
+  let d = DQ.create ~capacity:2 () in
+  DQ.push d 1;
+  let stolen = ref None in
+  let th = T.spawn (fun () -> (stolen := DQ.steal d) [@lint.racy_ok "single writer, read after join"]) in
+  let popped = DQ.pop d in
+  T.join th;
+  let got =
+    (match popped with Some x -> [ x ] | None -> [])
+    @ (match !stolen with Some x -> [ x ] | None -> [])
+  in
+  ensure (got = [ 1 ]) "single element must be taken exactly once"
+
+(* Owner pushes past capacity (buffer growth) while a thief steals
+   concurrently: every element is taken exactly once overall, by
+   whichever side. *)
+let deque_grow_during_steal () =
+  let d = DQ.create ~capacity:2 () in
+  DQ.push d 1;
+  DQ.push d 2;
+  let stolen = ref [] in
+  let th =
+    T.spawn
+      ((fun () ->
+         (match DQ.steal d with Some x -> stolen := x :: !stolen | None -> ());
+         match DQ.steal d with Some x -> stolen := x :: !stolen | None -> ())
+      [@lint.racy_ok "single writer, read after join"])
+  in
+  (* Capacity 2 is full: this push grows the buffer under the thief. *)
+  DQ.push d 3;
+  DQ.push d 4;
+  let popped = ref [] in
+  let rec drain () =
+    match DQ.pop d with
+    | Some x ->
+      popped := x :: !popped;
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  T.join th;
+  ensure
+    (sorted (!stolen @ !popped) = [ 1; 2; 3; 4 ])
+    "multiset not preserved across concurrent grow/steal/pop"
+
+(* ------------------------------------------------------------------ *)
+(* Race: at most one winner, stop implies decided-or-cancelled.        *)
+
+let race_unique_winner () =
+  let r = RC.create () in
+  let wins = Array.make 3 false in
+  let spawn_claim slot =
+    T.spawn (fun () -> (wins.(slot) <- RC.claim r slot) [@lint.racy_ok "per-fiber slot, read after join"])
+  in
+  let t0 = spawn_claim 0 in
+  let t1 = spawn_claim 1 in
+  let t2 = spawn_claim 2 in
+  T.join t0;
+  T.join t1;
+  T.join t2;
+  let winners = List.filter (fun s -> wins.(s)) [ 0; 1; 2 ] in
+  ensure (List.length winners = 1) "exactly one claim must win";
+  ensure (RC.winner r = List.hd winners) "winner slot must match the winning claim";
+  ensure (RC.stopped r) "a decided race must be stopped"
+
+let race_cancel_vs_claim () =
+  let r = RC.create () in
+  let won = ref false in
+  let canceller = T.spawn (fun () -> RC.cancel r) in
+  let claimant =
+    T.spawn (fun () -> (won := RC.claim r 1) [@lint.racy_ok "single writer, read after join"])
+  in
+  T.join canceller;
+  T.join claimant;
+  ensure (RC.stopped r) "cancel must leave the race stopped";
+  (* Cancellation does not decide the race: the sole claimant still
+     wins the slot, in every interleaving. *)
+  ensure !won "sole claim must succeed even against cancel";
+  ensure (RC.winner r = 1) "winner must be the sole claimant"
+
+(* ------------------------------------------------------------------ *)
+(* Pool protocol: completion barrier and the run/park handshake.       *)
+
+(* Two arrivers, one awaiter: await must always return — the classic
+   lost-wakeup shape (counter decremented outside the lock, broadcast
+   under it) is what is being checked. *)
+let barrier_no_lost_wakeup () =
+  let b = PP.Barrier.create 2 in
+  let t0 = T.spawn (fun () -> PP.Barrier.arrive b) in
+  let t1 = T.spawn (fun () -> PP.Barrier.arrive b) in
+  PP.Barrier.await b;
+  T.join t0;
+  T.join t1
+
+(* The regression scenario for the pool job-slot race: a worker runs
+   two back-to-back jobs, with the second assigned as soon as the
+   first's barrier arrives — i.e. while the worker may still be between
+   [f ()] and its re-lock.  With the production protocol every
+   interleaving completes; with [defer_job_clear:true] (the historical
+   bug, reverted behind the flag) the late [w.job <- None] can destroy
+   the second assignment and the checker finds the hang. *)
+let pool_handshake ~defer_job_clear () =
+  let w = PP.make_worker () in
+  let th = T.spawn (fun () -> PP.worker_loop ~defer_job_clear w) in
+  let hits = ref 0 in
+  let b1 = PP.Barrier.create 1 in
+  PP.assign w (fun () ->
+      (incr hits) [@lint.racy_ok "write ordered by the barrier it precedes"];
+      PP.Barrier.arrive b1);
+  PP.Barrier.await b1;
+  let b2 = PP.Barrier.create 1 in
+  PP.assign w (fun () ->
+      (incr hits) [@lint.racy_ok "write ordered by the barrier it precedes"];
+      PP.Barrier.arrive b2);
+  PP.Barrier.await b2;
+  ensure (!hits = 2) "both assigned jobs must have run";
+  PP.retire w;
+  T.join th
+
+(* Retire racing an in-flight assignment: the job must still run. *)
+let pool_retire_after_assign () =
+  let w = PP.make_worker () in
+  let th = T.spawn (fun () -> PP.worker_loop w) in
+  let hits = ref 0 in
+  let b = PP.Barrier.create 1 in
+  PP.assign w (fun () ->
+      (incr hits) [@lint.racy_ok "write ordered by the barrier it precedes"];
+      PP.Barrier.arrive b);
+  PP.retire w;
+  PP.Barrier.await b;
+  T.join th;
+  ensure (!hits = 1) "assigned job must run even when retire races it"
+
+(* ------------------------------------------------------------------ *)
+(* Telemetry ring core: registration race and overflow accounting.     *)
+
+let ring_register_race () =
+  let rc : int RG.t = RG.create ~capacity:2 () in
+  let writer v () =
+    let b = RG.fresh_buffer rc ~tid:v in
+    RG.register rc b;
+    RG.record b v
+  in
+  let t1 = T.spawn (writer 1) in
+  let t2 = T.spawn (writer 2) in
+  T.join t1;
+  T.join t2;
+  ensure (sorted (RG.drain rc) = [ 1; 2 ]) "concurrent registration lost a buffer"
+
+let ring_overflow_conservation () =
+  let rc : int RG.t = RG.create ~capacity:2 () in
+  let total = 5 in
+  let th =
+    T.spawn (fun () ->
+        let b = RG.fresh_buffer rc ~tid:0 in
+        RG.register rc b;
+        for i = 1 to total do
+          RG.record b i
+        done)
+  in
+  T.join th;
+  let kept = RG.drain rc in
+  ensure
+    (List.length kept + RG.dropped rc = total)
+    "kept + dropped must equal records written";
+  ensure (sorted kept = [ 4; 5 ]) "overflow must drop oldest-first";
+  (* Epoch flip orphans the ring: nothing left to drain or count. *)
+  RG.new_epoch rc;
+  ensure (RG.drain rc = [] && RG.dropped rc = 0) "stale buffers must not leak across epochs"
+
+(* ------------------------------------------------------------------ *)
+
+let exhaustive = Exhaustive { preemptions = None }
+
+let all : t list =
+  [
+    {
+      name = "deque-pop-vs-steal";
+      descr = "single element: owner pop vs thief steal, exactly one take";
+      mode = exhaustive;
+      body = deque_pop_vs_steal;
+      mutation = false;
+    };
+    {
+      name = "deque-grow-during-steal";
+      descr = "buffer growth under concurrent steals preserves the multiset";
+      mode = Exhaustive { preemptions = Some 3 };
+      body = deque_grow_during_steal;
+      mutation = false;
+    };
+    {
+      name = "race-unique-winner";
+      descr = "three concurrent claims: exactly one wins, stop raised";
+      mode = exhaustive;
+      body = race_unique_winner;
+      mutation = false;
+    };
+    {
+      name = "race-cancel-vs-claim";
+      descr = "cancel racing a claim: stopped either way, claim still decides";
+      mode = exhaustive;
+      body = race_cancel_vs_claim;
+      mutation = false;
+    };
+    {
+      name = "barrier-no-lost-wakeup";
+      descr = "outside-lock decrement + under-lock broadcast never loses the wakeup";
+      mode = exhaustive;
+      body = barrier_no_lost_wakeup;
+      mutation = false;
+    };
+    {
+      name = "pool-handshake";
+      descr = "two back-to-back jobs through the park/assign handshake";
+      mode = exhaustive;
+      body = pool_handshake ~defer_job_clear:false;
+      mutation = false;
+    };
+    {
+      name = "pool-retire-after-assign";
+      descr = "retire racing an in-flight assignment still runs the job";
+      mode = exhaustive;
+      body = pool_retire_after_assign;
+      mutation = false;
+    };
+    {
+      name = "ring-register-race";
+      descr = "concurrent CAS-cons registrations both land";
+      mode = exhaustive;
+      body = ring_register_race;
+      mutation = false;
+    };
+    {
+      name = "ring-overflow-conservation";
+      descr = "ring overflow drops oldest-first and counts every drop";
+      mode = exhaustive;
+      body = ring_overflow_conservation;
+      mutation = false;
+    };
+    {
+      name = "pool-defer-clear";
+      descr =
+        "MUTATION: job slot cleared after the job (the reverted PR-6 bug) — must hang";
+      mode = exhaustive;
+      body = pool_handshake ~defer_job_clear:true;
+      mutation = true;
+    };
+  ]
+
+let find name = List.find_opt (fun s -> s.name = name) all

@@ -1,0 +1,19 @@
+(** The model-checked scenarios: closed concurrent programs over the
+    instrumented instantiations of {!Prelude.Deque}, {!Prelude.Race},
+    {!Csp2.Pool_proto} and {!Telemetry.Ringcore}, each asserting the
+    invariant its production call site relies on.  See DESIGN.md §10
+    for the catalogue and the per-scenario exploration mode. *)
+
+type t = {
+  name : string;
+  descr : string;
+  mode : Engine.mode;
+  body : unit -> unit;
+  mutation : bool;
+      (** deliberately broken variant: excluded from the default suite,
+          run only by the CLI's mutation gate, which {e expects} the
+          checker to find a violation *)
+}
+
+val all : t list
+val find : string -> t option

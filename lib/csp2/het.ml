@@ -30,7 +30,7 @@ let solve ?(heuristic = Heuristic.DC) ?(budget = Timer.unlimited) ~platform ts =
     Array.map
       (fun (j : Windows.job) ->
         let slots = Array.copy j.slots in
-        Array.sort compare slots;
+        Array.sort Int.compare slots;
         { j with Windows.slots })
       jobs
   in
@@ -38,7 +38,8 @@ let solve ?(heuristic = Heuristic.DC) ?(budget = Timer.unlimited) ~platform ts =
   let proc_order = Array.init m Fun.id in
   let quality = Array.init m (fun p -> Platform.quality platform ts ~proc:p) in
   Array.sort
-    (fun a b -> if quality.(a) <> quality.(b) then compare quality.(a) quality.(b) else compare a b)
+    (fun a b ->
+      if quality.(a) <> quality.(b) then Float.compare quality.(a) quality.(b) else Int.compare a b)
     proc_order;
   (* Value order per task: few eligible processors first, then heuristic. *)
   let eligible_count =
@@ -48,14 +49,15 @@ let solve ?(heuristic = Heuristic.DC) ?(budget = Timer.unlimited) ~platform ts =
   let task_order = Array.init n Fun.id in
   Array.sort
     (fun a b ->
-      if eligible_count.(a) <> eligible_count.(b) then compare eligible_count.(a) eligible_count.(b)
-      else if hrank.(a) <> hrank.(b) then compare hrank.(a) hrank.(b)
-      else compare a b)
+      if eligible_count.(a) <> eligible_count.(b) then
+        Int.compare eligible_count.(a) eligible_count.(b)
+      else if hrank.(a) <> hrank.(b) then Int.compare hrank.(a) hrank.(b)
+      else Int.compare a b)
     task_order;
   let max_rate =
     Array.init n (fun i ->
         List.fold_left
-          (fun acc p -> max acc (Platform.rate platform ~task:i ~proc:p))
+          (fun acc p -> Int.max acc (Platform.rate platform ~task:i ~proc:p))
           0
           (Platform.eligible_processors platform ~task:i))
   in

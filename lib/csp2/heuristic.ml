@@ -33,7 +33,7 @@ let order t ts =
   let ids = Array.init n Fun.id in
   let cmp a b =
     let ka = key t (Taskset.task ts a) and kb = key t (Taskset.task ts b) in
-    if ka <> kb then compare ka kb else compare a b
+    if ka <> kb then Int.compare ka kb else Int.compare a b
   in
   Array.sort cmp ids;
   ids

@@ -860,8 +860,12 @@ let solve_parallel ?(heuristic = Heuristic.DC) ?(budget = Timer.unlimited) ?doma
          it. *)
       force_elig cx ~from:0;
       let hard_split = Intmath.clamp ~lo:split ~hi:(cx.horizon - 1) (split + 4) in
-      let stop = Atomic.make false in
-      let worker_budget = Timer.with_stop budget stop in
+      (* The stop/winner pair is a [Prelude.Race]: the first worker to
+         find a schedule claims it (one CAS), raises the shared stop
+         flag, and — being the unique claimant — writes [solution] as
+         its sole writer. *)
+      let race = Race.create () in
+      let worker_budget = Timer.with_stop budget (Race.flag race) in
       s0.budget <- worker_budget;
       let solution : Schedule.t option Atomic.t = Atomic.make None in
       (* Items not yet fully processed; [Infeasible] requires it to reach
@@ -936,13 +940,13 @@ let solve_parallel ?(heuristic = Heuristic.DC) ?(budget = Timer.unlimited) ?doma
                 List.iter (Deque.push my) !children
               end
             | R_stopped ->
-              limited.(wid) <- true;
+              (limited.(wid) <- true) [@lint.racy_ok "per-worker slot, read after join"];
               running := false
             | R_feasible -> assert false (* stop_time < horizon *));
             ignore (Atomic.fetch_and_add pending (-1))
           end
           else begin
-            subtrees.(wid) <- subtrees.(wid) + 1;
+            (subtrees.(wid) <- subtrees.(wid) + 1) [@lint.racy_ok "per-worker slot, read after join"];
             load_item s it;
             (match
                search_loop s ~start:it.w_time ~stop_time:cx.horizon
@@ -952,12 +956,11 @@ let solve_parallel ?(heuristic = Heuristic.DC) ?(budget = Timer.unlimited) ?doma
               let sched =
                 build_schedule s ~prefix:it.w_prefix ~depth:(cx.horizon - it.w_time)
               in
-              if Atomic.compare_and_set solution None (Some sched) then
-                Atomic.set stop true;
+              if Race.claim race wid then Atomic.set solution (Some sched);
               running := false
             | R_exhausted -> ()
             | R_stopped ->
-              limited.(wid) <- true;
+              (limited.(wid) <- true) [@lint.racy_ok "per-worker slot, read after join"];
               running := false);
             ignore (Atomic.fetch_and_add pending (-1))
           end
@@ -965,17 +968,17 @@ let solve_parallel ?(heuristic = Heuristic.DC) ?(budget = Timer.unlimited) ?doma
         let backoff = ref 0 in
         Fun.protect
           ~finally:(fun () ->
-            slices.(wid) <- Some (slice_of s);
+            (slices.(wid) <- Some (slice_of s)) [@lint.racy_ok "per-worker slot, read after join"];
             if wid <> 0 then release s)
         @@ fun () ->
         try
           while !running do
-            if Atomic.get stop || Timer.cancelled worker_budget then running := false
+            if Race.stopped race || Timer.cancelled worker_budget then running := false
             else
               match Deque.pop my with
               | Some it ->
                 backoff := 0;
-                pulls.(wid) <- pulls.(wid) + 1;
+                (pulls.(wid) <- pulls.(wid) + 1) [@lint.racy_ok "per-worker slot, read after join"];
                 process it
               | None ->
                 if Atomic.get pending = 0 then running := false
@@ -988,7 +991,8 @@ let solve_parallel ?(heuristic = Heuristic.DC) ?(budget = Timer.unlimited) ?doma
                   match Deque.steal deques.(victim) with
                   | Some it ->
                     backoff := 0;
-                    steals.(wid) <- steals.(wid) + 1;
+                    (steals.(wid) <- steals.(wid) + 1)
+                    [@lint.racy_ok "per-worker slot, read after join"];
                     if Telemetry.enabled () then
                       Telemetry.instant "csp2-opt.steal"
                         ~args:
@@ -1004,7 +1008,8 @@ let solve_parallel ?(heuristic = Heuristic.DC) ?(budget = Timer.unlimited) ?doma
                          oversubscribed boxes, where a spinning thief
                          would steal the OS slice from the worker it is
                          waiting on. *)
-                      parks.(wid) <- parks.(wid) + 1;
+                      (parks.(wid) <- parks.(wid) + 1)
+                      [@lint.racy_ok "per-worker slot, read after join"];
                       backoff := 0;
                       Unix.sleepf 5e-5
                     end
@@ -1015,7 +1020,7 @@ let solve_parallel ?(heuristic = Heuristic.DC) ?(budget = Timer.unlimited) ?doma
           (* A crashing worker (an armed failpoint, a genuine bug) must
              not leave its siblings spinning on [pending]: abort the
              race, then let {!Pool.run} re-raise on the caller. *)
-          Atomic.set stop true;
+          Race.cancel race;
           raise e
       in
       Pool.run ~jobs:workers worker;

@@ -1,45 +1,24 @@
 (* A parked-domain pool: spawn once, hand out per [run], park again.
 
-   Each worker owns a mutex/condvar pair and a job slot; assignment and
-   completion both go through the slot, so a worker touches no global
-   state while running.  The free list is a plain mutex-protected stack —
-   it is only touched at run boundaries (milliseconds apart), never on a
-   solver hot path. *)
+   The synchronization protocol (park/assign handshake, completion
+   barrier) lives in Pool_proto, functorized over the primitives so the
+   model checker can explore it; this module is pool *policy*: the
+   production instantiation, the free list, spawn accounting, failpoint
+   scope propagation, and exception collection.  The free list is a
+   plain mutex-protected stack — it is only touched at run boundaries
+   (milliseconds apart), never on a solver hot path. *)
 
-type worker = {
-  lock : Mutex.t;
-  cond : Condition.t;
-  mutable job : (unit -> unit) option;
-  mutable quit : bool;
-}
+open Prelude
+
+module Proto = Pool_proto.Make (Sync.Native)
 
 let pool_lock = Mutex.create ()
-let free : worker list ref = ref []
+let free : Proto.worker list ref = ref []
 let spawned : unit Domain.t list ref = ref []
 let spawn_count = ref 0
 let exit_hook_installed = ref false
 
 let spawned_count () = Mutex.protect pool_lock (fun () -> !spawn_count)
-
-let worker_loop w =
-  Mutex.lock w.lock;
-  let rec park () =
-    match w.job with
-    | Some f ->
-      (* Claim the job — clear the slot BEFORE dropping the lock.  The
-         completion counter a job decrements is what lets the caller
-         release this worker, so the next [run] can assign a fresh job
-         while we are still between [f ()] and re-locking; a deferred
-         [w.job <- None] here would silently destroy that assignment
-         (and hang its caller waiting on a completion that never comes). *)
-      w.job <- None;
-      Mutex.unlock w.lock;
-      f ();
-      Mutex.lock w.lock;
-      park ()
-    | None -> if w.quit then Mutex.unlock w.lock else (Condition.wait w.cond w.lock; park ())
-  in
-  park ()
 
 (* Stop and join every pooled domain.  Registered [at_exit] on first
    spawn; joining an idle worker is immediate, and a worker still running
@@ -51,12 +30,7 @@ let shutdown () =
         let ws = !free and doms = !spawned in
         free := [];
         spawned := [];
-        List.iter
-          (fun w ->
-            Mutex.protect w.lock (fun () ->
-                w.quit <- true;
-                Condition.signal w.cond))
-          ws;
+        List.iter Proto.retire ws;
         doms)
   in
   List.iter Domain.join doms
@@ -73,10 +47,8 @@ let acquire n =
           match fl with
           | w :: rest -> take (k - 1) (w :: acc) rest
           | [] ->
-            let w =
-              { lock = Mutex.create (); cond = Condition.create (); job = None; quit = false }
-            in
-            spawned := Domain.spawn (fun () -> worker_loop w) :: !spawned;
+            let w = Proto.make_worker () in
+            spawned := Domain.spawn (fun () -> Proto.worker_loop w) :: !spawned;
             spawn_count := !spawn_count + 1;
             take (k - 1) (w :: acc) []
       in
@@ -85,11 +57,6 @@ let acquire n =
       ws)
 
 let release ws = Mutex.protect pool_lock (fun () -> free := List.rev_append ws !free)
-
-let assign w f =
-  Mutex.protect w.lock (fun () ->
-      w.job <- Some f;
-      Condition.signal w.cond)
 
 let run ~jobs fn =
   if jobs <= 1 then fn 0
@@ -108,24 +75,17 @@ let run ~jobs fn =
       in
       go ()
     in
-    let remaining = Atomic.make n in
-    let done_lock = Mutex.create () in
-    let done_cond = Condition.create () in
+    let barrier = Proto.Barrier.create n in
     List.iteri
       (fun i w ->
         let wid = i + 1 in
-        assign w (fun () ->
+        Proto.assign w (fun () ->
             (try if scoped then Resilience.Failpoint.with_scope (fun () -> fn wid) else fn wid
              with e -> record e);
-            if Atomic.fetch_and_add remaining (-1) = 1 then
-              Mutex.protect done_lock (fun () -> Condition.broadcast done_cond)))
+            Proto.Barrier.arrive barrier))
       workers;
     let caller_exn = match fn 0 with () -> None | exception e -> Some e in
-    Mutex.lock done_lock;
-    while Atomic.get remaining > 0 do
-      Condition.wait done_cond done_lock
-    done;
-    Mutex.unlock done_lock;
+    Proto.Barrier.await barrier;
     release workers;
     match caller_exn with
     | Some e -> raise e

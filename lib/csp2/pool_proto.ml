@@ -1,0 +1,96 @@
+(* The pool's job-slot protocol and completion barrier, as a functor.
+
+   Extracted from Pool so the parts that can deadlock — the park/assign
+   handshake on the per-worker mutex/condvar, and the run-boundary
+   completion barrier — are expressed once over abstract primitives.
+   Production (Pool) instantiates the stdlib primitives; the model
+   checker (lib/check) instantiates instrumented shims and explores the
+   interleavings of assign/park/arrive/await exhaustively.
+
+   [defer_job_clear] re-instates, behind a test-only flag, the exact bug
+   this protocol shipped with and was fixed for: clearing the job slot
+   after [f ()] on re-lock instead of before unlock.  The completion
+   barrier a job arrives at is what releases the worker to the next
+   [run]; with the deferred clear, a fresh assignment landing between
+   [f ()] and the re-lock is silently destroyed — the worker parks, the
+   new caller waits forever.  The checker must (and does) find that
+   hang; production never passes the flag. *)
+
+open Prelude
+
+module Make (P : Sync.PRIMS) = struct
+  type worker = {
+    lock : P.Mutex.t;
+    cond : P.Condition.t;
+    mutable job : (unit -> unit) option;
+    mutable quit : bool;
+  }
+
+  let protect m f = Sync.protect (module P.Mutex) m f
+
+  let make_worker () =
+    { lock = P.Mutex.create (); cond = P.Condition.create (); job = None; quit = false }
+
+  let worker_loop ?(defer_job_clear = false) w =
+    P.Mutex.lock w.lock;
+    let rec park () =
+      match w.job with
+      | Some f ->
+        (* Claim the job — clear the slot BEFORE dropping the lock.  The
+           barrier [f] arrives at is what lets the caller release this
+           worker, so the next [run] can assign a fresh job while we are
+           still between [f ()] and re-locking; the deferred clear below
+           (mutation only) silently destroys that assignment. *)
+        if not defer_job_clear then w.job <- None;
+        P.Mutex.unlock w.lock;
+        f ();
+        P.Mutex.lock w.lock;
+        if defer_job_clear then w.job <- None;
+        park ()
+      | None ->
+        if w.quit then P.Mutex.unlock w.lock
+        else begin
+          P.Condition.wait w.cond w.lock;
+          park ()
+        end
+    in
+    park ()
+
+  let assign w f =
+    protect w.lock (fun () ->
+        w.job <- Some f;
+        P.Condition.signal w.cond)
+
+  let retire w =
+    protect w.lock (fun () ->
+        w.quit <- true;
+        P.Condition.signal w.cond)
+
+  (* Completion barrier for one [run]: [arrive] is called once per job
+     off the worker's hot path; [await] blocks the caller until every
+     job has arrived.  The counter is decremented OUTSIDE the lock (one
+     atomic op per job), but the broadcast happens under it and [await]
+     re-checks the counter under it before every wait — the classic
+     no-lost-wakeup shape the checker verifies. *)
+  module Barrier = struct
+    type t = {
+      remaining : int P.Atomic.t;
+      lock : P.Mutex.t;
+      cond : P.Condition.t;
+    }
+
+    let create n =
+      { remaining = P.Atomic.make n; lock = P.Mutex.create (); cond = P.Condition.create () }
+
+    let arrive t =
+      if P.Atomic.fetch_and_add t.remaining (-1) = 1 then
+        protect t.lock (fun () -> P.Condition.broadcast t.cond)
+
+    let await t =
+      P.Mutex.lock t.lock;
+      while P.Atomic.get t.remaining > 0 do
+        P.Condition.wait t.cond t.lock
+      done;
+      P.Mutex.unlock t.lock
+  end
+end

@@ -1,0 +1,65 @@
+(** The worker-pool synchronization protocol, separated from pool
+    {e policy} (free lists, spawn accounting, failpoint scoping — all of
+    which stay in {!Pool}).
+
+    What lives here is exactly the part that can deadlock or lose a
+    wakeup: the per-worker park/assign handshake and the per-[run]
+    completion barrier.  It is a functor over {!Prelude.Sync.PRIMS} so
+    the model checker in [lib/check] runs the {e same} protocol code
+    over instrumented primitives and explores its interleavings;
+    {!Pool} instantiates it over [Sync.Native] at zero cost.
+
+    Protocol invariants (model-checked):
+    - every assigned job runs exactly once, in assignment order per
+      worker;
+    - a worker holding no job and not retired is parked in
+      [Condition.wait] — never spinning, never exited;
+    - [Barrier.await] returns iff every job [arrive]d: no lost wakeup
+      between the outside-the-lock counter decrement and the
+      under-the-lock broadcast;
+    - [retire] terminates the loop even when racing an in-flight
+      assignment (the job still runs first). *)
+
+module Make (P : Prelude.Sync.PRIMS) : sig
+  type worker = {
+    lock : P.Mutex.t;
+    cond : P.Condition.t;
+    mutable job : (unit -> unit) option;
+    mutable quit : bool;
+  }
+
+  val make_worker : unit -> worker
+
+  val worker_loop : ?defer_job_clear:bool -> worker -> unit
+  (** The body a worker domain runs until {!retire}: park on the
+      condvar, run each assigned job with the lock dropped, clear the
+      slot {e before} dropping the lock.
+
+      [defer_job_clear] (default [false]; test-only, never set by
+      production code) re-instates the historical bug where the slot was
+      cleared {e after} the job on re-lock, destroying any assignment
+      that landed while the job ran.  The model checker's mutation gate
+      flips it to prove the checker catches the resulting hang. *)
+
+  val assign : worker -> (unit -> unit) -> unit
+  (** Hand a parked worker its next job and wake it.  The caller must
+      own the worker (in {!Pool}: have it off the free list) — the slot
+      holds one job, and assigning over an unclaimed one is a protocol
+      violation this signature cannot express (the checker's scenarios
+      only assign to workers whose previous job has arrived at the
+      barrier, mirroring [Pool.run]). *)
+
+  val retire : worker -> unit
+  (** Tell the worker to exit once its slot is empty; idempotent. *)
+
+  (** Completion barrier for one [run]: created at [n] outstanding jobs,
+      each job {!Barrier.arrive}s exactly once, the caller
+      {!Barrier.await}s all of them. *)
+  module Barrier : sig
+    type t
+
+    val create : int -> t
+    val arrive : t -> unit
+    val await : t -> unit
+  end
+end

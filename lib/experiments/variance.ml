@@ -34,7 +34,7 @@ let run ?(instances = 10) ?(seeds = 20) (config : Config.t) =
     done;
     (* Keep instances where randomness matters: at least one quick seed. *)
     if !overruns < seeds then begin
-      Array.sort compare times;
+      Array.sort Float.compare times;
       let dc = List.nth Runner.csp2_variants 4 in
       let reference = Runner.run_one dc ts ~m ~limit_s:config.Config.limit_s ~seed:0 in
       rows :=

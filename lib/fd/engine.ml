@@ -75,8 +75,8 @@ let new_var_of t ?name vals =
   match vals with
   | [] -> invalid_arg "Engine.new_var_of: empty domain"
   | first :: rest ->
-    let lo = List.fold_left min first rest in
-    let hi = List.fold_left max first rest in
+    let lo = List.fold_left Int.min first rest in
+    let hi = List.fold_left Int.max first rest in
     let v = new_var t ?name ~lo ~hi () in
     Bitset.remove_below v.dom 0;
     (* Start empty, then add the requested values. *)

@@ -178,7 +178,7 @@ let solve ?(seed = 0) ?(noise = 0.08) ?(budget = Timer.unlimited) ?restart_every
       if c > 0 then Unsat.add st.unsat g)
     wcet_of_job;
   let restart_every =
-    match restart_every with Some r -> r | None -> max 1000 (20 * m * horizon)
+    match restart_every with Some r -> r | None -> Int.max 1000 (20 * m * horizon)
   in
   let iterations = ref 0 in
   let restarts = ref 0 in
@@ -289,7 +289,7 @@ let solve ?(seed = 0) ?(noise = 0.08) ?(budget = Timer.unlimited) ?restart_every
   done;
   let outcome = match !result with Some o -> o | None -> assert false in
   ( outcome,
-    { iterations = !iterations; restarts = !restarts; best_cost = min !best_cost st.cost;
+    { iterations = !iterations; restarts = !restarts; best_cost = Int.min !best_cost st.cost;
       time_s = Timer.elapsed t0 } )
 
 let to_stats ~backend (st : stats) =

@@ -12,7 +12,7 @@ let transform ts =
   for i = 0 to n - 1 do
     let task = Taskset.task ts i in
     let k = Prelude.Intmath.cdiv task.deadline task.period in
-    let k = max k 1 in
+    let k = Int.max k 1 in
     for i' = 0 to k - 1 do
       let clone =
         Task.make

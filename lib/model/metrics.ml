@@ -16,7 +16,7 @@ let analyze ts sched =
   let busy = Schedule.busy_slots sched in
   let max_par = ref 0 in
   for time = 0 to horizon - 1 do
-    max_par := max !max_par (List.length (Schedule.tasks_at sched ~time))
+    max_par := Int.max !max_par (List.length (Schedule.tasks_at sched ~time))
   done;
   let preemptions = ref 0 in
   let migrations = ref 0 in

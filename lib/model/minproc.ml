@@ -20,4 +20,4 @@ let min_processors_feasible ?(start = 1) ~solve ts ~max_m =
         let first_limit = match first_limit with None -> Some m | some -> some in
         go (m + 1) first_limit
   in
-  go (max start (Taskset.min_processors ts)) None
+  go (Int.max start (Taskset.min_processors ts)) None

@@ -36,7 +36,7 @@ let tasks_at t ~time =
       let v = row.(slot) in
       if v <> idle then Hashtbl.replace seen v ())
     t.cells;
-  List.sort Stdlib.compare (Hashtbl.fold (fun k () acc -> k :: acc) seen [])
+  List.sort Int.compare (Hashtbl.fold (fun k () acc -> k :: acc) seen [])
 
 let proc_of_task_at t ~task ~time =
   let slot = Prelude.Intmath.imod time t.horizon in
@@ -106,7 +106,7 @@ let segments t =
 
 let pp_gantt ppf t =
   let segs = segments t in
-  let tasks = List.sort_uniq compare (List.map (fun s -> s.task) segs) in
+  let tasks = List.sort_uniq Int.compare (List.map (fun s -> s.task) segs) in
   Format.fprintf ppf "@[<v>";
   List.iter
     (fun task ->
@@ -115,7 +115,10 @@ let pp_gantt ppf t =
         (fun s ->
           if s.task = task then
             Format.fprintf ppf " [P%d %d-%d]" (s.proc + 1) s.start (s.start + s.len - 1))
-        (List.sort (fun a b -> compare (a.start, a.proc) (b.start, b.proc)) segs);
+        (List.sort
+           (fun a b ->
+             match Int.compare a.start b.start with 0 -> Int.compare a.proc b.proc | c -> c)
+           segs);
       Format.fprintf ppf "@,")
     tasks;
   Format.fprintf ppf "@]"

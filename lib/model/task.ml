@@ -10,7 +10,7 @@ let make ?(id = 0) ~offset ~wcet ~deadline ~period () =
 let with_id t id = { t with id }
 let is_constrained t = t.deadline <= t.period
 let utilization t = float_of_int t.wcet /. float_of_int t.period
-let density t = float_of_int t.wcet /. float_of_int (min t.deadline t.period)
+let density t = float_of_int t.wcet /. float_of_int (Int.min t.deadline t.period)
 let laxity t = t.deadline - t.wcet
 let release t k = t.offset + (k * t.period)
 let abs_deadline t k = release t k + t.deadline
@@ -19,7 +19,19 @@ let equal a b =
   a.id = b.id && a.offset = b.offset && a.wcet = b.wcet && a.deadline = b.deadline
   && a.period = b.period
 
-let compare = Stdlib.compare
+let compare a b =
+  match Int.compare a.id b.id with
+  | 0 -> (
+    match Int.compare a.offset b.offset with
+    | 0 -> (
+      match Int.compare a.wcet b.wcet with
+      | 0 -> (
+        match Int.compare a.deadline b.deadline with
+        | 0 -> Int.compare a.period b.period
+        | c -> c)
+      | c -> c)
+    | c -> c)
+  | c -> c
 
 let pp ppf t =
   Format.fprintf ppf "τ%d(O=%d,C=%d,D=%d,T=%d)" (t.id + 1) t.offset t.wcet t.deadline t.period

@@ -192,14 +192,14 @@ let solve ?(specs = default_specs) ?jobs ?(budget = Timer.unlimited) ?(seed = 0)
     in
     Intmath.clamp ~lo:1 ~hi:n requested
   in
-  (* One shared stop flag: the first decisive arm raises it, every other
-     arm observes it through its budget poll and returns [Limit].  The
-     arms otherwise inherit the caller's wall/node limits, and — because
-     [Timer.with_stop] demotes the caller's own flag to a watched one —
-     an external [Timer.cancel] on [budget] still stops every arm. *)
-  let stop = Atomic.make false in
-  let arm_budget = Timer.with_stop budget stop in
-  let winner = Atomic.make (-1) in
+  (* One shared race: the first decisive arm claims the winner slot and
+     raises the stop flag; every other arm observes the flag through its
+     budget poll and returns [Limit].  The arms otherwise inherit the
+     caller's wall/node limits, and — because [Timer.with_stop] demotes
+     the caller's own flag to a watched one — an external [Timer.cancel]
+     on [budget] still stops every arm. *)
+  let race = Race.create () in
+  let arm_budget = Timer.with_stop budget (Race.flag race) in
   let reports = Array.make (2 * n) None in
   (* A mutex-protected queue instead of a bare fetch-and-add index: a
      crashed or stalled arm can re-enqueue its (single) degraded retry,
@@ -235,7 +235,7 @@ let solve ?(specs = default_specs) ?jobs ?(budget = Timer.unlimited) ?(seed = 0)
       | Csp2 _ | Local_search -> None
   in
   let maybe_retry j =
-    if (not (Atomic.get stop)) && not (Timer.cancelled arm_budget) then
+    if (not (Race.stopped race)) && not (Timer.cancelled arm_budget) then
       Option.iter push (retry_of j)
   in
   let run_job j =
@@ -264,11 +264,8 @@ let solve ?(specs = default_specs) ?jobs ?(budget = Timer.unlimited) ?(seed = 0)
     match protected with
     | Ok (outcome, stats) ->
       let stalled = match cell with Some c -> Resilience.Watchdog.stalled c | None -> false in
-      let won =
-        Encodings.Outcome.is_decided outcome && Atomic.compare_and_set winner (-1) j.j_slot
-      in
-      if won then Atomic.set stop true;
-      reports.(j.j_slot) <-
+      let won = Encodings.Outcome.is_decided outcome && Race.claim race j.j_slot in
+      (reports.(j.j_slot) <-
         Some
           {
             name;
@@ -276,13 +273,14 @@ let solve ?(specs = default_specs) ?jobs ?(budget = Timer.unlimited) ?(seed = 0)
             stats;
             winner = won;
             status = (if stalled then Stalled else Ran);
-          };
+          })
+      [@lint.racy_ok "slot is owned by this arm, read after the pool joins"];
       (* A memory-starved csp2-opt arm degrades like a crashed one. *)
       (match (outcome, j.j_spec) with
       | Encodings.Outcome.Memout _, Csp2_opt _ when not won -> maybe_retry j
       | _ -> ())
     | Error crash ->
-      reports.(j.j_slot) <-
+      (reports.(j.j_slot) <-
         Some
           {
             name;
@@ -290,12 +288,13 @@ let solve ?(specs = default_specs) ?jobs ?(budget = Timer.unlimited) ?(seed = 0)
             stats = Telemetry.Stats.make ~backend:name ();
             winner = false;
             status = Crashed (Resilience.Supervise.crash_message crash);
-          };
+          })
+      [@lint.racy_ok "slot is owned by this arm, read after the pool joins"];
       maybe_retry j
   in
   let worker () =
     let rec loop () =
-      if not (Atomic.get stop) then
+      if not (Race.stopped race) then
         match pop () with
         | None -> ()
         | Some j ->
@@ -341,7 +340,7 @@ let solve ?(specs = default_specs) ?jobs ?(budget = Timer.unlimited) ?(seed = 0)
         backends)
     backends;
   let verdict, winner_name =
-    match Atomic.get winner with
+    match Race.winner race with
     | -1 ->
       (* Nobody decided.  Prefer reporting [Limit] over a backend-specific
          [Memout]: some arm was cut short by the budget. *)

@@ -27,7 +27,7 @@ let render t =
   let widths = Array.of_list (List.map String.length t.headers) in
   let widen = function
     | Sep -> ()
-    | Cells cs -> List.iteri (fun i c -> widths.(i) <- max widths.(i) (String.length c)) cs
+    | Cells cs -> List.iteri (fun i c -> widths.(i) <- Int.max widths.(i) (String.length c)) cs
   in
   List.iter widen rows;
   let buf = Buffer.create 256 in

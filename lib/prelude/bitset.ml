@@ -8,7 +8,7 @@ let words_for capacity = (capacity + 63) / 64
 
 let create capacity =
   if capacity < 0 then invalid_arg "Bitset.create";
-  { capacity; words = Bytes.make (8 * max 1 (words_for capacity)) '\000' }
+  { capacity; words = Bytes.make (8 * Int.max 1 (words_for capacity)) '\000' }
 
 let capacity t = t.capacity
 let nwords t = words_for t.capacity
@@ -100,7 +100,7 @@ let max_elt t =
 
 let next_from t v =
   if v >= t.capacity then raise Not_found;
-  let v = max v 0 in
+  let v = Int.max v 0 in
   let i0 = v lsr 6 in
   let first = Int64.shift_right_logical (get_word t i0) (v land 63) in
   if first <> 0L then v + ctz64 first
@@ -146,7 +146,7 @@ let inter_inplace a b =
 let remove_below t bound =
   let bound = Intmath.clamp ~lo:0 ~hi:t.capacity bound in
   let full_words = bound lsr 6 in
-  for i = 0 to min (full_words - 1) (nwords t - 1) do
+  for i = 0 to Int.min (full_words - 1) (nwords t - 1) do
     set_word t i 0L
   done;
   let rem = bound land 63 in
@@ -157,7 +157,7 @@ let remove_below t bound =
 
 let remove_above t bound =
   if bound < t.capacity - 1 then begin
-    let bound = max bound (-1) in
+    let bound = Int.max bound (-1) in
     let first_dead = bound + 1 in
     let word = first_dead lsr 6 in
     let rem = first_dead land 63 in

@@ -9,7 +9,7 @@ let get t i =
 let set t i b =
   if i < 0 then invalid_arg "Bool_vec.set";
   if i >= Bytes.length t.data then begin
-    let bigger = Bytes.make (max (2 * Bytes.length t.data) (i + 1)) '\000' in
+    let bigger = Bytes.make (Int.max (2 * Bytes.length t.data) (i + 1)) '\000' in
     Bytes.blit t.data 0 bigger 0 (Bytes.length t.data);
     t.data <- bigger
   end;

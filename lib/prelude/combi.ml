@@ -22,7 +22,7 @@ let next ~n c = next_k ~n ~k:(Array.length c) c
 let count ~n ~k =
   if k < 0 || k > n then 0
   else begin
-    let k = min k (n - k) in
+    let k = Int.min k (n - k) in
     let acc = ref 1 in
     (try
        for i = 1 to k do

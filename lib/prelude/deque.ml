@@ -19,84 +19,103 @@
      owner/thief race, and the CAS on [top] arbitrates it);
    - [steal] reads [top] before [bottom]; a stale [bottom] can only
      make the deque look emptier than it is (a lost steal, never a
-     duplicated element). *)
+     duplicated element).
 
-type 'a t = {
-  top : int Atomic.t;
-  bottom : int Atomic.t;
-  buf : 'a option Atomic.t array Atomic.t;
-}
+   The whole module is a functor over the atomic implementation: the
+   production instantiation (bottom of the file) is [Stdlib.Atomic]
+   verbatim, while lib/check instantiates an instrumented shim and
+   model-checks these orderings instead of trusting the comment above. *)
 
-let rec pow2 n p = if p >= n then p else pow2 n (2 * p)
+module type S = sig
+  type 'a t
 
-let create ?(capacity = 64) () =
-  let size = pow2 (Int.max 16 capacity) 16 in
-  {
-    top = Atomic.make 0;
-    bottom = Atomic.make 0;
-    buf = Atomic.make (Array.init size (fun _ -> Atomic.make None));
+  val create : ?capacity:int -> unit -> 'a t
+  val push : 'a t -> 'a -> unit
+  val pop : 'a t -> 'a option
+  val steal : 'a t -> 'a option
+  val size : 'a t -> int
+end
+
+module Make (A : Sync.ATOMIC) = struct
+  type 'a t = {
+    top : int A.t;
+    bottom : int A.t;
+    buf : 'a option A.t array A.t;
   }
 
-(* Owner only.  Copy the live region [t0, b) into a buffer twice the
-   size and publish it; thieves still holding the old buffer read the
-   same values there (cells are never cleared by [grow]), and their CAS
-   on [top] remains the single synchronization point. *)
-let grow t a ~top:t0 ~bottom:b =
-  let old_mask = Array.length a - 1 in
-  let size = 2 * (old_mask + 1) in
-  let mask = size - 1 in
-  let bigger = Array.init size (fun _ -> Atomic.make None) in
-  for i = t0 to b - 1 do
-    Atomic.set bigger.(i land mask) (Atomic.get a.(i land old_mask))
-  done;
-  Atomic.set t.buf bigger;
-  bigger
+  let rec pow2 n p = if p >= n then p else pow2 n (2 * p)
 
-let push t x =
-  let b = Atomic.get t.bottom in
-  let tp = Atomic.get t.top in
-  let a = Atomic.get t.buf in
-  let a = if b - tp >= Array.length a then grow t a ~top:tp ~bottom:b else a in
-  Atomic.set a.(b land (Array.length a - 1)) (Some x);
-  Atomic.set t.bottom (b + 1)
+  let create ?(capacity = 64) () =
+    let size = pow2 (Int.max 2 capacity) 2 in
+    {
+      top = A.make 0;
+      bottom = A.make 0;
+      buf = A.make (Array.init size (fun _ -> A.make None));
+    }
 
-let pop t =
-  let b = Atomic.get t.bottom - 1 in
-  Atomic.set t.bottom b;
-  let tp = Atomic.get t.top in
-  if b < tp then begin
-    (* Empty; restore the canonical empty shape. *)
-    Atomic.set t.bottom tp;
-    None
-  end
-  else begin
-    let a = Atomic.get t.buf in
-    let cell = a.(b land (Array.length a - 1)) in
-    let x = Atomic.get cell in
-    if b > tp then begin
-      Atomic.set cell None;
-      x
+  (* Owner only.  Copy the live region [t0, b) into a buffer twice the
+     size and publish it; thieves still holding the old buffer read the
+     same values there (cells are never cleared by [grow]), and their CAS
+     on [top] remains the single synchronization point. *)
+  let grow t a ~top:t0 ~bottom:b =
+    let old_mask = Array.length a - 1 in
+    let size = 2 * (old_mask + 1) in
+    let mask = size - 1 in
+    let bigger = Array.init size (fun _ -> A.make None) in
+    for i = t0 to b - 1 do
+      A.set bigger.(i land mask) (A.get a.(i land old_mask))
+    done;
+    A.set t.buf bigger;
+    bigger
+
+  let push t x =
+    let b = A.get t.bottom in
+    let tp = A.get t.top in
+    let a = A.get t.buf in
+    let a = if b - tp >= Array.length a then grow t a ~top:tp ~bottom:b else a in
+    A.set a.(b land (Array.length a - 1)) (Some x);
+    A.set t.bottom (b + 1)
+
+  let pop t =
+    let b = A.get t.bottom - 1 in
+    A.set t.bottom b;
+    let tp = A.get t.top in
+    if b < tp then begin
+      (* Empty; restore the canonical empty shape. *)
+      A.set t.bottom tp;
+      None
     end
     else begin
-      (* Last element: race any thief for it via [top]. *)
-      let won = Atomic.compare_and_set t.top tp (tp + 1) in
-      Atomic.set t.bottom (tp + 1);
-      Atomic.set cell None;
-      if won then x else None
+      let a = A.get t.buf in
+      let cell = a.(b land (Array.length a - 1)) in
+      let x = A.get cell in
+      if b > tp then begin
+        A.set cell None;
+        x
+      end
+      else begin
+        (* Last element: race any thief for it via [top]. *)
+        let won = A.compare_and_set t.top tp (tp + 1) in
+        A.set t.bottom (tp + 1);
+        A.set cell None;
+        if won then x else None
+      end
     end
-  end
 
-let steal t =
-  let tp = Atomic.get t.top in
-  let b = Atomic.get t.bottom in
-  if tp >= b then None
-  else begin
-    let a = Atomic.get t.buf in
-    let x = Atomic.get a.(tp land (Array.length a - 1)) in
-    if Atomic.compare_and_set t.top tp (tp + 1) then x else None
-  end
+  let steal t =
+    let tp = A.get t.top in
+    let b = A.get t.bottom in
+    if tp >= b then None
+    else begin
+      let a = A.get t.buf in
+      let x = A.get a.(tp land (Array.length a - 1)) in
+      if A.compare_and_set t.top tp (tp + 1) then x else None
+    end
 
-let size t =
-  let b = Atomic.get t.bottom in
-  let tp = Atomic.get t.top in
-  Int.max 0 (b - tp)
+  let size t =
+    let b = A.get t.bottom in
+    let tp = A.get t.top in
+    Int.max 0 (b - tp)
+end
+
+include Make (Sync.Atomic)

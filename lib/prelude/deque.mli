@@ -29,29 +29,43 @@
     Operations never block and never lock; [pop]/[steal] return [None]
     on emptiness {e or} on losing a race (a thief that loses a CAS does
     not retry internally — callers typically move on to another victim,
-    which is exactly what a work-stealing scheduler wants). *)
+    which is exactly what a work-stealing scheduler wants).
 
-type 'a t
+    The structure is a functor over {!Sync.ATOMIC} so the model checker
+    ([lib/check]) can run the {e same} code under its instrumented
+    atomics and explore steal/pop/grow interleavings exhaustively; the
+    toplevel module is the production instantiation over
+    [Stdlib.Atomic]. *)
 
-val create : ?capacity:int -> unit -> 'a t
-(** An empty deque.  [capacity] (default 64, rounded up to a power of
-    two, minimum 16) is only the initial buffer size: pushes beyond it
-    double the buffer. *)
+module type S = sig
+  type 'a t
 
-val push : 'a t -> 'a -> unit
-(** Owner only: add at the bottom. *)
+  val create : ?capacity:int -> unit -> 'a t
+  (** An empty deque.  [capacity] (default 64, rounded up to a power of
+      two, minimum 2) is only the initial buffer size: pushes beyond it
+      double the buffer.  The small minimum exists for the model
+      checker, which wants a grow reachable within a handful of pushes;
+      production callers use the default. *)
 
-val pop : 'a t -> 'a option
-(** Owner only: take the most recently pushed remaining element, or
-    [None] when empty (a last-element race against a thief is decided by
-    a CAS on [top]; the loser sees [None]). *)
+  val push : 'a t -> 'a -> unit
+  (** Owner only: add at the bottom. *)
 
-val steal : 'a t -> 'a option
-(** Any domain: take the oldest element, or [None] when the deque looks
-    empty or the CAS was lost to a concurrent pop/steal.  Safe to call
-    from many thieves concurrently. *)
+  val pop : 'a t -> 'a option
+  (** Owner only: take the most recently pushed remaining element, or
+      [None] when empty (a last-element race against a thief is decided by
+      a CAS on [top]; the loser sees [None]). *)
 
-val size : 'a t -> int
-(** A snapshot estimate of the element count (never negative).  Exact
-    when no other domain is mutating; used by the owner to decide when
-    to shed more work. *)
+  val steal : 'a t -> 'a option
+  (** Any domain: take the oldest element, or [None] when the deque looks
+      empty or the CAS was lost to a concurrent pop/steal.  Safe to call
+      from many thieves concurrently. *)
+
+  val size : 'a t -> int
+  (** A snapshot estimate of the element count (never negative).  Exact
+      when no other domain is mutating; used by the owner to decide when
+      to shed more work. *)
+end
+
+module Make (_ : Sync.ATOMIC) : S
+
+include S

@@ -13,7 +13,7 @@ let words capacity = (capacity + bits_per_word - 1) lsr 5
 
 let create capacity =
   if capacity < 0 then invalid_arg "Ibits.create";
-  Array.make (max 1 (words capacity)) 0
+  Array.make (Int.max 1 (words capacity)) 0
 
 let set t i = t.(i lsr 5) <- t.(i lsr 5) lor (1 lsl (i land 31))
 let unset t i = t.(i lsr 5) <- t.(i lsr 5) land lnot (1 lsl (i land 31))

@@ -1,0 +1,47 @@
+(* First-decisive-wins race protocol: one winner CAS, one stop flag.
+
+   Extracted from the (previously inlined, twice) pair of atomics in
+   Portfolio.solve and Csp2.Opt.solve_parallel so that (a) the claim
+   discipline — CAS the winner slot FIRST, raise the stop flag only
+   after winning — lives in one place, and (b) the model checker can
+   instantiate it over instrumented atomics and verify the uniqueness
+   invariant (at most one successful claim, winner never overwritten)
+   over all interleavings. *)
+
+module type S = sig
+  type t
+
+  val create : unit -> t
+  val claim : t -> int -> bool
+  val cancel : t -> unit
+  val stopped : t -> bool
+  val winner : t -> int
+end
+
+module Make (A : Sync.ATOMIC) = struct
+  type t = { stop : bool A.t; winner : int A.t }
+
+  let create () = { stop = A.make false; winner = A.make (-1) }
+
+  (* The order matters: the winner slot is claimed before the stop flag
+     is raised, so any observer of [stopped () = true] can rely on
+     [winner () >= 0] (stop is never up with the race undecided), and a
+     losing claimant never touches either atomic's decided value. *)
+  let claim t slot =
+    slot >= 0
+    && A.compare_and_set t.winner (-1) slot
+    &&
+    (A.set t.stop true;
+     true)
+
+  let cancel t = A.set t.stop true
+  let stopped t = A.get t.stop
+  let winner t = A.get t.winner
+end
+
+include Make (Sync.Atomic)
+
+(* The native instance additionally exposes its stop flag as the raw
+   atomic, because Timer.with_stop composes budgets over a [bool
+   Atomic.t]. *)
+let flag (t : t) = t.stop

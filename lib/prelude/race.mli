@@ -1,0 +1,43 @@
+(** First-decisive-arm-wins race protocol.
+
+    A {!t} is the pair of atomics every parallel race in this repo
+    coordinates on: a winner slot (claimed by CAS, at most once) and a
+    stop flag (raised only after a successful claim, or by an external
+    {!cancel}).  [Portfolio.solve] races its arms on one; the
+    work-stealing [Csp2.Opt.solve_parallel] races its subtree workers on
+    another.
+
+    Invariants (model-checked in [lib/check] over the instrumented
+    instantiation, relied on by both call sites):
+    - at most one {!claim} ever returns [true], and {!winner} then
+      reports that slot forever;
+    - once a claim succeeds, {!stopped} becomes (and stays) [true];
+    - {!stopped} with a [< 0] {!winner} only ever means an external
+      {!cancel}, never a half-finished claim. *)
+
+module type S = sig
+  type t
+
+  val create : unit -> t
+
+  val claim : t -> int -> bool
+  (** [claim t slot] tries to decide the race in favour of [slot]
+      ([>= 0]); returns whether this call won.  The winner's slot is
+      published before the stop flag is raised. *)
+
+  val cancel : t -> unit
+  (** Raise the stop flag without deciding a winner (budget exhaustion,
+      external cancellation). *)
+
+  val stopped : t -> bool
+  val winner : t -> int
+  (** The winning slot, or [-1] while the race is undecided. *)
+end
+
+module Make (_ : Sync.ATOMIC) : S
+
+include S
+
+val flag : t -> bool Atomic.t
+(** The stop flag of the production instance as a raw atomic, for
+    [Timer.with_stop] composition. *)

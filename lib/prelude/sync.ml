@@ -1,0 +1,84 @@
+(* Signatures for the synchronization substrate of the lock-free core,
+   plus the production instantiation (thin stdlib aliases).  See the
+   interface for the design rationale; the model checker's instrumented
+   implementation lives in lib/check. *)
+
+module type ATOMIC = sig
+  type 'a t
+
+  val make : 'a -> 'a t
+  val get : 'a t -> 'a
+  val set : 'a t -> 'a -> unit
+  val exchange : 'a t -> 'a -> 'a
+  val compare_and_set : 'a t -> 'a -> 'a -> bool
+  val fetch_and_add : int t -> int -> int
+  val incr : int t -> unit
+  val decr : int t -> unit
+end
+
+module type MUTEX = sig
+  type t
+
+  val create : unit -> t
+  val lock : t -> unit
+  val unlock : t -> unit
+end
+
+module type CONDITION = sig
+  type t
+  type mutex
+
+  val create : unit -> t
+  val wait : t -> mutex -> unit
+  val signal : t -> unit
+  val broadcast : t -> unit
+end
+
+module type THREAD = sig
+  type t
+
+  val spawn : (unit -> unit) -> t
+  val join : t -> unit
+  val cpu_relax : unit -> unit
+end
+
+module type PRIMS = sig
+  module Atomic : ATOMIC
+  module Mutex : MUTEX
+  module Condition : CONDITION with type mutex = Mutex.t
+  module Thread : THREAD
+end
+
+module Atomic = Stdlib.Atomic
+module Mutex = Stdlib.Mutex
+
+module Condition = struct
+  type mutex = Stdlib.Mutex.t
+
+  include Stdlib.Condition
+end
+
+module Thread = struct
+  type t = unit Domain.t
+
+  let spawn f = Domain.spawn f
+  let join = Domain.join
+  let cpu_relax = Domain.cpu_relax
+end
+
+module Native = struct
+  module Atomic = Atomic
+  module Mutex = Mutex
+  module Condition = Condition
+  module Thread = Thread
+end
+
+let protect (type m) (module M : MUTEX with type t = m) (m : m) f =
+  M.lock m;
+  match f () with
+  | v ->
+    M.unlock m;
+    v
+  | exception e ->
+    M.unlock m;
+    raise e

@@ -1,0 +1,90 @@
+(** Signatures for the synchronization primitives the lock-free core is
+    written against.
+
+    Every hand-argued concurrent structure in this repo — the Chase–Lev
+    deque, the parked-domain pool's job-slot protocol, the telemetry
+    ring registry, the portfolio's stop/winner race — is a functor over
+    these signatures instead of calling [Stdlib.Atomic] / [Mutex] /
+    [Condition] / [Domain] directly.  Production code instantiates
+    {!Native} (thin aliases of the stdlib modules, so the compiled code
+    is what it always was); the model checker in [lib/check]
+    instantiates an instrumented shim whose every operation is a
+    scheduling point of a deterministic effects-based scheduler, which
+    is what lets small scenarios be explored exhaustively and their
+    invariants checked over {e all} interleavings rather than the ones a
+    lucky test run happens to hit. *)
+
+(** Sequentially consistent atomic references ([Stdlib.Atomic]'s
+    footprint as of OCaml 5.1). *)
+module type ATOMIC = sig
+  type 'a t
+
+  val make : 'a -> 'a t
+  val get : 'a t -> 'a
+  val set : 'a t -> 'a -> unit
+  val exchange : 'a t -> 'a -> 'a
+  val compare_and_set : 'a t -> 'a -> 'a -> bool
+  val fetch_and_add : int t -> int -> int
+  val incr : int t -> unit
+  val decr : int t -> unit
+end
+
+(** Mutual exclusion ([Stdlib.Mutex]'s core footprint). *)
+module type MUTEX = sig
+  type t
+
+  val create : unit -> t
+  val lock : t -> unit
+  val unlock : t -> unit
+end
+
+(** Condition variables bound to a mutex type. *)
+module type CONDITION = sig
+  type t
+  type mutex
+
+  val create : unit -> t
+  val wait : t -> mutex -> unit
+  val signal : t -> unit
+  val broadcast : t -> unit
+end
+
+(** Thread spawning ([Domain]'s footprint, restricted to what the pool
+    protocol needs). *)
+module type THREAD = sig
+  type t
+
+  val spawn : (unit -> unit) -> t
+  val join : t -> unit
+  val cpu_relax : unit -> unit
+end
+
+(** The full bundle a mutex/condvar protocol is written against. *)
+module type PRIMS = sig
+  module Atomic : ATOMIC
+  module Mutex : MUTEX
+  module Condition : CONDITION with type mutex = Mutex.t
+  module Thread : THREAD
+end
+
+module Atomic : ATOMIC with type 'a t = 'a Stdlib.Atomic.t
+module Mutex : MUTEX with type t = Stdlib.Mutex.t
+
+module Condition :
+  CONDITION with type t = Stdlib.Condition.t and type mutex = Stdlib.Mutex.t
+
+module Thread : THREAD with type t = unit Domain.t
+
+(** The production instantiation: stdlib atomics, mutexes, condvars and
+    domains, re-exported verbatim. *)
+module Native :
+  PRIMS
+    with module Atomic = Atomic
+     and module Mutex = Mutex
+     and module Condition = Condition
+     and module Thread = Thread
+
+val protect : (module MUTEX with type t = 'm) -> 'm -> (unit -> 'a) -> 'a
+(** [protect (module M) m f] is [Mutex.protect] generalized over the
+    mutex implementation: runs [f] with [m] held, releasing it on normal
+    return and on exceptions alike. *)

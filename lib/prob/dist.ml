@@ -11,7 +11,7 @@ let of_list pairs =
       if v < 1 then invalid_arg "Dist.of_list: non-positive value";
       if w <= 0. then invalid_arg "Dist.of_list: non-positive weight")
     pairs;
-  let sorted = List.sort (fun (a, _) (b, _) -> compare a b) pairs in
+  let sorted = List.sort (fun (a, _) (b, _) -> Int.compare a b) pairs in
   let rec check_distinct = function
     | (a, _) :: ((b, _) :: _ as rest) ->
       if a = b then invalid_arg "Dist.of_list: duplicate value";

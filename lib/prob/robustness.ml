@@ -90,7 +90,7 @@ let edf_run_has_miss rng p ~m ~horizon =
           (fun a b ->
             let da = Task.abs_deadline (Taskset.task ts a) cur_job.(a) in
             let db = Task.abs_deadline (Taskset.task ts b) cur_job.(b) in
-            if da <> db then compare da db else compare a b)
+            if da <> db then Int.compare da db else Int.compare a b)
           !pending
       in
       List.iteri (fun pos i -> if pos < m then rem.(i) <- rem.(i) - 1) by_deadline

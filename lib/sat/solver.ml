@@ -92,7 +92,7 @@ let grow_int a n fill =
   let old = Array.length a in
   if n <= old then a
   else begin
-    let bigger = Array.make (max n (2 * old + 1)) fill in
+    let bigger = Array.make (Int.max n (2 * old + 1)) fill in
     Array.blit a 0 bigger 0 old;
     bigger
   end
@@ -101,7 +101,7 @@ let grow_float a n fill =
   let old = Array.length a in
   if n <= old then a
   else begin
-    let bigger = Array.make (max n (2 * old + 1)) fill in
+    let bigger = Array.make (Int.max n (2 * old + 1)) fill in
     Array.blit a 0 bigger 0 old;
     bigger
   end
@@ -110,7 +110,7 @@ let grow_bool a n fill =
   let old = Array.length a in
   if n <= old then a
   else begin
-    let bigger = Array.make (max n (2 * old + 1)) fill in
+    let bigger = Array.make (Int.max n (2 * old + 1)) fill in
     Array.blit a 0 bigger 0 old;
     bigger
   end
@@ -119,7 +119,7 @@ let grow_list a n =
   let old = Array.length a in
   if n <= old then a
   else begin
-    let bigger = Array.make (max n (2 * old + 1)) [] in
+    let bigger = Array.make (Int.max n (2 * old + 1)) [] in
     Array.blit a 0 bigger 0 old;
     bigger
   end
@@ -383,7 +383,7 @@ let analyze t confl =
   let asserting = negate !p in
   let clause = asserting :: !learnt in
   (* Backjump level: highest level among the non-asserting literals. *)
-  let blevel = List.fold_left (fun acc q -> max acc (t.var_level.(var_of_lit q))) 0 !learnt in
+  let blevel = List.fold_left (fun acc q -> Int.max acc (t.var_level.(var_of_lit q))) 0 !learnt in
   List.iter (fun q -> t.seen.(var_of_lit q) <- false) !learnt;
   (clause, blevel)
 

@@ -23,7 +23,7 @@ let check_points ts =
       in
       add ())
     (Taskset.tasks ts);
-  List.sort compare (Hashtbl.fold (fun p () acc -> p :: acc) points [])
+  List.sort Int.compare (Hashtbl.fold (fun p () acc -> p :: acc) points [])
 
 let edf_schedulable ts =
   if not (Taskset.is_constrained ts) then

@@ -27,7 +27,7 @@ let partition ts ~m =
   Array.sort
     (fun a b ->
       let da = Task.density (Taskset.task ts a) and db = Task.density (Taskset.task ts b) in
-      if da <> db then compare db da else compare a b)
+      if da <> db then Float.compare db da else Int.compare a b)
     order;
   let assignment = Array.make n (-1) in
   let bins = Array.make m [] in

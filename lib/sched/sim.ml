@@ -18,7 +18,7 @@ let ranks_by ts key =
   Array.sort
     (fun a b ->
       let ka = key (Taskset.task ts a) and kb = key (Taskset.task ts b) in
-      if ka <> kb then compare ka kb else compare a b)
+      if ka <> kb then Int.compare ka kb else Int.compare a b)
     ids;
   let ranks = Array.make n 0 in
   Array.iteri (fun pos id -> ranks.(id) <- pos) ids;
@@ -85,7 +85,7 @@ let step st t =
     List.sort
       (fun a b ->
         let wa = weight a and wb = weight b in
-        if wa <> wb then compare wa wb else compare a b)
+        if wa <> wb then Int.compare wa wb else Int.compare a b)
       !pending
   in
   List.iteri

@@ -1,0 +1,89 @@
+(* The telemetry ring/registry protocol, functorized over the atomics.
+
+   What is concurrency-sensitive about telemetry is exactly this file:
+   the lock-free CAS-cons registry of per-writer ring buffers, and the
+   epoch stamp that lets a new recording session invalidate every old
+   buffer without touching other domains' state.  The rings themselves
+   are single-writer by construction (each domain records only into its
+   own), so the write path needs no atomics at all — the checker
+   verifies the registry never loses a concurrent registration and that
+   a ring past capacity overwrites oldest-first while counting every
+   drop, rather than trusting this comment.
+
+   Policy (what an event is, domain-local storage, timestamp sorting,
+   the enabled fast path) stays in Telemetry over the native
+   instantiation. *)
+
+module Make (A : Prelude.Sync.ATOMIC) = struct
+  type 'a buffer = {
+    tid : int;
+    epoch : int;
+    slots : 'a option array;
+    mask : int;
+    mutable next : int;  (* monotonically increasing write cursor *)
+    mutable buf_dropped : int;
+  }
+
+  type 'a t = {
+    registry : 'a buffer list A.t;
+    current_epoch : int A.t;
+    capacity : int;
+  }
+
+  let rec pow2 n p = if p >= n then p else pow2 n (2 * p)
+
+  let create ?(capacity = 1 lsl 14) () =
+    let capacity = pow2 (Int.max 2 capacity) 2 in
+    { registry = A.make []; current_epoch = A.make 0; capacity }
+
+  let epoch t = A.get t.current_epoch
+  let new_epoch t = A.incr t.current_epoch
+
+  let fresh_buffer t ~tid =
+    {
+      tid;
+      epoch = A.get t.current_epoch;
+      slots = Array.make t.capacity None;
+      mask = t.capacity - 1;
+      next = 0;
+      buf_dropped = 0;
+    }
+
+  let register t buf =
+    let rec go () =
+      let old = A.get t.registry in
+      if not (A.compare_and_set t.registry old (buf :: old)) then go ()
+    in
+    go ()
+
+  let stale t buf = buf.epoch <> A.get t.current_epoch
+
+  (* Single writer per buffer: no atomics, one array store. *)
+  let record b x =
+    let idx = b.next land b.mask in
+    if b.next > b.mask then b.buf_dropped <- b.buf_dropped + 1;
+    b.slots.(idx) <- Some x;
+    b.next <- b.next + 1
+
+  let dropped t =
+    let epoch = A.get t.current_epoch in
+    List.fold_left
+      (fun acc b -> if b.epoch = epoch then acc + b.buf_dropped else acc)
+      0 (A.get t.registry)
+
+  let drain t =
+    let epoch = A.get t.current_epoch in
+    List.concat_map
+      (fun b ->
+        if b.epoch <> epoch then []
+        else begin
+          let n = Int.min b.next (b.mask + 1) in
+          let evs = List.filter_map Fun.id (Array.to_list (Array.sub b.slots 0 n)) in
+          (* [buf_dropped] survives the drain on purpose: callers report
+             drops after draining (kept + dropped = recorded). *)
+          b.next <- 0;
+          Array.fill b.slots 0 (b.mask + 1) None;
+          evs
+        end)
+      (A.get t.registry)
+end

@@ -1,0 +1,58 @@
+(** Lock-free registry of per-writer ring buffers — the concurrency core
+    of {!Telemetry}, functorized over {!Prelude.Sync.ATOMIC} so the model
+    checker ([lib/check]) explores the registration/epoch protocol over
+    instrumented atomics while production runs it over [Stdlib.Atomic].
+
+    The protocol, and the invariants the checker holds it to:
+    - {!Make.register} is a CAS-cons onto a shared list: concurrent
+      registrations from any number of writers all land (no lost
+      buffer), in some order;
+    - each buffer has a {e single} writer, so {!Make.record} is plain
+      array stores — a full ring overwrites oldest-first and counts
+      every overwritten slot in [buf_dropped] (records in = records
+      retained + drops, checked as a conservation law);
+    - {!Make.new_epoch} invalidates every registered buffer at once:
+      writers notice staleness ({!Make.stale}) on their next record and
+      re-register a fresh buffer; {!Make.drain} and {!Make.dropped}
+      ignore stale buffers entirely. *)
+
+module Make (_ : Prelude.Sync.ATOMIC) : sig
+  type 'a buffer = {
+    tid : int;  (** writer identity, stamped into drained events *)
+    epoch : int;  (** epoch at creation; stale when the core has moved on *)
+    slots : 'a option array;
+    mask : int;
+    mutable next : int;
+    mutable buf_dropped : int;
+  }
+
+  type 'a t
+
+  val create : ?capacity:int -> unit -> 'a t
+  (** [capacity] (default [2^14], rounded up to a power of two, minimum
+      2) is per ring.  The tiny minimum exists for the checker, which
+      wants overflow reachable in a couple of records. *)
+
+  val epoch : 'a t -> int
+  val new_epoch : 'a t -> unit
+
+  val fresh_buffer : 'a t -> tid:int -> 'a buffer
+  (** A new empty ring stamped with the current epoch.  Not yet
+      registered — callers pair this with {!register}. *)
+
+  val register : 'a t -> 'a buffer -> unit
+  val stale : 'a t -> 'a buffer -> bool
+
+  val record : 'a buffer -> 'a -> unit
+  (** Single-writer by contract: only the owning domain may call this. *)
+
+  val dropped : 'a t -> int
+  (** Total overwritten records across current-epoch buffers. *)
+
+  val drain : 'a t -> 'a list
+  (** All retained records of current-epoch buffers, in per-buffer write
+      order but unordered across buffers (callers sort); resets every
+      drained ring's cursor but {e not} its drop counter, so
+      [kept + dropped = recorded] holds even when {!dropped} is read
+      after the drain.  Call only after the writers have quiesced. *)
+end

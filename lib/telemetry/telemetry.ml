@@ -1,5 +1,9 @@
 open Prelude
 
+(* Re-export: [telemetry.ml] is the library's entry module, so sibling
+   modules are invisible outside unless aliased here. *)
+module Ringcore = Ringcore
+
 (* ------------------------------------------------------------------ *)
 (* Unified per-backend statistics. *)
 
@@ -105,61 +109,40 @@ type event = {
    through domain-local storage.  Buffers register themselves once in a
    global lock-free list (CAS cons); [drain] walks the list after the
    recording domains are joined.  An [epoch] stamp lets [start] invalidate
-   old buffers without touching other domains' state. *)
+   old buffers without touching other domains' state.
+
+   The registry/epoch/ring protocol itself lives in Ringcore, functorized
+   over the atomics so the model checker can explore it; this module owns
+   only the domain-local claiming, which is inherently native. *)
+
+module Rings = Ringcore.Make (Prelude.Sync.Atomic)
 
 let ring_capacity = 1 lsl 14
+let rings : event Rings.t = Rings.create ~capacity:ring_capacity ()
 
-type buffer = {
-  tid : int;
-  epoch : int;
-  events : event option array;
-  mutable next : int;  (* monotonically increasing write cursor *)
-  mutable buf_dropped : int;
-}
+let fresh_buffer () = Rings.fresh_buffer rings ~tid:(Domain.self () :> int)
 
-let registry : buffer list Atomic.t = Atomic.make []
-let current_epoch = Atomic.make 0
-let register buf =
-  let rec go () =
-    let old = Atomic.get registry in
-    if not (Atomic.compare_and_set registry old (buf :: old)) then go ()
-  in
-  go ()
-
-let fresh_buffer () =
-  {
-    tid = (Domain.self () :> int);
-    epoch = Atomic.get current_epoch;
-    events = Array.make ring_capacity None;
-    next = 0;
-    buf_dropped = 0;
-  }
-
-let dls_buffer : buffer Domain.DLS.key =
+let dls_buffer : event Rings.buffer Domain.DLS.key =
   Domain.DLS.new_key (fun () ->
       let b = fresh_buffer () in
-      register b;
+      Rings.register rings b;
       b)
 
 (* A domain that lives across [start] calls re-registers a fresh ring the
    first time it records in the new epoch. *)
 let my_buffer () =
   let b = Domain.DLS.get dls_buffer in
-  if b.epoch = Atomic.get current_epoch then b
+  if not (Rings.stale rings b) then b
   else begin
     let fresh = fresh_buffer () in
     Domain.DLS.set dls_buffer fresh;
-    register fresh;
+    Rings.register rings fresh;
     fresh
   end
 
 let record ev =
   let b = my_buffer () in
-  let ev = { ev with e_tid = b.tid } in
-  let idx = b.next land (ring_capacity - 1) in
-  if b.next >= ring_capacity then b.buf_dropped <- b.buf_dropped + 1;
-  b.events.(idx) <- Some ev;
-  b.next <- b.next + 1
+  Rings.record b { ev with e_tid = b.Rings.tid }
 
 (* [hb_active] (defined with the heartbeat machinery below) must track
    [enabled_flag]; forward through a mutable hook to keep definition
@@ -167,7 +150,7 @@ let record ev =
 let refresh_hb_hook = ref (fun () -> ())
 
 let start () =
-  Atomic.incr current_epoch;
+  Rings.new_epoch rings;
   Atomic.set t_zero (Timer.now ());
   Atomic.set enabled_flag true;
   !refresh_hb_hook ()
@@ -178,29 +161,8 @@ let stop () =
 
 let rel t = t -. Atomic.get t_zero
 
-let dropped () =
-  let epoch = Atomic.get current_epoch in
-  List.fold_left
-    (fun acc b -> if b.epoch = epoch then acc + b.buf_dropped else acc)
-    0 (Atomic.get registry)
-
-let drain () =
-  let epoch = Atomic.get current_epoch in
-  let events =
-    List.concat_map
-      (fun b ->
-        if b.epoch <> epoch then []
-        else begin
-          let evs =
-            List.filter_map Fun.id (Array.to_list (Array.sub b.events 0 (Int.min b.next ring_capacity)))
-          in
-          b.next <- 0;
-          Array.fill b.events 0 ring_capacity None;
-          evs
-        end)
-      (Atomic.get registry)
-  in
-  List.sort (fun a b -> Float.compare a.e_ts b.e_ts) events
+let dropped () = Rings.dropped rings
+let drain () = List.sort (fun a b -> Float.compare a.e_ts b.e_ts) (Rings.drain rings)
 
 (* ------------------------------------------------------------------ *)
 (* Recording entry points. *)

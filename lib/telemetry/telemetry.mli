@@ -31,6 +31,10 @@
     Buffers are bounded: when a domain's ring fills, the oldest events are
     overwritten and the drop is counted ({!dropped}). *)
 
+module Ringcore = Ringcore
+(** The ring/registry protocol core, re-exported for the model checker
+    ([lib/check]), which instantiates it over instrumented atomics. *)
+
 (** The unified per-backend statistics record.  Fields that a backend does
     not track stay [0] ({!Stats.make} defaults): SAT reports decisions as
     [nodes] and conflicts as [fails]; local search reports iterations and

@@ -1,0 +1,129 @@
+(* CLI for the concurrency model checker (lib/check).
+
+   Default run: every non-mutation scenario, exhaustively (or
+   preemption-bounded, per scenario); any violation prints its
+   replayable schedule and fails the process.  CI calls this from the
+   static-analysis job and uploads the per-scenario interleaving counts
+   (--out) as an artifact.
+
+   Mutation gate: --mutation NAME --expect-violation runs a
+   deliberately broken scenario and *fails unless* the checker finds a
+   violation — proving the checker can catch the bug class it exists
+   for.  The found schedule is replayed once before trusting it. *)
+
+let usage () =
+  prerr_endline
+    "usage: check [--list] [--only NAME] [--out FILE] [--mutation NAME --expect-violation]";
+  exit 2
+
+let mode_to_string = function
+  | Check.Engine.Exhaustive { preemptions = None } -> "exhaustive+sleep-sets"
+  | Check.Engine.Exhaustive { preemptions = Some k } ->
+    Printf.sprintf "exhaustive, preemption-bound %d" k
+  | Check.Engine.Random { walks; seed } -> Printf.sprintf "random, %d walks, seed %d" walks seed
+
+let run_scenario (s : Check.Scenarios.t) =
+  let t0 = Unix.gettimeofday () in
+  let o = Check.Engine.explore s.mode s.body in
+  let dt = Unix.gettimeofday () -. t0 in
+  (o, dt)
+
+let report buf (s : Check.Scenarios.t) (o : Check.Engine.outcome) dt =
+  let line =
+    Printf.sprintf "%-28s %-34s executions=%-8d choice_points=%-8d max_depth=%-4d %.2fs %s"
+      s.name (mode_to_string s.mode) o.executions o.choice_points o.max_depth dt
+      (match o.violation with None -> "ok" | Some _ -> "VIOLATION")
+  in
+  print_endline line;
+  Buffer.add_string buf (line ^ "\n")
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let rec parse only out mutation expect = function
+    | [] -> (only, out, mutation, expect)
+    | "--list" :: _ ->
+      List.iter
+        (fun (s : Check.Scenarios.t) ->
+          Printf.printf "%-28s %s%s\n" s.name s.descr
+            (if s.mutation then " [mutation]" else ""))
+        Check.Scenarios.all;
+      exit 0
+    | "--only" :: name :: rest -> parse (Some name) out mutation expect rest
+    | "--out" :: file :: rest -> parse only (Some file) mutation expect rest
+    | "--mutation" :: name :: rest -> parse only out (Some name) expect rest
+    | "--expect-violation" :: rest -> parse only out mutation true rest
+    | _ -> usage ()
+  in
+  let only, out, mutation, expect = parse None None None false (List.tl args) in
+  match mutation with
+  | Some name -> (
+    if not expect then begin
+      prerr_endline "check: --mutation requires --expect-violation";
+      exit 2
+    end;
+    match Check.Scenarios.find name with
+    | None ->
+      Printf.eprintf "check: unknown scenario %s\n" name;
+      exit 2
+    | Some s -> (
+      Printf.printf "mutation gate: %s (%s)\n%!" s.name (mode_to_string s.mode);
+      let o, dt = run_scenario s in
+      match o.violation with
+      | None ->
+        Printf.printf
+          "mutation NOT caught after %d executions (%.2fs) — the checker is blind to this \
+           bug class\n"
+          o.executions dt;
+        exit 1
+      | Some v ->
+        Format.printf "%a" Check.Engine.pp_violation v;
+        (* Trust, but verify: the schedule must reproduce the same
+           violation, not merely some violation. *)
+        (match Check.Engine.replay s.body v.v_schedule with
+        | Some v' when v'.v_kind = v.v_kind ->
+          Printf.printf
+            "mutation caught after %d executions (%.2fs); schedule replayed and reproduces\n"
+            o.executions dt
+        | Some v' ->
+          Printf.printf "replay produced a different violation (%s) — engine bug\n" v'.v_kind;
+          exit 1
+        | None ->
+          Printf.printf "recorded schedule did not replay — engine bug\n";
+          exit 1);
+        exit 0))
+  | None ->
+    let scenarios =
+      match only with
+      | None -> List.filter (fun (s : Check.Scenarios.t) -> not s.mutation) Check.Scenarios.all
+      | Some name -> (
+        match Check.Scenarios.find name with
+        | Some s -> [ s ]
+        | None ->
+          Printf.eprintf "check: unknown scenario %s\n" name;
+          exit 2)
+    in
+    let buf = Buffer.create 1024 in
+    let failed = ref false in
+    List.iter
+      (fun (s : Check.Scenarios.t) ->
+        match run_scenario s with
+        | o, dt ->
+          report buf s o dt;
+          (match o.violation with
+          | None -> ()
+          | Some v ->
+            failed := true;
+            Format.printf "%a" Check.Engine.pp_violation v)
+        | exception Check.Engine.Budget_exceeded msg ->
+          failed := true;
+          let line = Printf.sprintf "%-28s BUDGET EXCEEDED: %s" s.name msg in
+          print_endline line;
+          Buffer.add_string buf (line ^ "\n"))
+      scenarios;
+    (match out with
+    | None -> ()
+    | Some file ->
+      let oc = open_out file in
+      output_string oc (Buffer.contents buf);
+      close_out oc);
+    exit (if !failed then 1 else 0)
