@@ -115,6 +115,13 @@ let memo_mb_arg =
   in
   Arg.(value & opt int Csp2.Opt.default_memo_mb & info [ "memo-mb" ] ~docv:"MIB" ~doc)
 
+let no_nogoods_arg =
+  let doc =
+    "csp2-opt: disable dominance-nogood learning (the memo and capacity bound stay on; \
+     ignored by other solvers)."
+  in
+  Arg.(value & flag & info [ "no-nogoods" ] ~doc)
+
 let split_depth_arg =
   let doc =
     "csp2-opt: time slots decided sequentially before the surviving prefixes are raced \
@@ -161,8 +168,8 @@ let gen_cmd =
     Term.(const run $ n $ m $ tmax $ seed_arg $ count $ offsets $ order)
 
 let solve_cmd =
-  let run file m solver jobs memo_mb split_depth limit seed quiet trace progress failpoints
-      watchdog_beats =
+  let run file m solver jobs memo_mb no_nogoods split_depth limit seed quiet trace progress
+      failpoints watchdog_beats =
     guard @@ fun () ->
     Option.iter Resilience.Failpoint.arm_spec failpoints;
     let ts = read_taskset file in
@@ -216,7 +223,8 @@ let solve_cmd =
       | Core.Csp2_opt heuristic ->
         let jobs = if jobs > 0 then Some jobs else None in
         let verdict, elapsed, stats =
-          Core.solve_csp2_opt ~heuristic ~budget ~memo_mb ?jobs ~split_depth ts ~m
+          Core.solve_csp2_opt ~heuristic ~budget ~memo_mb ~nogoods:(not no_nogoods) ?jobs
+            ~split_depth ts ~m
         in
         print_verdict verdict elapsed;
         Option.iter
@@ -227,11 +235,18 @@ let solve_cmd =
           Option.map
             (fun st ->
               Printf.sprintf
-                "csp2-opt: nodes=%d fails=%d memo hits=%d misses=%d stores=%d subtrees=%d \
-                 pulls=%d steals=%d parks=%d"
+                "csp2-opt: nodes=%d fails=%d memo hits=%d misses=%d stores=%d (%.1f%% hit \
+                 rate) nogood hits=%d misses=%d stores=%d evicted=%d (%.1f%% hit rate) \
+                 subtrees=%d pulls=%d steals=%d parks=%d"
                 st.Csp2.Opt.nodes st.Csp2.Opt.fails st.Csp2.Opt.memo_hits
-                st.Csp2.Opt.memo_misses st.Csp2.Opt.memo_stores st.Csp2.Opt.subtrees
-                st.Csp2.Opt.pulls st.Csp2.Opt.steals st.Csp2.Opt.parks)
+                st.Csp2.Opt.memo_misses st.Csp2.Opt.memo_stores
+                (Csp2.Opt.hit_rate_pct ~hits:st.Csp2.Opt.memo_hits
+                   ~misses:st.Csp2.Opt.memo_misses)
+                st.Csp2.Opt.nogood_hits st.Csp2.Opt.nogood_misses st.Csp2.Opt.nogood_stores
+                st.Csp2.Opt.nogood_evicted
+                (Csp2.Opt.hit_rate_pct ~hits:st.Csp2.Opt.nogood_hits
+                   ~misses:st.Csp2.Opt.nogood_misses)
+                st.Csp2.Opt.subtrees st.Csp2.Opt.pulls st.Csp2.Opt.steals st.Csp2.Opt.parks)
             stats
         in
         (verdict, report)
@@ -286,8 +301,9 @@ let solve_cmd =
   Cmd.v
     (Cmd.info "solve" ~doc:"Decide feasibility of a task-set file.")
     Term.(
-      const run $ file_arg $ m_arg $ solver_arg $ jobs_arg $ memo_mb_arg $ split_depth_arg
-      $ limit_arg $ seed_arg $ quiet $ trace $ progress $ failpoints $ watchdog_beats)
+      const run $ file_arg $ m_arg $ solver_arg $ jobs_arg $ memo_mb_arg $ no_nogoods_arg
+      $ split_depth_arg $ limit_arg $ seed_arg $ quiet $ trace $ progress $ failpoints
+      $ watchdog_beats)
 
 let fig1_cmd =
   let run () =

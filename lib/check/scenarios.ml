@@ -17,6 +17,7 @@ open Engine
 module DQ = Prelude.Deque.Make (Shim.Atomic)
 module RC = Prelude.Race.Make (Shim.Atomic)
 module RG = Telemetry.Ringcore.Make (Shim.Atomic)
+module ED = Prelude.Epoch_dict.Make (Shim.Atomic)
 module PP = Csp2.Pool_proto.Make (Shim)
 module T = Shim.Thread
 
@@ -171,6 +172,31 @@ let pool_retire_after_assign () =
   ensure (!hits = 1) "assigned job must run even when retire races it"
 
 (* ------------------------------------------------------------------ *)
+(* Epoch dictionary: rebind (clear + set) vs an in-flight find.        *)
+
+(* The engine-pool reuse shape: a pooled engine rebinds its nogood
+   chain heads (one [clear], then new bindings) while a lookup from the
+   previous solve could still be in flight.  The epoch protocol must
+   keep that lookup honest — it may return the pre-clear binding, the
+   post-clear binding, or nothing, but never a torn mix; and once the
+   rebind has happened-before the lookup, only the new binding. *)
+let epoch_dict_clear_vs_find () =
+  let d = ED.create ~capacity:4 () in
+  ED.set d 7 1;
+  let seen = ref (Some (-1)) in
+  let th =
+    T.spawn (fun () -> (seen := ED.find d 7) [@lint.racy_ok "single writer, read after join"])
+  in
+  ED.clear d;
+  ED.set d 7 2;
+  T.join th;
+  ensure
+    (match !seen with Some 1 | Some 2 | None -> true | Some _ -> false)
+    "racy find must see the old binding, the new binding, or nothing";
+  ensure (ED.find d 7 = Some 2) "post-join find must see the rebind";
+  ensure (ED.epoch d = 1 && ED.length d = 1) "one clear, one live binding"
+
+(* ------------------------------------------------------------------ *)
 (* Telemetry ring core: registration race and overflow accounting.     *)
 
 let ring_register_race () =
@@ -260,6 +286,13 @@ let all : t list =
       descr = "retire racing an in-flight assignment still runs the job";
       mode = exhaustive;
       body = pool_retire_after_assign;
+      mutation = false;
+    };
+    {
+      name = "epoch_dict-clear-vs-find";
+      descr = "rebind (clear + set) vs in-flight find: stale epoch never serves a torn binding";
+      mode = exhaustive;
+      body = epoch_dict_clear_vs_find;
       mutation = false;
     };
     {

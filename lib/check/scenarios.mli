@@ -1,6 +1,7 @@
 (** The model-checked scenarios: closed concurrent programs over the
     instrumented instantiations of {!Prelude.Deque}, {!Prelude.Race},
-    {!Csp2.Pool_proto} and {!Telemetry.Ringcore}, each asserting the
+    {!Prelude.Epoch_dict}, {!Csp2.Pool_proto} and
+    {!Telemetry.Ringcore}, each asserting the
     invariant its production call site relies on.  See DESIGN.md §10
     for the catalogue and the per-scenario exploration mode. *)
 

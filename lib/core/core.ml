@@ -174,7 +174,7 @@ let solve ?(solver = default_solver) ?platform ?(budget = Timer.unlimited) ?(see
    with its knobs exposed, and returning the engine's counters (memo hits,
    subtrees, steals) — [None] when the static pass decided alone. *)
 let solve_csp2_opt ?(heuristic = Csp2.Heuristic.DC) ?(budget = Timer.unlimited)
-    ?(verify = true) ?(analyze = true) ?memo_mb ?jobs ?split_depth ts ~m =
+    ?(verify = true) ?(analyze = true) ?memo_mb ?nogoods ?jobs ?split_depth ts ~m =
   let platform = Platform.identical ~m in
   let t0 = Timer.start () in
   let fail_invalid v =
@@ -207,8 +207,8 @@ let solve_csp2_opt ?(heuristic = Csp2.Heuristic.DC) ?(budget = Timer.unlimited)
           ("search:csp2-opt+" ^ Csp2.Heuristic.to_string heuristic)
           ~cat:"core"
           (fun () ->
-            Csp2.Opt.solve_parallel ~heuristic ~budget ?domains ?memo_mb ?jobs ?split_depth
-              cts ~m)
+            Csp2.Opt.solve_parallel ~heuristic ~budget ?domains ?memo_mb ?nogoods ?jobs
+              ?split_depth cts ~m)
       in
       let verdict =
         match outcome with

@@ -115,6 +115,7 @@ val solve_csp2_opt :
   ?verify:bool ->
   ?analyze:bool ->
   ?memo_mb:int ->
+  ?nogoods:bool ->
   ?jobs:int ->
   ?split_depth:int ->
   Rt_model.Taskset.t ->
@@ -122,11 +123,13 @@ val solve_csp2_opt :
   verdict * float * Csp2.Opt.stats option
 (** {!solve} specialized to the optimized engine via
     {!Csp2.Opt.solve_parallel}, exposing its knobs ([memo_mb] caps the
-    transposition table, [jobs]/[split_depth] control subtree splitting)
-    and returning the engine's counters — nodes, memo hits/misses/stores,
-    subtrees, steals — or [None] when the static pass decided without any
-    search.  Identical platforms only (built from [m]); the clone
-    transform and schedule verification behave exactly as in {!solve}. *)
+    combined memo + nogood tables, [nogoods] toggles dominance-nogood
+    learning, [jobs]/[split_depth] control subtree splitting) and
+    returning the engine's counters — nodes, memo and nogood
+    hits/misses/stores, subtrees, steals — or [None] when the static
+    pass decided without any search.  Identical platforms only (built
+    from [m]); the clone transform and schedule verification behave
+    exactly as in {!solve}. *)
 
 val solve_portfolio :
   ?specs:Portfolio.spec list ->

@@ -7,6 +7,10 @@ type stats = {
   memo_hits : int;
   memo_misses : int;
   memo_stores : int;
+  nogood_hits : int;
+  nogood_misses : int;
+  nogood_stores : int;
+  nogood_evicted : int;
   subtrees : int;
   pulls : int;
   steals : int;
@@ -14,6 +18,10 @@ type stats = {
   max_time_reached : int;
   time_s : float;
 }
+
+let hit_rate_pct ~hits ~misses =
+  let lookups = hits + misses in
+  if lookups = 0 then 0. else 100. *. float_of_int hits /. float_of_int lookups
 
 let default_memo_mb = 64
 let default_probe_nodes = 4096
@@ -61,12 +69,12 @@ module Memo = struct
      instances that are decided in a few hundred nodes. *)
   let initial_size = 4096
 
-  let create ~job_count ~max_rem ~cap_mb =
-    if cap_mb <= 0 || max_rem > 0xFFFF then None
+  let create ~job_count ~max_rem ~cap_bytes =
+    if cap_bytes <= 0 || max_rem > 0xFFFF then None
     else begin
       let wide = max_rem > 0xFF in
       let key_len = Int.max 1 (job_count * if wide then 2 else 1) in
-      let budget_bytes = cap_mb * 1024 * 1024 in
+      let budget_bytes = cap_bytes in
       let slots = Int.max 64 (budget_bytes / (key_len + entry_overhead)) in
       let rec pow2 p = if 2 * p > slots || 2 * p <= 0 then p else pow2 (2 * p) in
       let cap_size = pow2 64 in
@@ -194,6 +202,236 @@ module Memo = struct
 end
 
 (* ------------------------------------------------------------------ *)
+(* Nogood store.
+
+   The memo above answers "was exactly this (t, rem) refuted?".  The
+   nogood store generalizes: an exhausted (t, rem₀) refutes every
+   (t, rem) with rem ≥ rem₀ pointwise — a feasible completion for the
+   harder state would, by deleting the extra units, yield one for rem₀
+   (job windows don't move and slot capacity is monotone; see DESIGN.md
+   §7c).  So each genuinely exhausted subtree root is recorded as a
+   (slot, remaining-demand-vector) nogood, and entry pruning scans the
+   slot's chain for a {e dominated} match.  This transfers pruning
+   across sibling branches the exact-key table cannot connect, and —
+   because chains are associative where the memo is direct-mapped — it
+   also retains refutations the memo loses to slot collisions.
+
+   Memory model: remainder vectors live in one {!Prelude.Arena} (flat
+   ints, bump-allocated), per-slot chain heads in a
+   {!Prelude.Epoch_dict}, per-entry metadata in parallel int arrays.
+   Rebinding a pooled engine clears everything in O(1): arena reset +
+   dict epoch bump.  The store shares the [--memo-mb] budget with the
+   memo (one eighth of the byte budget, see [make_search]); overflowing
+   the entry cap triggers deterministic activity-based eviction, never
+   unbounded growth.
+
+   Lookup cost is bounded: at most [max_scan] chain entries are
+   examined (a longer chain costs missed prunes, never unsoundness),
+   each gated by a total-demand quick reject before the pointwise
+   compare, and a hit moves its entry to the chain head so hot nogoods
+   stay inside the scan window. *)
+
+module Nogood = struct
+  type t = {
+    jn : int;  (* words per remainder vector *)
+    cap_entries : int;  (* eviction threshold from the byte budget *)
+    heads : Epoch_dict.t;  (* slot -> head entry id (absent = empty chain) *)
+    rems : Arena.t;  (* entry id -> jn words at [off.(id)] *)
+    mutable next : int array;  (* chain link, -1 terminates *)
+    mutable off : int array;  (* offset of the rem vector in [rems] *)
+    mutable time : int array;  (* the slot, for eviction rebuild *)
+    mutable total : int array;  (* sum of the rem vector: quick reject *)
+    mutable activity : int array;  (* hits since last eviction halving *)
+    mutable live : bool array;  (* false once subsumed or evicted *)
+    mutable n_entries : int;  (* ids 0 .. n_entries-1 are allocated *)
+    mutable hits : int;
+    mutable lookups : int;
+    mutable stores : int;
+    mutable evicted : int;
+  }
+
+  (* 6 int-array cells (48 bytes) per entry on top of the 8-byte words
+     of its rem vector. *)
+  let entry_overhead = 48
+
+  (* Chain-scan bound for both lookup and store-time subsumption. *)
+  let max_scan = 32
+
+  (* Only subtrees that cost at least this many nodes are worth a chain
+     entry: shallow exhaustions are cheaper to re-derive than to scan
+     for, and they would swamp the chains (and churn eviction) —
+     measured on the bench's hard instances, 4 keeps the node reduction
+     of unconditional recording at roughly half the store traffic. *)
+  let min_subtree = 4
+
+  let create ~job_count ~cap_bytes =
+    if cap_bytes <= 0 then None
+    else begin
+      let jn = Int.max 1 job_count in
+      let cap_entries = Int.max 32 (cap_bytes / ((8 * jn) + entry_overhead)) in
+      let size = Int.min 256 cap_entries in
+      Some
+        {
+          jn;
+          cap_entries;
+          heads = Epoch_dict.create ();
+          rems = Arena.create ~capacity:(size * jn) ();
+          next = Array.make size (-1);
+          off = Array.make size 0;
+          time = Array.make size 0;
+          total = Array.make size 0;
+          activity = Array.make size 0;
+          live = Array.make size false;
+          n_entries = 0;
+          hits = 0;
+          lookups = 0;
+          stores = 0;
+          evicted = 0;
+        }
+    end
+
+  (* O(1) wholesale invalidation, mirroring [Memo.reset]: the dict epoch
+     bump orphans every chain, the arena rewind reclaims every vector.
+     Counters restart with the solve they now describe. *)
+  let reset t =
+    Epoch_dict.clear t.heads;
+    Arena.reset t.rems;
+    t.n_entries <- 0;
+    t.hits <- 0;
+    t.lookups <- 0;
+    t.stores <- 0;
+    t.evicted <- 0
+
+  (* rem ≥ vector at [off] pointwise? *)
+  let dominates t ~off rem =
+    let data = Arena.data t.rems in
+    let rec go g = g >= t.jn || (Array.unsafe_get rem g >= Array.unsafe_get data (off + g) && go (g + 1)) in
+    go 0
+
+  (* vector at [off] ≥ rem pointwise? *)
+  let dominated_by t ~off rem =
+    let data = Arena.data t.rems in
+    let rec go g = g >= t.jn || (Array.unsafe_get data (off + g) >= Array.unsafe_get rem g && go (g + 1)) in
+    go 0
+
+  let known_infeasible t ~time:tm ~total rem =
+    t.lookups <- t.lookups + 1;
+    let head = Epoch_dict.get t.heads ~default:(-1) tm in
+    let rec scan prev e steps =
+      if e < 0 || steps >= max_scan then false
+      else if t.total.(e) <= total && dominates t ~off:t.off.(e) rem then begin
+        t.hits <- t.hits + 1;
+        t.activity.(e) <- t.activity.(e) + 1;
+        (* Move to front so hot nogoods stay inside the scan window. *)
+        if prev >= 0 then begin
+          t.next.(prev) <- t.next.(e);
+          t.next.(e) <- head;
+          Epoch_dict.set t.heads tm e
+        end;
+        true
+      end
+      else scan e t.next.(e) (steps + 1)
+    in
+    scan (-1) head 0
+
+  let grow t =
+    let size = Int.min t.cap_entries (2 * Array.length t.next) in
+    let extend a fill =
+      let b = Array.make size fill in
+      Array.blit a 0 b 0 (Array.length a);
+      b
+    in
+    t.next <- extend t.next (-1);
+    t.off <- extend t.off 0;
+    t.time <- extend t.time 0;
+    t.total <- extend t.total 0;
+    t.activity <- extend t.activity 0;
+    t.live <- extend t.live false
+
+  (* Deterministic activity-based eviction: keep the most-hit half
+     (ties to the older entry), compact the arena in id order, rebuild
+     the chains in id order, halve survivor activities so formerly hot
+     entries cannot become immortal.  Everything is a pure function of
+     the store's state, so reruns evict identically. *)
+  let evict t =
+    let ids = Array.init t.n_entries Fun.id in
+    let alive = Array.of_list (List.filter (fun i -> t.live.(i)) (Array.to_list ids)) in
+    Array.sort
+      (fun a b ->
+        let c = Int.compare t.activity.(b) t.activity.(a) in
+        if c <> 0 then c else Int.compare a b)
+      alive;
+    let keep = Int.min (Array.length alive) (Int.max 16 (t.cap_entries / 2)) in
+    t.evicted <- t.evicted + (t.n_entries - keep);
+    let kept = Array.sub alive 0 keep in
+    Array.sort Int.compare kept;
+    let data = Arena.data t.rems in
+    Array.iteri
+      (fun nid oid ->
+        let noff = nid * t.jn in
+        Array.blit data t.off.(oid) data noff t.jn;
+        t.off.(nid) <- noff;
+        t.time.(nid) <- t.time.(oid);
+        t.total.(nid) <- t.total.(oid);
+        t.activity.(nid) <- t.activity.(oid) lsr 1;
+        t.live.(nid) <- true;
+        t.next.(nid) <- -1)
+      kept;
+    t.n_entries <- keep;
+    (* Compaction rewound in place: survivors occupy exactly [keep * jn]. *)
+    Arena.truncate t.rems (keep * t.jn);
+    Epoch_dict.clear t.heads;
+    for nid = keep - 1 downto 0 do
+      let tm = t.time.(nid) in
+      t.next.(nid) <- Epoch_dict.get t.heads ~default:(-1) tm;
+      Epoch_dict.set t.heads tm nid
+    done
+
+  let store t ~time:tm ~total rem =
+    (* Store-time subsumption, bounded like lookups: skip the new nogood
+       when a chained one already dominates it, and splice out chained
+       ones the new one strictly strengthens. *)
+    let head = Epoch_dict.get t.heads ~default:(-1) tm in
+    let subsumed = ref false in
+    let prev = ref (-1) in
+    let e = ref head in
+    let steps = ref 0 in
+    while (not !subsumed) && !e >= 0 && !steps < max_scan do
+      let cur = !e in
+      let nxt = t.next.(cur) in
+      if t.total.(cur) <= total && dominates t ~off:t.off.(cur) rem then subsumed := true
+      else if t.total.(cur) >= total && dominated_by t ~off:t.off.(cur) rem then begin
+        (* [cur] is weaker than the new nogood: unlink and mark dead. *)
+        if !prev >= 0 then t.next.(!prev) <- nxt else Epoch_dict.set t.heads tm nxt;
+        t.live.(cur) <- false;
+        e := nxt
+      end
+      else begin
+        prev := cur;
+        e := nxt
+      end;
+      incr steps
+    done;
+    if not !subsumed then begin
+      if t.n_entries >= Array.length t.next then
+        if t.n_entries >= t.cap_entries then evict t else grow t;
+      let id = t.n_entries in
+      t.n_entries <- id + 1;
+      let off = Arena.alloc t.rems t.jn in
+      let data = Arena.data t.rems in
+      Array.blit rem 0 data off t.jn;
+      t.off.(id) <- off;
+      t.time.(id) <- tm;
+      t.total.(id) <- total;
+      t.activity.(id) <- 0;
+      t.live.(id) <- true;
+      t.next.(id) <- Epoch_dict.get t.heads ~default:(-1) tm;
+      Epoch_dict.set t.heads tm id;
+      t.stores <- t.stores + 1
+    end
+end
+
+(* ------------------------------------------------------------------ *)
 (* Shared read-only context: everything derivable from the instance
    alone, built once and shared by every subtree worker. *)
 
@@ -211,7 +449,8 @@ type ctx = {
   usable_after : int array array;  (* as in Solver: only with domains *)
   elig : Ibits.t array;  (* per slot, rank space: in-window and unblocked *)
   elig_built : bool array;  (* lazy build; forced before going parallel *)
-  zob : int array array;  (* Zobrist keys: zob.(g).(c) tags rem.(g) = c *)
+  zob_off : int array;  (* per global job: offset into [zob_data] *)
+  zob_data : int array;  (* flat Zobrist keys: [zob_off.(g) + c] tags rem.(g) = c *)
 }
 
 (* Identical to Solver.remaining_slots / Solver.build_usable_after; kept
@@ -246,6 +485,35 @@ let build_usable_after jm deadline domains =
   done;
   ua
 
+(* Per-domain context scratch: the eligibility bitsets and the Zobrist
+   table are the two allocations [make_ctx] pays per solve, and both are
+   pure functions of the instance — so a batch campaign rebuilds their
+   {e contents} but can reuse their {e storage}.  The Zobrist keys live
+   in a [Prelude.Arena] (reset per solve, O(1)); the bitset array is
+   kept as long as the task count matches exactly (word counts must
+   agree) and the horizon fits.  A context built from scratch storage is
+   only ever consumed by solves issued from this domain before the next
+   [make_ctx] here, which is exactly the lifetime of a solve: the
+   parallel phase shares the context with pooled workers, but
+   [Pool.run] joins them before the caller can rebuild. *)
+type ctx_scratch = {
+  mutable sc_n : int;  (* task count the cached bitsets were sized for *)
+  mutable sc_elig : Ibits.t array;
+  mutable sc_elig_built : bool array;
+  sc_zob : Arena.t;
+  mutable sc_zob_off : int array;
+}
+
+let ctx_scratch_slot : ctx_scratch Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      {
+        sc_n = -1;
+        sc_elig = [||];
+        sc_elig_built = [||];
+        sc_zob = Arena.create ();
+        sc_zob_off = [||];
+      })
+
 let make_ctx ~heuristic ?domains ts ~m =
   if m < 1 then invalid_arg "Csp2.Opt.solve: m must be >= 1";
   let jm = Jobmap.create ts in
@@ -257,21 +525,34 @@ let make_ctx ~heuristic ?domains ts ~m =
   | _ -> ());
   let wcet = Array.init n (fun i -> (Taskset.task ts i).wcet) in
   let deadline = Array.init n (fun i -> (Taskset.task ts i).deadline) in
-  let job_wcet = Array.make (Jobmap.job_count jm) 0 in
+  let jn = Jobmap.job_count jm in
+  let job_wcet = Array.make jn 0 in
   for i = 0 to n - 1 do
     let base = Jobmap.first_of_task jm i in
     for k = 0 to Jobmap.jobs_of_task jm i - 1 do
       job_wcet.(base + k) <- wcet.(i)
     done
   done;
+  let sc = Domain.DLS.get ctx_scratch_slot in
+  if sc.sc_n <> n || Array.length sc.sc_elig < horizon then begin
+    sc.sc_n <- n;
+    sc.sc_elig <- Array.init horizon (fun _ -> Ibits.create n);
+    sc.sc_elig_built <- Array.make horizon false
+  end
+  else Array.fill sc.sc_elig_built 0 horizon false;
   (* Fixed seed: equal instances hash identically run to run, so node and
-     memo counters stay reproducible. *)
+     memo counters stay reproducible — and independently of scratch
+     reuse, since the keys are fully rewritten below. *)
   let rng = Prng.create ~seed:0x2545F49 in
-  let zob =
-    Array.map
-      (fun c -> Array.init (c + 1) (fun _ -> Int64.to_int (Prng.bits64 rng) land max_int))
-      job_wcet
-  in
+  Arena.reset sc.sc_zob;
+  if Array.length sc.sc_zob_off <> jn then sc.sc_zob_off <- Array.make jn 0;
+  for g = 0 to jn - 1 do
+    let off = Arena.alloc sc.sc_zob (job_wcet.(g) + 1) in
+    sc.sc_zob_off.(g) <- off;
+    for c = 0 to job_wcet.(g) do
+      Arena.set sc.sc_zob (off + c) (Int64.to_int (Prng.bits64 rng) land max_int)
+    done
+  done;
   {
     jm;
     m;
@@ -285,13 +566,15 @@ let make_ctx ~heuristic ?domains ts ~m =
     domains;
     usable_after =
       (match domains with Some d -> build_usable_after jm deadline d | None -> [||]);
-    elig = Array.init horizon (fun _ -> Ibits.create n);
-    elig_built = Array.make horizon false;
-    zob;
+    elig = sc.sc_elig;
+    elig_built = sc.sc_elig_built;
+    zob_off = sc.sc_zob_off;
+    zob_data = Arena.data sc.sc_zob;
   }
 
 let build_elig cx t =
   let set = cx.elig.(t) in
+  Ibits.clear set;
   for i = 0 to cx.n - 1 do
     if Jobmap.local_job_at cx.jm ~task:i ~time:t >= 0 then begin
       let blocked =
@@ -314,7 +597,7 @@ let force_elig cx ~from =
 
 let init_hash cx =
   let h = ref 0 in
-  Array.iteri (fun g c -> h := !h lxor cx.zob.(g).(c)) cx.job_wcet;
+  Array.iteri (fun g c -> h := !h lxor cx.zob_data.(cx.zob_off.(g) + c)) cx.job_wcet;
   !h
 
 (* ------------------------------------------------------------------ *)
@@ -334,6 +617,7 @@ type frame = {
   combo : int array;  (* cursor into [free]; first [combo_k] cells live *)
   mutable combo_k : int;
   mutable fresh : bool;
+  mutable entry_nodes : int;  (* engine node count at frame activation *)
 }
 
 let new_frame n =
@@ -348,13 +632,15 @@ let new_frame n =
     combo = Array.make (Int.max 1 n) 0;
     combo_k = 0;
     fresh = true;
+    entry_nodes = 0;
   }
 
-let reset_frame f time =
+let reset_frame f time ~nodes =
   f.time <- time;
   f.applied_n <- 0;
   f.combo_k <- 0;
-  f.fresh <- true
+  f.fresh <- true;
+  f.entry_nodes <- nodes
 
 type search = {
   mutable cx : ctx;
@@ -362,7 +648,9 @@ type search = {
   mutable total_rem : int;
   mutable hash : int;  (* Zobrist hash of [rem], maintained incrementally *)
   mutable memo : Memo.t option;
-  mutable memo_cap_mb : int;  (* the cap [memo] was created under *)
+  mutable nogood : Nogood.t option;
+  mutable nogoods_on : bool;  (* gates nogood lookups and stores *)
+  mutable memo_cap_mb : int;  (* the cap memo + nogood were created under *)
   mutable memo_store : bool;  (* stores gated off during frontier expansion *)
   mutable budget : Timer.budget;
   mutable frames : frame array;
@@ -373,16 +661,33 @@ type search = {
   mutable max_time : int;
 }
 
-let make_search cx ~budget ~memo_mb =
+(* One [--memo-mb] budget covers both tables: the nogood store takes an
+   eighth of the bytes (its associative chains prune more per byte, but
+   the direct-mapped memo answers in one probe and should stay large),
+   the memo the rest.  [memo_mb <= 0] disables both.  The split does NOT
+   depend on the [nogoods] flag: toggling learning off merely gates use
+   of the store, so a pooled engine alternating between on and off
+   solves (the bench ablation does exactly that) keeps both tables'
+   storage instead of reallocating the memo at a different size on
+   every rebind — and the ablation compares equal memo capacities. *)
+let split_budget ~memo_mb =
+  let total = memo_mb * 1024 * 1024 in
+  let ng = total / 8 in
+  (total - ng, ng)
+
+let make_search cx ~budget ~memo_mb ~nogoods =
   let rem = Array.copy cx.job_wcet in
   let total_rem = Array.fold_left ( + ) 0 rem in
   let max_rem = Array.fold_left Int.max 0 cx.wcet in
+  let memo_bytes, ng_bytes = split_budget ~memo_mb in
   {
     cx;
     rem;
     total_rem;
     hash = init_hash cx;
-    memo = Memo.create ~job_count:(Array.length rem) ~max_rem ~cap_mb:memo_mb;
+    memo = Memo.create ~job_count:(Array.length rem) ~max_rem ~cap_bytes:memo_bytes;
+    nogood = Nogood.create ~job_count:(Array.length rem) ~cap_bytes:ng_bytes;
+    nogoods_on = nogoods;
     memo_cap_mb = memo_mb;
     memo_store = true;
     budget;
@@ -397,7 +702,7 @@ let make_search cx ~budget ~memo_mb =
 (* Rebind a cached engine to a (possibly different) instance: reuse every
    buffer that still fits, bump the memo epoch instead of freeing the
    table, and zero the per-solve counters. *)
-let rebind s cx ~budget ~memo_mb =
+let rebind s cx ~budget ~memo_mb ~nogoods =
   let jn = Array.length cx.job_wcet in
   if Array.length s.rem <> jn then s.rem <- Array.copy cx.job_wcet
   else Array.blit cx.job_wcet 0 s.rem 0 jn;
@@ -413,14 +718,19 @@ let rebind s cx ~budget ~memo_mb =
   let max_rem = Array.fold_left Int.max 0 cx.wcet in
   let wide = max_rem > 0xFF in
   let key_len = Int.max 1 (jn * if wide then 2 else 1) in
+  let memo_bytes, ng_bytes = split_budget ~memo_mb in
   (match s.memo with
   | Some m
     when memo_mb = s.memo_cap_mb && memo_mb > 0 && max_rem <= 0xFFFF
          && m.Memo.key_len = key_len && m.Memo.wide = wide ->
     Memo.reset m
-  | _ ->
-    s.memo <- Memo.create ~job_count:jn ~max_rem ~cap_mb:memo_mb;
-    s.memo_cap_mb <- memo_mb);
+  | _ -> s.memo <- Memo.create ~job_count:jn ~max_rem ~cap_bytes:memo_bytes);
+  (match s.nogood with
+  | Some ng when memo_mb = s.memo_cap_mb && ng.Nogood.jn = Int.max 1 jn ->
+    Nogood.reset ng
+  | _ -> s.nogood <- Nogood.create ~job_count:jn ~cap_bytes:ng_bytes);
+  s.nogoods_on <- nogoods;
+  s.memo_cap_mb <- memo_mb;
   s.memo_store <- true;
   s.budget <- budget;
   s.cx <- cx;
@@ -434,20 +744,36 @@ let rebind s cx ~budget ~memo_mb =
    fresh transient engine. *)
 let engine_slot : search option ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref None)
 
-let acquire cx ~budget ~memo_mb =
+let acquire cx ~budget ~memo_mb ~nogoods =
   let cell = Domain.DLS.get engine_slot in
   match !cell with
   | Some s when not s.in_use ->
     s.in_use <- true;
-    rebind s cx ~budget ~memo_mb;
+    rebind s cx ~budget ~memo_mb ~nogoods;
     s
   | cached ->
-    let s = make_search cx ~budget ~memo_mb in
+    let s = make_search cx ~budget ~memo_mb ~nogoods in
     s.in_use <- true;
     (match cached with None -> cell := Some s | Some _ -> ());
     s
 
 let release s = s.in_use <- false
+
+(* Drop this domain's warm engine and context scratch, so the next solve
+   here pays the full allocation cost.  Pooled worker domains keep their
+   own caches — this only affects the calling domain, which is exactly
+   what the batch-reuse bench needs: its sequential solves all run on
+   the caller, so fresh-vs-reuse is an honest comparison there. *)
+let reset_caches () =
+  Domain.DLS.get engine_slot := None;
+  Domain.DLS.set ctx_scratch_slot
+    {
+      sc_n = -1;
+      sc_elig = [||];
+      sc_elig_built = [||];
+      sc_zob = Arena.create ();
+      sc_zob_off = [||];
+    }
 
 let undo s f =
   if f.applied_n > 0 then begin
@@ -455,8 +781,9 @@ let undo s f =
       let i = f.applied.(idx) in
       let g = Jobmap.global_job_at s.cx.jm ~task:i ~time:f.time in
       let c = s.rem.(g) in
+      let zo = s.cx.zob_off.(g) in
       s.rem.(g) <- c + 1;
-      s.hash <- s.hash lxor s.cx.zob.(g).(c) lxor s.cx.zob.(g).(c + 1);
+      s.hash <- s.hash lxor s.cx.zob_data.(zo + c) lxor s.cx.zob_data.(zo + c + 1);
       s.total_rem <- s.total_rem + 1
     done;
     f.applied_n <- 0
@@ -465,25 +792,38 @@ let undo s f =
 let apply_task s f i =
   let g = Jobmap.global_job_at s.cx.jm ~task:i ~time:f.time in
   let c = s.rem.(g) in
+  let zo = s.cx.zob_off.(g) in
   s.rem.(g) <- c - 1;
-  s.hash <- s.hash lxor s.cx.zob.(g).(c) lxor s.cx.zob.(g).(c - 1);
+  s.hash <- s.hash lxor s.cx.zob_data.(zo + c) lxor s.cx.zob_data.(zo + c - 1);
   s.total_rem <- s.total_rem - 1;
   f.applied.(f.applied_n) <- i;
   f.applied_n <- f.applied_n + 1
 
 (* Entry checks for a state visited for the first time at this frame
-   activation.  Both are functions of (t, rem) only, so pruning here can
+   activation.  All are functions of (t, rem) only, so pruning here can
    only shed states with no feasible completion:
    - aggregate capacity: the work still owed must fit in m units per
      remaining slot (urgency propagation guarantees every unfinished job's
      window is still open, so all of [total_rem] competes for them);
-   - the transposition table: the state was exhaustively refuted before. *)
+   - the transposition table: the state was exhaustively refuted before;
+   - the dominance-nogood store (see the Nogood module above).
+   A per-deadline demand bound (the EDF processor-demand criterion per
+   slot) was prototyped here and measured: urgency propagation plus the
+   aggregate check subsumed every prune it found on both the Table I
+   regime and a small-m/long-horizon stream, while its scan cost 4x on
+   the raw node rate — so it was dropped rather than windowed. *)
 let prune_entry s t =
   if s.total_rem > s.cx.m * (s.cx.horizon - t) then true
-  else
+  else if
     match s.memo with
     | Some memo -> Memo.known_infeasible memo ~time:t ~hash:s.hash s.rem
     | None -> false
+  then true
+  else
+    match s.nogood with
+    | Some ng when s.nogoods_on ->
+      Nogood.known_infeasible ng ~time:t ~total:s.total_rem s.rem
+    | _ -> false
 
 (* Availability in heuristic (= rank) order, straight off the packed
    eligibility word for the slot: blocked and out-of-window tasks never
@@ -562,9 +902,18 @@ let advance s f =
            Stores are gated off while a worker merely *enumerates* a
            slot's children for the work deque — exhausting a truncated
            sweep proves nothing about the full subtree. *)
-        (match s.memo with
-        | Some memo when s.memo_store -> Memo.store memo ~time:t ~hash:s.hash s.rem
-        | _ -> ());
+        if s.memo_store then begin
+          (match s.memo with
+          | Some memo -> Memo.store memo ~time:t ~hash:s.hash s.rem
+          | None -> ());
+          (* The same exhaustion proof, generalized: record (t, rem) as a
+             dominance nogood — but only when the refuted subtree cost
+             enough nodes that scanning a chain for it can ever pay. *)
+          match s.nogood with
+          | Some ng when s.nogoods_on && s.nodes - f.entry_nodes >= Nogood.min_subtree ->
+            Nogood.store ng ~time:t ~total:s.total_rem s.rem
+          | _ -> ()
+        end;
         Exhausted
       end
       else begin
@@ -599,7 +948,7 @@ type run_result = R_feasible | R_exhausted | R_stopped
 let search_loop s ~start ~stop_time ~on_frontier =
   assert (stop_time = s.cx.horizon || not s.memo_store);
   let depth = ref 1 in
-  reset_frame s.frames.(0) start;
+  reset_frame s.frames.(0) start ~nodes:s.nodes;
   let result = ref None in
   while !result = None do
     if !depth = 0 then result := Some R_exhausted
@@ -630,7 +979,7 @@ let search_loop s ~start ~stop_time ~on_frontier =
           if stop_time = s.cx.horizon then result := Some R_feasible else on_frontier !depth
         end
         else begin
-          reset_frame s.frames.(!depth) (f.time + 1);
+          reset_frame s.frames.(!depth) (f.time + 1) ~nodes:s.nodes;
           incr depth
         end
     end
@@ -663,6 +1012,10 @@ type slice = {
   sl_hits : int;
   sl_lookups : int;
   sl_stores : int;
+  sl_ng_hits : int;
+  sl_ng_lookups : int;
+  sl_ng_stores : int;
+  sl_ng_evicted : int;
   sl_max_time : int;
 }
 
@@ -672,12 +1025,21 @@ let slice_of s =
     | None -> (0, 0, 0)
     | Some m -> (m.Memo.hits, m.Memo.lookups, m.Memo.stores)
   in
+  let ng_hits, ng_lookups, ng_stores, ng_evicted =
+    match s.nogood with
+    | None -> (0, 0, 0, 0)
+    | Some ng -> (ng.Nogood.hits, ng.Nogood.lookups, ng.Nogood.stores, ng.Nogood.evicted)
+  in
   {
     sl_nodes = s.nodes;
     sl_fails = s.fails;
     sl_hits = hits;
     sl_lookups = lookups;
     sl_stores = stores;
+    sl_ng_hits = ng_hits;
+    sl_ng_lookups = ng_lookups;
+    sl_ng_stores = ng_stores;
+    sl_ng_evicted = ng_evicted;
     sl_max_time = s.max_time;
   }
 
@@ -687,6 +1049,10 @@ let stats_of ?(subtrees = 0) ?(pulls = 0) ?(steals = 0) ?(parks = 0) slices ~t0 
   and hits = ref 0
   and lookups = ref 0
   and stores = ref 0
+  and ng_hits = ref 0
+  and ng_lookups = ref 0
+  and ng_stores = ref 0
+  and ng_evicted = ref 0
   and max_time = ref 0 in
   List.iter
     (fun sl ->
@@ -695,6 +1061,10 @@ let stats_of ?(subtrees = 0) ?(pulls = 0) ?(steals = 0) ?(parks = 0) slices ~t0 
       hits := !hits + sl.sl_hits;
       lookups := !lookups + sl.sl_lookups;
       stores := !stores + sl.sl_stores;
+      ng_hits := !ng_hits + sl.sl_ng_hits;
+      ng_lookups := !ng_lookups + sl.sl_ng_lookups;
+      ng_stores := !ng_stores + sl.sl_ng_stores;
+      ng_evicted := !ng_evicted + sl.sl_ng_evicted;
       if sl.sl_max_time > !max_time then max_time := sl.sl_max_time)
     slices;
   {
@@ -703,6 +1073,10 @@ let stats_of ?(subtrees = 0) ?(pulls = 0) ?(steals = 0) ?(parks = 0) slices ~t0 
     memo_hits = !hits;
     memo_misses = !lookups - !hits;
     memo_stores = !stores;
+    nogood_hits = !ng_hits;
+    nogood_misses = !ng_lookups - !ng_hits;
+    nogood_stores = !ng_stores;
+    nogood_evicted = !ng_evicted;
     subtrees;
     pulls;
     steals;
@@ -714,8 +1088,9 @@ let stats_of ?(subtrees = 0) ?(pulls = 0) ?(steals = 0) ?(parks = 0) slices ~t0 
 let to_stats ~backend (st : stats) =
   Telemetry.Stats.make ~backend ~nodes:st.nodes ~fails:st.fails ~depth:st.max_time_reached
     ~memo_hits:st.memo_hits ~memo_misses:st.memo_misses ~memo_stores:st.memo_stores
-    ~subtrees:st.subtrees ~pulls:st.pulls ~steals:st.steals ~parks:st.parks ~time_s:st.time_s
-    ()
+    ~nogood_hits:st.nogood_hits ~nogood_misses:st.nogood_misses
+    ~nogood_stores:st.nogood_stores ~subtrees:st.subtrees ~pulls:st.pulls ~steals:st.steals
+    ~parks:st.parks ~time_s:st.time_s ()
 
 (* ------------------------------------------------------------------ *)
 (* Phase-0 probe: a static node-count estimate.
@@ -768,10 +1143,10 @@ let run_sequential s =
   | R_stopped -> Encodings.Outcome.Limit
 
 let solve ?(heuristic = Heuristic.DC) ?(budget = Timer.unlimited) ?domains
-    ?(memo_mb = default_memo_mb) ts ~m =
+    ?(memo_mb = default_memo_mb) ?(nogoods = true) ts ~m =
   let t0 = Timer.start () in
   let cx = make_ctx ~heuristic ?domains ts ~m in
-  let s = acquire cx ~budget ~memo_mb in
+  let s = acquire cx ~budget ~memo_mb ~nogoods in
   Fun.protect ~finally:(fun () -> release s) @@ fun () ->
   let outcome = run_sequential s in
   (outcome, stats_of [ slice_of s ] ~t0)
@@ -793,8 +1168,8 @@ let load_item s it =
   s.total_rem <- it.w_total
 
 let solve_parallel ?(heuristic = Heuristic.DC) ?(budget = Timer.unlimited) ?domains
-    ?(memo_mb = default_memo_mb) ?jobs ?split_depth ?(probe_nodes = default_probe_nodes) ts
-    ~m =
+    ?(memo_mb = default_memo_mb) ?(nogoods = true) ?jobs ?split_depth
+    ?(probe_nodes = default_probe_nodes) ts ~m =
   let t0 = Timer.start () in
   let cx = make_ctx ~heuristic ?domains ts ~m in
   let jobs =
@@ -805,7 +1180,7 @@ let solve_parallel ?(heuristic = Heuristic.DC) ?(budget = Timer.unlimited) ?doma
     Intmath.clamp ~lo:0 ~hi:(cx.horizon - 1) d
   in
   let sequential () =
-    let s = acquire cx ~budget ~memo_mb in
+    let s = acquire cx ~budget ~memo_mb ~nogoods in
     Fun.protect ~finally:(fun () -> release s) @@ fun () ->
     let outcome = run_sequential s in
     (outcome, stats_of [ slice_of s ] ~t0)
@@ -818,7 +1193,7 @@ let solve_parallel ?(heuristic = Heuristic.DC) ?(budget = Timer.unlimited) ?doma
   else begin
     let workers = jobs in
     let per_worker_mb = Int.max 1 (memo_mb / workers) in
-    let s0 = acquire cx ~budget ~memo_mb:per_worker_mb in
+    let s0 = acquire cx ~budget ~memo_mb:per_worker_mb ~nogoods in
     Fun.protect ~finally:(fun () -> release s0) @@ fun () ->
     (* Phase 0b: a bounded sequential burst.  The Table I population is
        dominated by instances a warm engine decides in a few hundred
@@ -891,7 +1266,7 @@ let solve_parallel ?(heuristic = Heuristic.DC) ?(budget = Timer.unlimited) ?doma
       let worker wid =
         let s =
           if wid = 0 then s0
-          else acquire cx ~budget:worker_budget ~memo_mb:per_worker_mb
+          else acquire cx ~budget:worker_budget ~memo_mb:per_worker_mb ~nogoods
         in
         let my = deques.(wid) in
         let rng = Prng.create ~seed:(0x51ED2701 + (wid * 7919)) in

@@ -30,12 +30,27 @@
       keeps every unfinished job's window open, so all remaining work
       competes for those units);
 
-    - {b engine pooling}: each domain caches one warm engine (frames, rem
-      and hash buffers, the memo table); back-to-back solves rebind it
-      instead of reallocating, and the parallel phase draws its worker
-      domains from {!Pool}, so a bench campaign of hundreds of
-      millisecond-sized instances pays for neither [Domain.spawn] nor
-      table zeroing per instance;
+    - {b nogood learning}: on top of the exact-key memo, each genuinely
+      exhausted subtree root is recorded as a (slot, remaining-demand)
+      {e dominance nogood}: an exhausted [(t, rem₀)] refutes every
+      [(t, rem)] with [rem ≥ rem₀] pointwise (deleting the extra units
+      from a feasible completion of the harder state yields one for
+      [rem₀]; DESIGN.md §7c), so pruning knowledge transfers across
+      sibling branches the exact-key table cannot connect.  Nogoods
+      live in per-slot chains (bounded scan, move-to-front), their
+      vectors in a {!Prelude.Arena}, their chain heads in a
+      {!Prelude.Epoch_dict}; the store shares the [memo_mb] budget with
+      the memo and evicts its least-active half, deterministically,
+      when full.  [nogoods:false] turns learning off (ablation);
+
+    - {b engine pooling and epoch reuse}: each domain caches one warm
+      engine (frames, rem and hash buffers, the memo table, the nogood
+      store) plus context scratch (eligibility bitsets, the
+      arena-backed Zobrist table); back-to-back solves rebind instead
+      of reallocating — tables are invalidated by O(1) epoch bumps —
+      and the parallel phase draws its worker domains from {!Pool}, so
+      a bench campaign of hundreds of millisecond-sized instances pays
+      for neither [Domain.spawn] nor table zeroing per instance;
 
     - {b work-stealing parallel search} ({!solve_parallel}): after a
       cheap sequential probe (static tree-size estimate, then a bounded
@@ -59,6 +74,10 @@ type stats = {
   memo_hits : int;  (** Lookups that pruned a known-infeasible state. *)
   memo_misses : int;
   memo_stores : int;
+  nogood_hits : int;  (** Chain scans that found a dominating nogood. *)
+  nogood_misses : int;  (** Chain scans that found none (ran on memo miss). *)
+  nogood_stores : int;  (** Nogoods recorded (post-subsumption). *)
+  nogood_evicted : int;  (** Entries dropped by activity-based eviction. *)
   subtrees : int;  (** Work items deep-solved to the horizon (0 = sequential). *)
   pulls : int;  (** Work items taken from a worker's own deque. *)
   steals : int;  (** Work items taken from {e another} worker's deque. *)
@@ -67,8 +86,14 @@ type stats = {
   time_s : float;
 }
 
+val hit_rate_pct : hits:int -> misses:int -> float
+(** [100 · hits / (hits + misses)], or [0.] with no lookups at all — the
+    rate the CLI and the bench report next to the raw counters. *)
+
 val default_memo_mb : int
-(** 64 MiB; an explicit upper bound on table memory, not a reservation. *)
+(** 64 MiB; an explicit upper bound on {e combined} table memory (the
+    nogood store takes an eighth of the bytes, the memo the rest), not a
+    reservation. *)
 
 val default_probe_nodes : int
 (** 4096: the sequential-burst node cap of {!solve_parallel}'s probe. *)
@@ -77,17 +102,26 @@ val to_stats : backend:string -> stats -> Telemetry.Stats.t
 (** The unified telemetry view: the memo and work-distribution counters
     map to their namesake fields, [max_time_reached] to [depth]. *)
 
+val reset_caches : unit -> unit
+(** Drop the calling domain's warm engine and context scratch, so its
+    next solve allocates everything from scratch.  Exists for the
+    batch-reuse bench (honest fresh-vs-warm comparison) and for tests;
+    pooled worker domains keep their own caches. *)
+
 val solve :
   ?heuristic:Heuristic.t ->
   ?budget:Prelude.Timer.budget ->
   ?domains:Analysis.Domains.t ->
   ?memo_mb:int ->
+  ?nogoods:bool ->
   Rt_model.Taskset.t ->
   m:int ->
   Encodings.Outcome.t * stats
 (** Sequential entry point.  [memo_mb <= 0] disables the transposition
-    table (the capacity bound stays on); so do per-job demands above
-    65535, where keys would no longer pack into two bytes.
+    table {e and} the nogood store (the capacity bound stays on); so do
+    per-job demands above 65535, where memo keys would no longer pack
+    into two bytes.  [nogoods] (default [true]) toggles dominance-nogood
+    learning alone; the verdict never depends on it.
     @raise Invalid_argument as {!Solver.solve}. *)
 
 val solve_parallel :
@@ -95,6 +129,7 @@ val solve_parallel :
   ?budget:Prelude.Timer.budget ->
   ?domains:Analysis.Domains.t ->
   ?memo_mb:int ->
+  ?nogoods:bool ->
   ?jobs:int ->
   ?split_depth:int ->
   ?probe_nodes:int ->

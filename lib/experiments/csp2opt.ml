@@ -9,9 +9,15 @@ type totals = {
   feasible_checked : int;
   nodes_classic : int;
   nodes_opt : int;
+  nodes_opt_searched : int;
+  nodes_opt_nonogood : int;
   memo_hits : int;
   memo_misses : int;
   memo_stores : int;
+  nogood_hits : int;
+  nogood_misses : int;
+  nogood_stores : int;
+  nogood_evicted : int;
   subtrees : int;
   pulls : int;
   steals : int;
@@ -20,6 +26,11 @@ type totals = {
   classic_wall_s : float;
   opt_wall_s : float;
   opt_parallel_wall_s : float;
+  batch_solves : int;
+  batch_passes : int;
+  batch_reuse_wall_s : float;
+  batch_nonogood_wall_s : float;
+  batch_fresh_wall_s : float;
 }
 
 let empty =
@@ -34,9 +45,15 @@ let empty =
     feasible_checked = 0;
     nodes_classic = 0;
     nodes_opt = 0;
+    nodes_opt_searched = 0;
+    nodes_opt_nonogood = 0;
     memo_hits = 0;
     memo_misses = 0;
     memo_stores = 0;
+    nogood_hits = 0;
+    nogood_misses = 0;
+    nogood_stores = 0;
+    nogood_evicted = 0;
     subtrees = 0;
     pulls = 0;
     steals = 0;
@@ -45,6 +62,11 @@ let empty =
     classic_wall_s = 0.;
     opt_wall_s = 0.;
     opt_parallel_wall_s = 0.;
+    batch_solves = 0;
+    batch_passes = 2;
+    batch_reuse_wall_s = 0.;
+    batch_nonogood_wall_s = 0.;
+    batch_fresh_wall_s = 0.;
   }
 
 let decided = function
@@ -71,6 +93,7 @@ let run ?(progress = fun _ -> ()) ?jobs (config : Config.t) =
     match jobs with Some j -> max 1 j | None -> Prelude.Parallel.recommended_jobs ()
   in
   let acc = ref { empty with instances = Array.length instances; parallel_jobs = jobs } in
+  let searched_instances = ref [] in
   Array.iteri
     (fun idx (ts, m) ->
       (* The Table I distribution is dominated by statically refutable
@@ -82,11 +105,22 @@ let run ?(progress = fun _ -> ()) ?jobs (config : Config.t) =
         | Analysis.Pruned _ -> true
       in
       if searched then begin
+        searched_instances := (ts, m) :: !searched_instances;
         let t = { !acc with searched = !acc.searched + 1 } in
         let classic, classic_st =
           Csp2.Solver.solve ~budget:(Config.budget config) ts ~m
         in
         let opt, opt_st = Csp2.Opt.solve ~budget:(Config.budget config) ts ~m in
+        (* The learning ablation: the same sequential engine rebound with
+           the nogood store gated off.  Nodes-with vs nodes-without is
+           the generalized-pruning payoff at equal verdicts.  Only node
+           counts are compared from this interleaved pair — back-to-back
+           runs of one instance share OS/allocator warmth, so the second
+           run's wall clock is flattered; the ablation {e wall} numbers
+           come from the equal-footing campaign passes below. *)
+        let nong, nong_st =
+          Csp2.Opt.solve ~budget:(Config.budget config) ~nogoods:false ts ~m
+        in
         (* The parallel run contributes wall clock and splitting counters;
            its verdict is checked for consistency below via [agree]. *)
         let par, par_st =
@@ -94,14 +128,27 @@ let run ?(progress = fun _ -> ()) ?jobs (config : Config.t) =
         in
         if not (Encodings.Outcome.agree par opt) then
           failwith "Csp2opt.run: sequential and parallel opt verdicts contradict";
+        if not (Encodings.Outcome.agree nong opt) then
+          failwith "Csp2opt.run: nogoods-on and nogoods-off verdicts contradict";
         let t =
           {
             t with
             classic_decided = t.classic_decided + Bool.to_int (decided classic);
             opt_decided = t.opt_decided + Bool.to_int (decided opt);
+            (* The ablation pair accumulates over {e every} searched
+               instance: the engine-vs-itself comparison does not depend
+               on the classic solver finishing, and the instances where
+               learning matters most are exactly the ones classic times
+               out on (they never enter the compared set below). *)
+            nodes_opt_searched = t.nodes_opt_searched + opt_st.Csp2.Opt.nodes;
+            nodes_opt_nonogood = t.nodes_opt_nonogood + nong_st.Csp2.Opt.nodes;
             memo_hits = t.memo_hits + opt_st.Csp2.Opt.memo_hits;
             memo_misses = t.memo_misses + opt_st.Csp2.Opt.memo_misses;
             memo_stores = t.memo_stores + opt_st.Csp2.Opt.memo_stores;
+            nogood_hits = t.nogood_hits + opt_st.Csp2.Opt.nogood_hits;
+            nogood_misses = t.nogood_misses + opt_st.Csp2.Opt.nogood_misses;
+            nogood_stores = t.nogood_stores + opt_st.Csp2.Opt.nogood_stores;
+            nogood_evicted = t.nogood_evicted + opt_st.Csp2.Opt.nogood_evicted;
             subtrees = t.subtrees + par_st.Csp2.Opt.subtrees;
             pulls = t.pulls + par_st.Csp2.Opt.pulls;
             steals = t.steals + par_st.Csp2.Opt.steals;
@@ -139,16 +186,80 @@ let run ?(progress = fun _ -> ()) ?jobs (config : Config.t) =
       end;
       progress idx)
     instances;
-  !acc
+  (* Batch campaigns: the searched instances solved back-to-back
+     [batch_passes] times on this domain, sequentially, three ways —
+     warm pooled engines with learning on (the default path), the same
+     warm passes with learning gated off (the equal-footing wall side
+     of the nogood ablation), and learning on but dropping every
+     per-domain cache before each solve.  Same instances, same order,
+     same budgets; the reuse-vs-fresh gap is the amortization payoff,
+     the reuse-vs-nonogood gap is what learning costs or saves on the
+     clock. *)
+  let batch = Array.of_list (List.rev !searched_instances) in
+  let passes = empty.batch_passes in
+  let run_campaign ~nogoods =
+    Array.iter
+      (fun (ts, m) -> ignore (Csp2.Opt.solve ~budget:(Config.budget config) ~nogoods ts ~m))
+      batch
+  in
+  let timed f =
+    let t0 = Prelude.Timer.start () in
+    f ();
+    Prelude.Timer.elapsed t0
+  in
+  (* The three configurations are timed in interleaved rounds — warm,
+     warm-without-learning, fresh, repeated [passes] times — not as one
+     block each: machine-load drift over the seconds a block takes then
+     lands on all three about equally instead of inverting the
+     comparison.  The untimed lead-in pass grows the pooled storage to
+     steady state so the first timed round isn't charged for it. *)
+  Csp2.Opt.reset_caches ();
+  run_campaign ~nogoods:true;
+  let reuse_wall = ref 0. and nonogood_wall = ref 0. and fresh_wall = ref 0. in
+  for _pass = 1 to passes do
+    reuse_wall := !reuse_wall +. timed (fun () -> run_campaign ~nogoods:true);
+    nonogood_wall := !nonogood_wall +. timed (fun () -> run_campaign ~nogoods:false);
+    fresh_wall :=
+      !fresh_wall
+      +. timed (fun () ->
+             Array.iter
+               (fun (ts, m) ->
+                 Csp2.Opt.reset_caches ();
+                 ignore (Csp2.Opt.solve ~budget:(Config.budget config) ts ~m))
+               batch)
+  done;
+  let reuse_wall = !reuse_wall
+  and nonogood_wall = !nonogood_wall
+  and fresh_wall = !fresh_wall in
+  {
+    !acc with
+    batch_solves = Array.length batch * passes;
+    batch_passes = passes;
+    batch_reuse_wall_s = reuse_wall;
+    batch_nonogood_wall_s = nonogood_wall;
+    batch_fresh_wall_s = fresh_wall;
+  }
 
 let node_reduction_pct t =
   if t.nodes_classic = 0 then 0.
   else 100. *. float_of_int (t.nodes_classic - t.nodes_opt) /. float_of_int t.nodes_classic
 
+let nogood_node_reduction_pct t =
+  if t.nodes_opt_nonogood = 0 then 0.
+  else
+    100.
+    *. float_of_int (t.nodes_opt_nonogood - t.nodes_opt_searched)
+    /. float_of_int t.nodes_opt_nonogood
+
+let memo_hit_rate_pct t = Csp2.Opt.hit_rate_pct ~hits:t.memo_hits ~misses:t.memo_misses
+
+let nogood_hit_rate_pct t =
+  Csp2.Opt.hit_rate_pct ~hits:t.nogood_hits ~misses:t.nogood_misses
+
 let render t =
   let b = Buffer.create 1024 in
   let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
-  line "CSP2 classic vs optimized (bitsets + memo + capacity bound) on %d instances:"
+  line "CSP2 classic vs optimized (bitsets + memo + nogoods + capacity bound) on %d instances:"
     t.instances;
   line "  searched (analyzer undecided)  %4d" t.searched;
   line "  decided: classic %d, opt %d; both %d (verdicts equal on %d)" t.classic_decided
@@ -156,11 +267,21 @@ let render t =
   line "  opt schedules re-verified      %4d of %d" t.schedules_valid t.feasible_checked;
   line "  nodes on compared instances: classic %d vs opt %d (%.2f%% fewer)" t.nodes_classic
     t.nodes_opt (node_reduction_pct t);
-  line "  memo: %d hits / %d misses / %d stores" t.memo_hits t.memo_misses t.memo_stores;
+  line
+    "  nogood ablation (all %d searched): %d nodes without learning vs %d with (%.2f%% fewer)"
+    t.searched t.nodes_opt_nonogood t.nodes_opt_searched (nogood_node_reduction_pct t);
+  line "  memo:   %d hits / %d misses / %d stores (%.1f%% hit rate)" t.memo_hits
+    t.memo_misses t.memo_stores (memo_hit_rate_pct t);
+  line "  nogood: %d hits / %d misses / %d stores / %d evicted (%.1f%% hit rate)"
+    t.nogood_hits t.nogood_misses t.nogood_stores t.nogood_evicted (nogood_hit_rate_pct t);
   line "  wall on compared instances: classic %.4fs, opt %.4fs, opt --jobs %d %.4fs"
     t.classic_wall_s t.opt_wall_s t.parallel_jobs t.opt_parallel_wall_s;
   line "  parallel phase: %d subtrees, %d pulls, %d steals, %d parks" t.subtrees t.pulls
     t.steals t.parks;
+  line
+    "  batch x%d (%d solves): warm engines %.4fs vs fresh engines %.4fs (warm, learning off: %.4fs)"
+    t.batch_passes t.batch_solves t.batch_reuse_wall_s t.batch_fresh_wall_s
+    t.batch_nonogood_wall_s;
   Buffer.contents b
 
 (* Hand-rolled: the repo deliberately has no JSON dependency. *)
@@ -180,10 +301,19 @@ let to_json t =
   field "feasible_checked" (string_of_int t.feasible_checked);
   field "nodes_classic" (string_of_int t.nodes_classic);
   field "nodes_opt" (string_of_int t.nodes_opt);
+  field "nodes_opt_searched" (string_of_int t.nodes_opt_searched);
+  field "nodes_opt_nonogood" (string_of_int t.nodes_opt_nonogood);
   field "node_reduction_pct" (Printf.sprintf "%.2f" (node_reduction_pct t));
+  field "nogood_node_reduction_pct" (Printf.sprintf "%.2f" (nogood_node_reduction_pct t));
   field "memo_hits" (string_of_int t.memo_hits);
   field "memo_misses" (string_of_int t.memo_misses);
   field "memo_stores" (string_of_int t.memo_stores);
+  field "memo_hit_rate_pct" (Printf.sprintf "%.2f" (memo_hit_rate_pct t));
+  field "nogood_hits" (string_of_int t.nogood_hits);
+  field "nogood_misses" (string_of_int t.nogood_misses);
+  field "nogood_stores" (string_of_int t.nogood_stores);
+  field "nogood_evicted" (string_of_int t.nogood_evicted);
+  field "nogood_hit_rate_pct" (Printf.sprintf "%.2f" (nogood_hit_rate_pct t));
   field "subtrees" (string_of_int t.subtrees);
   field "pulls" (string_of_int t.pulls);
   field "steals" (string_of_int t.steals);
@@ -191,6 +321,11 @@ let to_json t =
   field "parallel_jobs" (string_of_int t.parallel_jobs);
   field "classic_wall_s" (Printf.sprintf "%.6f" t.classic_wall_s);
   field "opt_wall_s" (Printf.sprintf "%.6f" t.opt_wall_s);
-  field ~last:true "opt_parallel_wall_s" (Printf.sprintf "%.6f" t.opt_parallel_wall_s);
+  field "opt_parallel_wall_s" (Printf.sprintf "%.6f" t.opt_parallel_wall_s);
+  field "batch_solves" (string_of_int t.batch_solves);
+  field "batch_passes" (string_of_int t.batch_passes);
+  field "batch_reuse_wall_s" (Printf.sprintf "%.6f" t.batch_reuse_wall_s);
+  field "batch_nonogood_wall_s" (Printf.sprintf "%.6f" t.batch_nonogood_wall_s);
+  field ~last:true "batch_fresh_wall_s" (Printf.sprintf "%.6f" t.batch_fresh_wall_s);
   Buffer.add_string b "}\n";
   Buffer.contents b

@@ -85,6 +85,18 @@ let csp2_generic ?(symmetry = true) ?(dc_value_order = false) () =
         fst (Encodings.Csp2_fd.solve ~symmetry ?value_heuristic ~budget ~seed ts ~m));
   }
 
+let csp2_opt ?(nogoods = true) ?memo_mb () =
+  let name = if nogoods then "CSP2/opt" else "CSP2/opt-ng" in
+  {
+    name;
+    run =
+      (fun ts ~m ~budget ~seed:_ ->
+        (* The sequential entry point keeps its engine warm per domain, so
+           a campaign driven through this solver exercises the arena/epoch
+           reuse path on every instance after the first. *)
+        fst (Csp2.Opt.solve ~nogoods ?memo_mb ~budget ts ~m));
+  }
+
 let local_search =
   {
     name = "min-conflicts";

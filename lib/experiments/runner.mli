@@ -34,6 +34,14 @@ val csp1_wdeg : solver
 
 val csp1_sat : solver
 val csp2_generic : ?symmetry:bool -> ?dc_value_order:bool -> unit -> solver
+
+val csp2_opt : ?nogoods:bool -> ?memo_mb:int -> unit -> solver
+(** The optimized engine ({!Csp2.Opt.solve}, D−C order) as a table
+    column.  Runs on the calling domain's pooled engine, so campaigns
+    driven through it rebind — not re-allocate — their memo, nogood and
+    frame storage between instances; [nogoods:false] is the learning
+    ablation column ("CSP2/opt-ng"). *)
+
 val local_search : solver
 
 val portfolio : ?jobs:int -> unit -> solver

@@ -1,0 +1,51 @@
+(* Bump allocator over one flat int array with O(1) epoch reset.
+
+   The model is ZAT-style bank allocation: a batch of short-lived
+   vectors (nogood remainder vectors, flattened Zobrist tables) is
+   carved out of one growing array by moving a single cursor, and the
+   whole batch is reclaimed at once by moving the cursor back to zero
+   and bumping the epoch.  Nothing is freed individually and nothing is
+   zeroed on reclaim — a client that may hold an offset across a reset
+   must stamp it with [epoch] at allocation time and compare before
+   dereferencing (the use-after-reset discipline the arena model test
+   pins). *)
+
+type t = { mutable data : int array; mutable used : int; mutable epoch : int }
+
+let create ?(capacity = 256) () =
+  { data = Array.make (Int.max 16 capacity) 0; used = 0; epoch = 0 }
+
+let epoch t = t.epoch
+let used t = t.used
+let capacity t = Array.length t.data
+let data t = t.data
+
+let ensure t extra =
+  let need = t.used + extra in
+  if need > Array.length t.data then begin
+    let cap = ref (Array.length t.data * 2) in
+    while !cap < need do
+      cap := !cap * 2
+    done;
+    let grown = Array.make !cap 0 in
+    Array.blit t.data 0 grown 0 t.used;
+    t.data <- grown
+  end
+
+let alloc t n =
+  if n < 0 then invalid_arg "Arena.alloc: negative size";
+  ensure t n;
+  let off = t.used in
+  t.used <- t.used + n;
+  off
+
+let get t i = t.data.(i)
+let set t i v = t.data.(i) <- v
+
+let reset t =
+  t.used <- 0;
+  t.epoch <- t.epoch + 1
+
+let truncate t n =
+  if n < 0 || n > t.used then invalid_arg "Arena.truncate";
+  t.used <- n

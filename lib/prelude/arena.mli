@@ -1,0 +1,58 @@
+(** Bump allocator over one flat [int array] with O(1) epoch reset.
+
+    Batch campaigns solve hundreds of instances back to back through
+    the same pooled engines; the arena lets each solve carve its
+    short-lived vectors (nogood remainder vectors, flattened Zobrist
+    tables) out of one reused array and reclaim them all at once,
+    instead of re-allocating — the ZAT bank-allocation model.
+
+    Single-owner: an arena belongs to one domain (in the engine, it
+    lives inside a per-domain pooled search state) and is never shared.
+
+    {b Use-after-reset discipline.}  [reset] does not zero the backing
+    store, so an offset obtained before a reset still {e reads} —
+    stale garbage.  A client that can hold an offset across a reset
+    must record [epoch a] when allocating and compare it before
+    dereferencing; the arena model test pins this protocol. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** A fresh arena. [capacity] (default 256, minimum 16) is the initial
+    word count; allocation beyond it doubles the backing array. *)
+
+val alloc : t -> int -> int
+(** [alloc a n] reserves [n] words and returns the offset of the
+    first.  Contents are {e unspecified} (possibly stale data from
+    before the last [reset]) — callers write before reading.
+    @raise Invalid_argument on negative [n]. *)
+
+val get : t -> int -> int
+(** [get a i] reads the word at offset [i]. *)
+
+val set : t -> int -> int -> unit
+(** [set a i v] writes [v] at offset [i]. *)
+
+val data : t -> int array
+(** The backing array, for allocation-free hot loops ([Array.blit],
+    pointwise compares).  Valid only until the next [alloc] — growth
+    replaces the array. *)
+
+val reset : t -> unit
+(** Reclaim everything: O(1) cursor rewind plus an epoch bump.  Live
+    offsets become stale (see the use-after-reset discipline above). *)
+
+val truncate : t -> int -> unit
+(** [truncate a n] rewinds the cursor to [n] words {e without} bumping
+    the epoch — compaction helper: copy survivors below [n] first.
+    @raise Invalid_argument unless [0 <= n <= used a]. *)
+
+val epoch : t -> int
+(** Generation counter, bumped by each [reset].  Stamp offsets with it
+    to detect use-after-reset. *)
+
+val used : t -> int
+(** Words allocated since the last [reset]. *)
+
+val capacity : t -> int
+(** Current backing-array size in words. *)

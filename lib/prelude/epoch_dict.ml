@@ -1,0 +1,126 @@
+(* Epoch-invalidated open-addressing int -> int dictionary.
+
+   [clear] is one epoch bump: every slot whose stamp no longer matches
+   the current epoch is free.  That is the whole point — the nogood
+   store rebinds to a new instance between back-to-back solves and must
+   drop thousands of slot chains in O(1) instead of zeroing tables
+   (the ZAT EpochDict model).
+
+   Single writer, any readers.  In production the dictionary lives
+   inside a per-domain pooled engine, so writer and reader are the same
+   domain; the functor exists so lib/check can run the same code under
+   instrumented atomics and explore the one genuinely concurrent shape
+   — an in-flight [find] overlapping a [clear]+[set] rebind — proving
+   the epoch protocol never serves a torn or fabricated binding (a racy
+   find returns the pre-clear value, the post-clear value, or [None];
+   nothing else).
+
+   Orderings that make that true on SC atomics:
+   - [set] writes key, then value, then stamp := epoch LAST: a reader
+     that observes a fresh stamp observes the matching key and value;
+   - [find] reads the epoch FIRST, then the slot bundle: a stamp can
+     only look fresh if it was written under an epoch the reader
+     already saw;
+   - growth copies live entries into a bigger bundle and publishes it
+     through one atomic; old-bundle readers still see consistent
+     (key, value, stamp) triples because cells are never recycled
+     within an epoch. *)
+
+module type S = sig
+  type t
+
+  val create : ?capacity:int -> unit -> t
+  val clear : t -> unit
+  val set : t -> int -> int -> unit
+  val find : t -> int -> int option
+  val get : t -> default:int -> int -> int
+  val length : t -> int
+  val epoch : t -> int
+end
+
+module Make (A : Sync.ATOMIC) = struct
+  type slots = {
+    mask : int;
+    stamps : int A.t array;
+    keys : int A.t array;
+    vals : int A.t array;
+  }
+
+  type t = { cur_epoch : int A.t; slots : slots A.t; count : int A.t }
+
+  let rec pow2 n p = if p >= n then p else pow2 n (2 * p)
+
+  let make_slots size =
+    {
+      mask = size - 1;
+      (* Stamps start below any reachable epoch, so every slot is free. *)
+      stamps = Array.init size (fun _ -> A.make (-1));
+      keys = Array.init size (fun _ -> A.make 0);
+      vals = Array.init size (fun _ -> A.make 0);
+    }
+
+  let create ?(capacity = 64) () =
+    {
+      cur_epoch = A.make 0;
+      slots = A.make (make_slots (pow2 (Int.max 4 capacity) 4));
+      count = A.make 0;
+    }
+
+  let epoch t = A.get t.cur_epoch
+  let length t = A.get t.count
+
+  let clear t =
+    A.incr t.cur_epoch;
+    A.set t.count 0
+
+  (* Fibonacci multiplicative hash; keys are arbitrary ints. *)
+  let slot_of s k = k * 0x2545F4914F6CDD1D land s.mask
+
+  let find t k =
+    let e = A.get t.cur_epoch in
+    let s = A.get t.slots in
+    let rec probe i =
+      if A.get s.stamps.(i) <> e then None
+      else if A.get s.keys.(i) = k then Some (A.get s.vals.(i))
+      else probe ((i + 1) land s.mask)
+    in
+    probe (slot_of s k)
+
+  let get t ~default k = match find t k with Some v -> v | None -> default
+
+  (* Writer only.  [insert] assumes the bundle has a free slot. *)
+  let insert s ~e k v =
+    let rec probe i =
+      if A.get s.stamps.(i) <> e then begin
+        A.set s.keys.(i) k;
+        A.set s.vals.(i) v;
+        A.set s.stamps.(i) e;
+        true
+      end
+      else if A.get s.keys.(i) = k then begin
+        A.set s.vals.(i) v;
+        false
+      end
+      else probe ((i + 1) land s.mask)
+    in
+    probe (slot_of s k)
+
+  let grow t s ~e =
+    let bigger = make_slots (2 * (s.mask + 1)) in
+    for i = 0 to s.mask do
+      if A.get s.stamps.(i) = e then
+        ignore (insert bigger ~e (A.get s.keys.(i)) (A.get s.vals.(i)))
+    done;
+    A.set t.slots bigger;
+    bigger
+
+  let set t k v =
+    let e = A.get t.cur_epoch in
+    let s = A.get t.slots in
+    (* Keep load below 3/4 so probe chains stay short. *)
+    let s = if 4 * A.get t.count >= 3 * (s.mask + 1) then grow t s ~e else s in
+    if insert s ~e k v then A.incr t.count
+end
+
+module Native = Make (Sync.Atomic)
+include Native

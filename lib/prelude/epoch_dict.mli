@@ -1,0 +1,49 @@
+(** Epoch-invalidated open-addressing [int -> int] dictionary with
+    O(1) [clear].
+
+    Clearing bumps a generation counter instead of touching slots:
+    every binding whose stamp no longer matches the current epoch is
+    dead.  The nogood store keys its per-slot chains here and rebinds
+    between back-to-back solves thousands of times per campaign — the
+    O(1) clear (the ZAT EpochDict model) is what makes engine reuse
+    through {!Csp2.Pool} cheaper than fresh allocation.
+
+    Single writer, any readers.  Bindings persist until the next
+    [clear]; there is no individual delete.  A [find] racing a
+    [clear]+[set] rebind returns the pre-clear value, the new value, or
+    [None] — never a torn binding; the [lib/check] scenario
+    [epoch_dict-clear-vs-find] explores every interleaving of exactly
+    that shape over the same code instantiated with instrumented
+    atomics. *)
+
+module type S = sig
+  type t
+
+  val create : ?capacity:int -> unit -> t
+  (** An empty dictionary.  [capacity] (default 64, rounded up to a
+      power of two, minimum 4) is only the initial slot count; the
+      table doubles when load reaches 3/4. *)
+
+  val clear : t -> unit
+  (** Drop every binding in O(1) (epoch bump; no slot is written). *)
+
+  val set : t -> int -> int -> unit
+  (** Writer only: bind key to value, replacing any current-epoch
+      binding of the same key. *)
+
+  val find : t -> int -> int option
+  (** The current-epoch binding of a key, if any. *)
+
+  val get : t -> default:int -> int -> int
+  (** [find] without the allocation: the bound value or [default]. *)
+
+  val length : t -> int
+  (** Number of live (current-epoch) bindings. *)
+
+  val epoch : t -> int
+  (** Generation counter, bumped by each [clear]. *)
+end
+
+module Make (_ : Sync.ATOMIC) : S
+
+include S

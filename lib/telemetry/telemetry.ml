@@ -18,6 +18,9 @@ module Stats = struct
     memo_hits : int;
     memo_misses : int;
     memo_stores : int;
+    nogood_hits : int;
+    nogood_misses : int;
+    nogood_stores : int;
     subtrees : int;
     pulls : int;
     steals : int;
@@ -26,8 +29,9 @@ module Stats = struct
   }
 
   let make ~backend ?(nodes = 0) ?(fails = 0) ?(depth = 0) ?(propagations = 0) ?(restarts = 0)
-      ?(memo_hits = 0) ?(memo_misses = 0) ?(memo_stores = 0) ?(subtrees = 0) ?(pulls = 0)
-      ?(steals = 0) ?(parks = 0) ?(time_s = 0.) () =
+      ?(memo_hits = 0) ?(memo_misses = 0) ?(memo_stores = 0) ?(nogood_hits = 0)
+      ?(nogood_misses = 0) ?(nogood_stores = 0) ?(subtrees = 0) ?(pulls = 0) ?(steals = 0)
+      ?(parks = 0) ?(time_s = 0.) () =
     {
       backend;
       nodes;
@@ -38,6 +42,9 @@ module Stats = struct
       memo_hits;
       memo_misses;
       memo_stores;
+      nogood_hits;
+      nogood_misses;
+      nogood_stores;
       subtrees;
       pulls;
       steals;
@@ -51,6 +58,9 @@ module Stats = struct
     if s.memo_hits + s.memo_misses + s.memo_stores > 0 then
       Buffer.add_string b
         (Printf.sprintf " memo=%d/%d/%d" s.memo_hits s.memo_misses s.memo_stores);
+    if s.nogood_hits + s.nogood_misses + s.nogood_stores > 0 then
+      Buffer.add_string b
+        (Printf.sprintf " ng=%d/%d/%d" s.nogood_hits s.nogood_misses s.nogood_stores);
     if s.subtrees > 0 then Buffer.add_string b (Printf.sprintf " sub=%d" s.subtrees);
     if s.pulls > 0 then Buffer.add_string b (Printf.sprintf " pull=%d" s.pulls);
     if s.steals > 0 then Buffer.add_string b (Printf.sprintf " steal=%d" s.steals);
@@ -75,9 +85,11 @@ module Stats = struct
     Printf.sprintf
       "{\"backend\": \"%s\", \"nodes\": %d, \"fails\": %d, \"depth\": %d, \"propagations\": \
        %d, \"restarts\": %d, \"memo_hits\": %d, \"memo_misses\": %d, \"memo_stores\": %d, \
-       \"subtrees\": %d, \"pulls\": %d, \"steals\": %d, \"parks\": %d, \"time_s\": %.6f}"
+       \"nogood_hits\": %d, \"nogood_misses\": %d, \"nogood_stores\": %d, \"subtrees\": %d, \
+       \"pulls\": %d, \"steals\": %d, \"parks\": %d, \"time_s\": %.6f}"
       (json_escape s.backend) s.nodes s.fails s.depth s.propagations s.restarts s.memo_hits
-      s.memo_misses s.memo_stores s.subtrees s.pulls s.steals s.parks s.time_s
+      s.memo_misses s.memo_stores s.nogood_hits s.nogood_misses s.nogood_stores s.subtrees
+      s.pulls s.steals s.parks s.time_s
 end
 
 (* ------------------------------------------------------------------ *)

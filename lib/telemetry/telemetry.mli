@@ -51,6 +51,9 @@ module Stats : sig
     memo_hits : int;
     memo_misses : int;
     memo_stores : int;
+    nogood_hits : int;  (** Dominance-nogood prunes (csp2-opt only). *)
+    nogood_misses : int;
+    nogood_stores : int;
     subtrees : int;
     pulls : int;  (** Parallel work items taken from the worker's own queue. *)
     steals : int;  (** Parallel work items taken from {e another} worker's queue. *)
@@ -68,6 +71,9 @@ module Stats : sig
     ?memo_hits:int ->
     ?memo_misses:int ->
     ?memo_stores:int ->
+    ?nogood_hits:int ->
+    ?nogood_misses:int ->
+    ?nogood_stores:int ->
     ?subtrees:int ->
     ?pulls:int ->
     ?steals:int ->
@@ -79,7 +85,8 @@ module Stats : sig
 
   val summary : t -> string
   (** Compact one-cell rendering: ["n=<nodes> f=<fails> <time>s"] plus the
-      non-zero extras ([memo=h/m/s], [sub=], [pull=], [steal=], [park=]). *)
+      non-zero extras ([memo=h/m/s], [ng=h/m/s], [sub=], [pull=],
+      [steal=], [park=]). *)
 
   val to_json : t -> string
   (** One flat JSON object (hand-rolled; the repo has no JSON dep). *)

@@ -223,6 +223,53 @@ let prop_opt_domains_preserve_verdict =
         let pruned, _ = Csp2.Opt.solve ~budget:(budget ()) ~domains:d ts ~m in
         decided bare && decided pruned && O.is_feasible bare = O.is_feasible pruned)
 
+let prop_opt_nogood_ablation_matches =
+  (* Nogood learning is a pruning accelerator, never a decision change:
+     learning on, learning off and the classic engine agree on every
+     instance, sequentially and through the work-stealing phase. *)
+  qtest ~count:60 "nogoods on = off = classic (seq and jobs=2)"
+    (Test_util.instance_gen ~nmax:5 ~tmax:5 ())
+    (fun (ts, m) ->
+      let classic, _ = Csp2.Solver.solve ~budget:(budget ()) ts ~m in
+      let on_, _ = Csp2.Opt.solve ~nogoods:true ~budget:(budget ()) ts ~m in
+      let off, _ = Csp2.Opt.solve ~nogoods:false ~budget:(budget ()) ts ~m in
+      let par_on, _ =
+        Csp2.Opt.solve_parallel ~nogoods:true ~jobs:2 ~split_depth:2 ~budget:(budget ()) ts
+          ~m
+      in
+      let par_off, _ =
+        Csp2.Opt.solve_parallel ~nogoods:false ~jobs:2 ~split_depth:2 ~budget:(budget ())
+          ts ~m
+      in
+      decided classic && decided on_ && decided off && decided par_on && decided par_off
+      && O.is_feasible classic = O.is_feasible on_
+      && O.is_feasible on_ = O.is_feasible off
+      && O.is_feasible on_ = O.is_feasible par_on
+      && O.is_feasible on_ = O.is_feasible par_off
+      && (match on_ with O.Feasible s -> Verify.is_feasible ts s | _ -> true))
+
+let test_opt_nogood_budget_evicts () =
+  (* One combined --memo-mb budget covers both tables: at 1 MiB the
+     nogood store's slice is a few dozen entries on Table-I-sized
+     instances, so a backtrack-heavy batch must recycle entries
+     (activity-based eviction), never grow without bound — and the
+     squeezed store must not change any verdict. *)
+  let params = Gen.Generator.default ~n:10 ~m:(Gen.Generator.Fixed_m 5) ~tmax:7 in
+  let instances = Gen.Generator.batch ~seed:11 ~count:25 params in
+  let evicted = ref 0 and stores = ref 0 in
+  Array.iter
+    (fun (ts, m) ->
+      let tiny, st = Csp2.Opt.solve ~memo_mb:1 ~budget:(budget ()) ts ~m in
+      let roomy, _ = Csp2.Opt.solve ~budget:(budget ()) ts ~m in
+      evicted := !evicted + st.Csp2.Opt.nogood_evicted;
+      stores := !stores + st.Csp2.Opt.nogood_stores;
+      Alcotest.(check bool) "tiny/roomy verdicts equal" true
+        (decided tiny && decided roomy && O.is_feasible tiny = O.is_feasible roomy))
+    instances;
+  Alcotest.(check bool)
+    (Printf.sprintf "tiny budget evicted (stores=%d evicted=%d)" !stores !evicted)
+    true (!evicted > 0)
+
 let test_opt_deterministic () =
   (* Fixed Zobrist seed + deterministic search: equal runs, equal counters. *)
   let run () =
@@ -385,6 +432,30 @@ let test_opt_pool_memo_epoch () =
   check Alcotest.int "same memo hits across reuse" h1 h2;
   check Alcotest.int "same memo stores across reuse" s1 s2
 
+let test_opt_pool_nogood_epoch () =
+  (* The nogood store (chain heads in an Epoch_dict, rem vectors in an
+     Arena) is rebound, not re-allocated, between pooled solves: solving
+     B, then A, then B again must reproduce B's verdict and its full
+     counter set exactly.  Any arena offset or chain head surviving the
+     epoch bump would show up as drifted hits/stores on the second run. *)
+  let params = Gen.Generator.default ~n:10 ~m:(Gen.Generator.Fixed_m 5) ~tmax:7 in
+  let instances = Gen.Generator.batch ~seed:13 ~count:2 params in
+  let a_ts, a_m = instances.(0) and b_ts, b_m = instances.(1) in
+  let run ts m =
+    let o, st = Csp2.Opt.solve ~budget:(budget ()) ts ~m in
+    ( O.is_feasible o,
+      st.Csp2.Opt.nodes,
+      (st.Csp2.Opt.nogood_hits, st.Csp2.Opt.nogood_stores, st.Csp2.Opt.nogood_evicted) )
+  in
+  let f1, n1, ng1 = run b_ts b_m in
+  let (_ : bool * int * (int * int * int)) = run a_ts a_m in
+  let f2, n2, ng2 = run b_ts b_m in
+  Alcotest.(check bool) "same verdict across reuse" f1 f2;
+  check Alcotest.int "same node count across reuse" n1 n2;
+  check
+    Alcotest.(triple int int int)
+    "same nogood hits/stores/evictions across reuse" ng1 ng2
+
 let test_pool_reuses_domains () =
   let before = Csp2.Pool.spawned_count () in
   for _ = 1 to 5 do
@@ -545,6 +616,7 @@ let () =
           prop_opt_matches_classic;
           prop_opt_parallel_matches_sequential;
           prop_opt_domains_preserve_verdict;
+          prop_opt_nogood_ablation_matches;
           Alcotest.test_case "deterministic counters" `Quick test_opt_deterministic;
           Alcotest.test_case "memo prunes and stays sound" `Quick test_opt_memo_prunes;
           Alcotest.test_case "fewer nodes than classic" `Quick test_opt_node_reduction;
@@ -556,6 +628,9 @@ let () =
       ( "work-stealing",
         [
           prop_opt_worksteal_matches_sequential;
+          Alcotest.test_case "tiny budget evicts nogoods" `Quick test_opt_nogood_budget_evicts;
+          Alcotest.test_case "nogood epoch isolates pooled solves" `Quick
+            test_opt_pool_nogood_epoch;
           Alcotest.test_case "memo epoch isolates pooled solves" `Quick
             test_opt_pool_memo_epoch;
           Alcotest.test_case "pool reuses domains" `Quick test_pool_reuses_domains;

@@ -585,6 +585,116 @@ let test_deque_concurrent () =
     (fun i x -> if i <> x then Alcotest.failf "item %d surfaced as %d" i x)
     (List.sort Int.compare all)
 
+(* ------------------------------------------------------------------ *)
+(* Arena (bump allocator) and Epoch_dict (O(1)-clear dictionary)       *)
+
+let test_arena_reset_reclaims () =
+  let a = Arena.create ~capacity:16 () in
+  let o1 = Arena.alloc a 8 in
+  check Alcotest.int "first block at offset 0" 0 o1;
+  for i = 0 to 7 do
+    Arena.set a (o1 + i) (100 + i)
+  done;
+  (* Growth past the initial capacity must preserve earlier blocks. *)
+  let o2 = Arena.alloc a 64 in
+  check Alcotest.int "second block follows the first" 8 o2;
+  for i = 0 to 7 do
+    check Alcotest.int "contents survive growth" (100 + i) (Arena.get a (o1 + i))
+  done;
+  check Alcotest.int "used counts both blocks" 72 (Arena.used a);
+  Alcotest.(check bool) "capacity grew" true (Arena.capacity a >= 72);
+  let e = Arena.epoch a in
+  Arena.reset a;
+  check Alcotest.int "reset reclaims everything" 0 (Arena.used a);
+  check Alcotest.int "reset bumps the epoch" (e + 1) (Arena.epoch a);
+  (* The reclaimed space is really reused: the next alloc lands at 0. *)
+  check Alcotest.int "post-reset alloc reuses offset 0" 0 (Arena.alloc a 4)
+
+let test_arena_epoch_guards_stale_offsets () =
+  (* The use-after-reset discipline from the interface: a client holding
+     (offset, epoch) must detect that a reset invalidated the offset —
+     this is exactly how the nogood store guards its rem vectors. *)
+  let a = Arena.create ~capacity:16 () in
+  let off = Arena.alloc a 4 in
+  Arena.set a off 42;
+  let stamp = Arena.epoch a in
+  Alcotest.(check bool) "live offset passes the epoch check" true (Arena.epoch a = stamp);
+  Arena.reset a;
+  Alcotest.(check bool) "stale offset fails the epoch check" false (Arena.epoch a = stamp);
+  (* truncate rewinds without bumping: offsets below the mark stay valid. *)
+  let o1 = Arena.alloc a 4 in
+  Arena.set a o1 7;
+  let _o2 = Arena.alloc a 4 in
+  let e = Arena.epoch a in
+  Arena.truncate a 4;
+  check Alcotest.int "truncate rewinds used" 4 (Arena.used a);
+  check Alcotest.int "truncate keeps the epoch" e (Arena.epoch a);
+  check Alcotest.int "survivor block readable" 7 (Arena.get a o1);
+  Alcotest.check_raises "negative alloc rejected"
+    (Invalid_argument "Arena.alloc: negative size") (fun () -> ignore (Arena.alloc a (-1)))
+
+let prop_arena_blocks_disjoint =
+  (* Allocation is a bump cursor: blocks are adjacent, disjoint, and
+     writes through one block never alias another. *)
+  qtest "arena blocks are disjoint and ordered"
+    QCheck2.Gen.(list_size (int_range 1 40) (int_range 0 17))
+    (fun sizes ->
+      let a = Arena.create ~capacity:16 () in
+      let offs = List.map (fun n -> (Arena.alloc a n, n)) sizes in
+      let rec adjacent = function
+        | (o1, n1) :: ((o2, _) :: _ as rest) -> o2 = o1 + n1 && adjacent rest
+        | [ (o, n) ] -> o + n = Arena.used a
+        | [] -> Arena.used a = 0
+      in
+      List.iteri (fun i (o, n) -> if n > 0 then Arena.set a o (i + 1)) offs;
+      adjacent offs
+      && List.for_all
+           (fun (i, (o, n)) -> n = 0 || Arena.get a o = i + 1)
+           (List.mapi (fun i b -> (i, b)) offs))
+
+let prop_epoch_dict_model =
+  (* Sequential refinement against Hashtbl: set/clear/find/length agree
+     on every op sequence, across growth and repeated O(1) clears. *)
+  qtest "epoch_dict matches reference map"
+    QCheck2.Gen.(
+      list_size (int_range 0 200) (triple (int_range 0 5) (int_range (-25) 25) (int_range 0 99)))
+    (fun ops ->
+      let d = Epoch_dict.create ~capacity:4 () in
+      let h = Hashtbl.create 16 in
+      List.for_all
+        (fun (op, k, v) ->
+          match op with
+          | 0 ->
+            Epoch_dict.clear d;
+            Hashtbl.reset h;
+            true
+          | 1 | 2 | 3 ->
+            Epoch_dict.set d k v;
+            Hashtbl.replace h k v;
+            true
+          | _ ->
+            Epoch_dict.find d k = Hashtbl.find_opt h k
+            && Epoch_dict.get d ~default:(-1) k
+               = Option.value ~default:(-1) (Hashtbl.find_opt h k)
+            && Epoch_dict.length d = Hashtbl.length h)
+        ops)
+
+let test_epoch_dict_clear_is_epoch_bump () =
+  let d = Epoch_dict.create ~capacity:4 () in
+  for k = 0 to 99 do
+    Epoch_dict.set d k (k * k)
+  done;
+  check Alcotest.int "all bindings live" 100 (Epoch_dict.length d);
+  let e = Epoch_dict.epoch d in
+  Epoch_dict.clear d;
+  check Alcotest.int "clear bumps the epoch" (e + 1) (Epoch_dict.epoch d);
+  check Alcotest.int "clear empties the table" 0 (Epoch_dict.length d);
+  check Alcotest.(option int) "stale binding invisible" None (Epoch_dict.find d 7);
+  (* Rebinding after the clear is fully independent of the old epoch. *)
+  Epoch_dict.set d 7 1;
+  check Alcotest.(option int) "rebind visible" (Some 1) (Epoch_dict.find d 7);
+  check Alcotest.int "one live binding" 1 (Epoch_dict.length d)
+
 let () =
   Alcotest.run "prelude"
     [
@@ -640,6 +750,15 @@ let () =
           Alcotest.test_case "growth preserves order" `Quick test_deque_grow;
           Alcotest.test_case "concurrent owner + thieves" `Quick test_deque_concurrent;
           prop_deque_model;
+        ] );
+      ( "arena/epoch_dict",
+        [
+          Alcotest.test_case "reset reclaims" `Quick test_arena_reset_reclaims;
+          Alcotest.test_case "epoch guards stale offsets" `Quick
+            test_arena_epoch_guards_stale_offsets;
+          Alcotest.test_case "clear is an epoch bump" `Quick test_epoch_dict_clear_is_epoch_bump;
+          prop_arena_blocks_disjoint;
+          prop_epoch_dict_model;
         ] );
       ( "misc",
         [
