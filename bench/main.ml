@@ -162,6 +162,18 @@ let () =
 
   run_section "BASELINES" (fun () -> print_string (Baselines.render (Baselines.run config)));
 
+  run_section "SERVE (request scheduler: latency/throughput vs concurrency, cache, failpoint soak)"
+    (fun () ->
+      let totals = Serve_load.run ~progress:(fun msg -> Printf.printf "  .. %s\n%!" msg) () in
+      print_string (Serve_load.render totals);
+      let out =
+        match Sys.getenv_opt "MGRTS_SERVE_OUT" with
+        | Some p when p <> "" -> p
+        | _ -> "BENCH_serve.json"
+      in
+      Resilience.Artifact.write_atomic out (Serve_load.to_json totals);
+      Printf.printf "  json written to %s\n" out);
+
   run_section "MICRO-BENCHMARKS (Bechamel)" (fun () -> Micro.run ());
 
   write_phases ();

@@ -1,0 +1,407 @@
+(* Load generator for the serve request scheduler (DESIGN.md §11).
+
+   Three measurements, all in-process against [Serve.Scheduler] (the same
+   code path as [mgrts serve] minus stdin/stdout):
+
+   - latency/throughput vs concurrency: a mixed NDJSON stream (unique
+     instances, repeats that hit the cache, over-utilized instances the
+     front door kills) through the full handle_line -> queue -> worker ->
+     emit pipeline, at two or more worker-pool sizes; per-request latency
+     is submit-to-emit wall clock.
+   - cache hit vs fresh solve: the same instance solved with the cache
+     bypassed and then answered from the cache (relabel + verify-on-hit
+     included), paired per instance.
+   - soak with failpoints: a sustained stream through a small admission
+     queue while [serve.request] is periodically armed to raise and to
+     delay; the daemon must contain every injected crash, keep serving,
+     and lose no request (every submission gets a response or a code-6
+     rejection).
+
+   Scaled by MGRTS_SERVE_REQUESTS (per concurrency level) and
+   MGRTS_SERVE_SOAK; the committed BENCH_serve.json comes from the
+   defaults. *)
+
+open Rt_model
+module Json = Serve.Json
+module Proto = Serve.Proto
+module Scheduler = Serve.Scheduler
+module Failpoint = Resilience.Failpoint
+module Generator = Gen.Generator
+
+let env_int name default =
+  match Sys.getenv_opt name with
+  | Some v -> ( match int_of_string_opt (String.trim v) with Some i when i > 0 -> i | _ -> default)
+  | None -> default
+
+(* ------------------------------------------------------------------ *)
+(* Workload. *)
+
+let tuples_of ts =
+  Array.to_list
+    (Array.map
+       (fun (t : Task.t) -> (t.Task.offset, t.Task.wcet, t.Task.deadline, t.Task.period))
+       (Taskset.tasks ts))
+
+let request_line ~id ?(no_cache = false) (ts, m) =
+  let b = Buffer.create 128 in
+  Printf.bprintf b "{\"id\": \"%s\", \"taskset\": [" id;
+  Array.iteri
+    (fun i (t : Task.t) ->
+      if i > 0 then Buffer.add_char b ',';
+      Printf.bprintf b "[%d,%d,%d,%d]" t.Task.offset t.Task.wcet t.Task.deadline t.Task.period)
+    (Taskset.tasks ts);
+  Printf.bprintf b "], \"m\": %d" m;
+  if no_cache then Buffer.add_string b ", \"no_cache\": true";
+  Buffer.add_char b '}';
+  Buffer.contents b
+
+(* Table I's regime: small instances the solvers decide in well under the
+   budget, so the bench measures the service, not solver timeouts.  The
+   generator's instances include over-utilized (front-door) task sets. *)
+let instances ~seed ~count =
+  Generator.batch ~seed ~count (Generator.default ~n:10 ~m:(Generator.Fixed_m 5) ~tmax:7)
+
+(* Per-request wall budget for the bench: hard instances go undecided at
+   0.25 s instead of burning the 5 s service default, so the percentiles
+   describe the scheduler, not a handful of solver timeouts. *)
+let bench_wall_s = 0.25
+
+(* ------------------------------------------------------------------ *)
+(* Statistics. *)
+
+type latency = {
+  count : int;
+  mean_ms : float;
+  p50_ms : float;
+  p95_ms : float;
+  p99_ms : float;
+  max_ms : float;
+}
+
+let summarize lats =
+  let arr = Array.of_list lats in
+  Array.sort Float.compare arr;
+  let n = Array.length arr in
+  if n = 0 then { count = 0; mean_ms = 0.; p50_ms = 0.; p95_ms = 0.; p99_ms = 0.; max_ms = 0. }
+  else begin
+    let pct q = arr.(min (n - 1) (max 0 (int_of_float (ceil (q *. float_of_int n)) - 1))) in
+    let sum = Array.fold_left ( +. ) 0. arr in
+    let ms s = 1000. *. s in
+    {
+      count = n;
+      mean_ms = ms (sum /. float_of_int n);
+      p50_ms = ms (pct 0.50);
+      p95_ms = ms (pct 0.95);
+      p99_ms = ms (pct 0.99);
+      max_ms = ms arr.(n - 1);
+    }
+  end
+
+let latency_json l =
+  Printf.sprintf
+    "{\"count\": %d, \"mean_ms\": %.4f, \"p50_ms\": %.4f, \"p95_ms\": %.4f, \"p99_ms\": %.4f, \
+     \"max_ms\": %.4f}"
+    l.count l.mean_ms l.p50_ms l.p95_ms l.p99_ms l.max_ms
+
+(* ------------------------------------------------------------------ *)
+(* Latency/throughput vs concurrency. *)
+
+type level = {
+  workers : int;
+  jobs_per_request : int;
+  requests : int;
+  wall_s : float;
+  throughput_rps : float;
+  latency : latency;
+  cache_hits : int;
+  cache_misses : int;
+  front_door : int;
+}
+
+(* Completion times keyed by request id, recorded in the emit callback
+   (worker domains), so latency covers queueing + solving + rendering. *)
+let collector () =
+  let mu = Mutex.create () in
+  let completions : (string, float) Hashtbl.t = Hashtbl.create 1024 in
+  let n_done = Atomic.make 0 in
+  let emit line =
+    let t = Prelude.Timer.now () in
+    match Json.parse line with
+    | Ok j -> (
+      match Json.member "id" j with
+      | Some (Json.Str id) ->
+        Mutex.lock mu;
+        Hashtbl.replace completions id t;
+        Mutex.unlock mu;
+        Atomic.incr n_done
+      | Some _ | None -> ())
+    | Error _ -> ()
+  in
+  (emit, completions, n_done)
+
+let run_level ~requests ~workers ~seed =
+  let total = Prelude.Parallel.recommended_jobs () in
+  let jobs = max 1 (total / workers) in
+  (* Every third request repeats an earlier instance, so the stream mixes
+     cold solves with cache hits the way a multi-tenant batch would. *)
+  let uniq = instances ~seed ~count:(max 1 ((requests * 2 / 3) + 1)) in
+  let pick i = uniq.(if i mod 3 = 2 then i / 3 mod Array.length uniq else i * 2 / 3 mod Array.length uniq) in
+  let emit, completions, n_done = collector () in
+  let config =
+    {
+      (Scheduler.default_config ()) with
+      Scheduler.workers;
+      jobs_per_request = jobs;
+      queue_capacity = requests + 8;
+      cache_capacity = requests + 8;
+      default_wall_s = bench_wall_s;
+    }
+  in
+  let sched = Scheduler.create ~config ~emit () in
+  let submits : (string * float) list ref = ref [] in
+  (* Closed-loop driver: keep a bounded number of requests in flight so
+     the percentiles measure service latency under load, not position in
+     an unbounded backlog. *)
+  let window = max 4 (2 * workers) in
+  let t0 = Prelude.Timer.start () in
+  for i = 0 to requests - 1 do
+    while i - Atomic.get n_done >= window do
+      Unix.sleepf 0.0002
+    done;
+    let id = Printf.sprintf "q%d" i in
+    submits := (id, Prelude.Timer.now ()) :: !submits;
+    ignore (Scheduler.handle_line sched ~fallback_id:id (request_line ~id (pick i)))
+  done;
+  Scheduler.shutdown sched;
+  let wall_s = Prelude.Timer.elapsed t0 in
+  let c = Scheduler.counters sched in
+  let lats =
+    List.filter_map
+      (fun (id, t_submit) ->
+        match Hashtbl.find_opt completions id with
+        | Some t_done -> Some (t_done -. t_submit)
+        | None -> None)
+      !submits
+  in
+  {
+    workers;
+    jobs_per_request = jobs;
+    requests;
+    wall_s;
+    throughput_rps = (if wall_s > 0. then float_of_int requests /. wall_s else 0.);
+    latency = summarize lats;
+    cache_hits = c.Proto.cache.Serve.Cache.hits;
+    cache_misses = c.Proto.cache.Serve.Cache.misses;
+    front_door = c.Proto.front_door_infeasible;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Cache hit vs fresh solve, paired per instance. *)
+
+type cache_result = {
+  pairs : int;
+  fresh : latency;
+  hit : latency;
+  speedup : float;
+}
+
+let mk_req ~id ~no_cache (ts, m) =
+  {
+    Proto.id;
+    tuples = tuples_of ts;
+    m;
+    solver = None;
+    wall_s = None;
+    nodes = None;
+    seed = 0;
+    want_schedule = false;
+    no_cache;
+  }
+
+let run_cache ~pairs ~seed =
+  let config =
+    {
+      (Scheduler.default_config ()) with
+      Scheduler.workers = 1;
+      jobs_per_request = 1;
+      default_wall_s = bench_wall_s;
+    }
+  in
+  let sched = Scheduler.create ~config ~emit:(fun _ -> ()) () in
+  let uniq = instances ~seed ~count:pairs in
+  let timed req =
+    let t0 = Prelude.Timer.start () in
+    let resp = Scheduler.process sched ~queue_s:0. req in
+    (Prelude.Timer.elapsed t0, resp)
+  in
+  let fresh = ref [] and hit = ref [] and n = ref 0 in
+  Array.iteri
+    (fun i inst ->
+      let id = Printf.sprintf "c%d" i in
+      let fresh_s, _ = timed (mk_req ~id ~no_cache:true inst) in
+      ignore (timed (mk_req ~id ~no_cache:false inst));
+      let hit_s, second = timed (mk_req ~id ~no_cache:false inst) in
+      (* Only count instances the cache actually answers: front-door
+         infeasible instances are decided structurally both times and
+         would flatter the hit numbers. *)
+      if second.Proto.r_cached then begin
+        fresh := fresh_s :: !fresh;
+        hit := hit_s :: !hit;
+        incr n
+      end)
+    uniq;
+  Scheduler.shutdown sched;
+  let fresh = summarize !fresh and hit = summarize !hit in
+  {
+    pairs = !n;
+    fresh;
+    hit;
+    speedup = (if hit.mean_ms > 0. then fresh.mean_ms /. hit.mean_ms else 0.);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Soak with failpoints. *)
+
+type soak_result = {
+  soak_requests : int;
+  responses : int;
+  soak_rejected : int;
+  contained_crashes : int;
+  lost : int;
+  wall : float;
+  survived : bool;
+}
+
+let run_soak ~requests ~seed =
+  Failpoint.reset ();
+  let responded = Atomic.make 0 in
+  let emit line =
+    match Json.parse line with
+    | Ok j when Json.member "id" j <> None -> Atomic.incr responded
+    | Ok _ | Error _ -> ()
+  in
+  (* Rejections count as responses for the in-flight window, so the
+     closed loop below keeps moving even through a rejected burst. *)
+  (* Small queue: rejection/backpressure is part of what the soak
+     exercises, on top of the injected raises and delays. *)
+  let config =
+    {
+      (Scheduler.default_config ()) with
+      Scheduler.queue_capacity = 16;
+      cache_capacity = 256;
+      default_wall_s = bench_wall_s;
+    }
+  in
+  let sched = Scheduler.create ~config ~emit () in
+  let uniq = instances ~seed ~count:(max 1 (requests / 4)) in
+  let window = 8 in
+  let burst_until = ref (-1) in
+  let t0 = Prelude.Timer.start () in
+  Fun.protect ~finally:Failpoint.reset (fun () ->
+      for i = 0 to requests - 1 do
+        (* Intermittent faults: every 50th request re-arms a one-shot
+           raise, every 83rd a 5 ms stall. *)
+        if i mod 50 = 25 then
+          Failpoint.arm ~trigger:(Failpoint.Nth 1) "serve.request"
+            (Failpoint.Raise Failpoint.Out_of_memory)
+        else if i mod 83 = 40 then
+          Failpoint.arm ~trigger:(Failpoint.Nth 1) "serve.request" (Failpoint.Delay 0.005);
+        (* Mostly a closed loop (window below queue capacity, so steady
+           state is never rejected), punctuated by unpaced bursts that
+           overflow the admission queue and exercise code-6 backpressure. *)
+        if i mod 97 = 0 then burst_until := i + 24;
+        if i > !burst_until then
+          while i - Atomic.get responded >= window do
+            Unix.sleepf 0.0005
+          done;
+        let id = Printf.sprintf "s%d" i in
+        ignore
+          (Scheduler.handle_line sched ~fallback_id:id
+             (request_line ~id uniq.(i mod Array.length uniq)))
+      done;
+      Scheduler.shutdown sched);
+  let wall = Prelude.Timer.elapsed t0 in
+  let c = Scheduler.counters sched in
+  let responses = Atomic.get responded in
+  {
+    soak_requests = requests;
+    responses;
+    soak_rejected = c.Proto.rejected;
+    contained_crashes = c.Proto.crashed;
+    lost = requests - responses;
+    wall;
+    survived = requests = responses;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Driver, rendering, JSON. *)
+
+type totals = { levels : level list; cache : cache_result; soak : soak_result }
+
+let run ?(progress = fun (_ : string) -> ()) () =
+  let requests = env_int "MGRTS_SERVE_REQUESTS" 1000 in
+  let soak_requests = env_int "MGRTS_SERVE_SOAK" 1000 in
+  let total = Prelude.Parallel.recommended_jobs () in
+  let level_list = if total >= 4 then [ 1; 2; 4 ] else [ 1; 2 ] in
+  let levels =
+    List.map
+      (fun workers ->
+        progress (Printf.sprintf "level: %d workers, %d requests" workers requests);
+        run_level ~requests ~workers ~seed:42)
+      level_list
+  in
+  progress "cache: paired fresh vs hit";
+  let cache = run_cache ~pairs:(min 400 (max 50 (requests / 4))) ~seed:43 in
+  progress (Printf.sprintf "soak: %d requests under failpoints" soak_requests);
+  let soak = run_soak ~requests:soak_requests ~seed:44 in
+  { levels; cache; soak }
+
+let render t =
+  let b = Buffer.create 1024 in
+  Printf.bprintf b "  %-8s %-6s %-9s %-11s %9s %9s %9s %9s\n" "workers" "jobs" "requests"
+    "rps" "p50 ms" "p95 ms" "p99 ms" "mean ms";
+  List.iter
+    (fun l ->
+      Printf.bprintf b "  %-8d %-6d %-9d %-11.1f %9.3f %9.3f %9.3f %9.3f\n" l.workers
+        l.jobs_per_request l.requests l.throughput_rps l.latency.p50_ms l.latency.p95_ms
+        l.latency.p99_ms l.latency.mean_ms)
+    t.levels;
+  (match t.levels with
+  | l :: _ ->
+    Printf.bprintf b "  mix at %d worker(s): %d cache hits, %d misses, %d front-door\n" l.workers
+      l.cache_hits l.cache_misses l.front_door
+  | [] -> ());
+  Printf.bprintf b
+    "  cache: %d pairs, fresh mean %.3f ms vs hit mean %.3f ms -> %.1fx (p95 %.3f vs %.3f)\n"
+    t.cache.pairs t.cache.fresh.mean_ms t.cache.hit.mean_ms t.cache.speedup t.cache.fresh.p95_ms
+    t.cache.hit.p95_ms;
+  Printf.bprintf b
+    "  soak: %d requests in %.2fs, %d responses (%d lost), %d rejected (code 6), %d contained \
+     crashes -> %s\n"
+    t.soak.soak_requests t.soak.wall t.soak.responses t.soak.lost t.soak.soak_rejected
+    t.soak.contained_crashes
+    (if t.soak.survived then "survived" else "LOST REQUESTS");
+  Buffer.contents b
+
+let to_json t =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\"levels\": [\n";
+  List.iteri
+    (fun i l ->
+      if i > 0 then Buffer.add_string b ",\n";
+      Printf.bprintf b
+        "  {\"workers\": %d, \"jobs_per_request\": %d, \"requests\": %d, \"wall_s\": %.3f, \
+         \"throughput_rps\": %.1f, \"latency\": %s, \"cache_hits\": %d, \"cache_misses\": %d, \
+         \"front_door_infeasible\": %d}"
+        l.workers l.jobs_per_request l.requests l.wall_s l.throughput_rps
+        (latency_json l.latency) l.cache_hits l.cache_misses l.front_door)
+    t.levels;
+  Buffer.add_string b "\n],\n";
+  Printf.bprintf b "\"cache\": {\"pairs\": %d, \"fresh\": %s, \"hit\": %s, \"speedup\": %.1f},\n"
+    t.cache.pairs (latency_json t.cache.fresh) (latency_json t.cache.hit) t.cache.speedup;
+  Printf.bprintf b
+    "\"soak\": {\"requests\": %d, \"responses\": %d, \"rejected\": %d, \"contained_crashes\": \
+     %d, \"lost\": %d, \"wall_s\": %.3f, \"survived\": %b}}\n"
+    t.soak.soak_requests t.soak.responses t.soak.soak_rejected t.soak.contained_crashes
+    t.soak.lost t.soak.wall t.soak.survived;
+  Buffer.contents b

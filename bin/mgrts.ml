@@ -36,9 +36,14 @@ let seed_arg =
   let doc = "Random seed." in
   Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc)
 
+(* Deliberately [string], not [Arg.file]: cmdliner's existence check only
+   catches files missing at parse time (exit 124) and lets unreadable ones
+   through to an uncaught [Sys_error].  Routing every path through
+   [Io.load_taskset] under [guard] gives one behavior for both: a
+   one-line "mgrts: ..." message and the stable invalid-input exit 3. *)
 let file_arg =
   let doc = "Task-set file (one 'O C D T' line per task)." in
-  Arg.(required & pos 0 (some file) None & info [] ~docv:"TASKSET" ~doc)
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"TASKSET" ~doc)
 
 let budget_of_limit limit =
   if limit <= 0. then Prelude.Timer.unlimited else Prelude.Timer.budget ~wall_s:limit ()
@@ -68,30 +73,13 @@ let guard f =
     | None -> raise e)
 
 let solver_conv =
+  (* The name grammar lives in [Core.solver_of_string], shared with the
+     serve protocol's "solver" field.  [Portfolio]'s job count is a
+     placeholder; [solve] substitutes --jobs. *)
   let parse s =
-    match String.lowercase_ascii s with
-    | "csp1" -> Ok Core.Csp1_generic
-    | "csp1-sat" | "sat" -> Ok Core.Csp1_sat
-    | "csp2-generic" -> Ok Core.Csp2_generic
-    | "local" | "local-search" -> Ok Core.Local_search
-    (* The job count is a placeholder here; [solve] substitutes --jobs. *)
-    | "portfolio" -> Ok (Core.Portfolio 0)
-    | "csp2-opt" | "opt" -> Ok (Core.Csp2_opt Csp2.Heuristic.DC)
-    | other -> (
-      match
-        if String.length other > 9 && String.sub other 0 9 = "csp2-opt+" then
-          Option.map
-            (fun h -> Core.Csp2_opt h)
-            (Csp2.Heuristic.of_string (String.sub other 9 (String.length other - 9)))
-        else if String.length other > 5 && String.sub other 0 5 = "csp2+" then
-          Option.map
-            (fun h -> Core.Csp2_dedicated h)
-            (Csp2.Heuristic.of_string (String.sub other 5 (String.length other - 5)))
-        else if other = "csp2" then Some (Core.Csp2_dedicated Csp2.Heuristic.Id)
-        else None
-      with
-      | Some solver -> Ok solver
-      | None -> Error (`Msg (Printf.sprintf "unknown solver %S" s)))
+    match Core.solver_of_string s with
+    | Some solver -> Ok solver
+    | None -> Error (`Msg (Printf.sprintf "unknown solver %S" s))
   in
   Arg.conv (parse, fun ppf s -> Format.fprintf ppf "%s" (Core.solver_name s))
 
@@ -597,12 +585,100 @@ let verify_cmd =
       1
   in
   let schedule_file =
-    Arg.(required & pos 1 (some file) None & info [] ~docv:"SCHEDULE.CSV"
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"SCHEDULE.CSV"
            ~doc:"Schedule CSV (rows = processors, cells = 1-based task ids or empty).")
   in
   Cmd.v
     (Cmd.info "verify" ~doc:"Check a schedule CSV against a task set (conditions C1-C4).")
     Term.(const run $ file_arg $ schedule_file)
+
+let serve_cmd =
+  let run workers jobs queue default_limit max_limit cache stats_every failpoints =
+    guard @@ fun () ->
+    Option.iter Resilience.Failpoint.arm_spec failpoints;
+    let base = Serve.Scheduler.default_config () in
+    let config =
+      {
+        base with
+        Serve.Scheduler.workers = (if workers > 0 then workers else base.Serve.Scheduler.workers);
+        jobs_per_request =
+          (if jobs > 0 then jobs else base.Serve.Scheduler.jobs_per_request);
+        queue_capacity =
+          (if queue > 0 then queue else base.Serve.Scheduler.queue_capacity);
+        default_wall_s =
+          (if default_limit > 0. then default_limit else base.Serve.Scheduler.default_wall_s);
+        max_wall_s = (if max_limit > 0. then max_limit else base.Serve.Scheduler.max_wall_s);
+        cache_capacity =
+          (if cache > 0 then cache else base.Serve.Scheduler.cache_capacity);
+      }
+    in
+    let stats_every_s = if stats_every > 0. then Some stats_every else None in
+    Serve.Daemon.run ~config ?stats_every_s ()
+  in
+  let workers =
+    Arg.(
+      value & opt int 0
+      & info [ "workers" ] ~docv:"N"
+          ~doc:"Concurrent requests in flight (0 = half the recommended domains).")
+  in
+  let jobs =
+    Arg.(
+      value & opt int 0
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:"Domains each request's portfolio solve may use (0 = auto-shard).")
+  in
+  let queue =
+    Arg.(
+      value & opt int 0
+      & info [ "queue" ] ~docv:"N"
+          ~doc:
+            "Admission-queue capacity: further solve requests are rejected with code 6 \
+             until the backlog drains (0 = default 64).")
+  in
+  let default_limit =
+    Arg.(
+      value & opt float 0.
+      & info [ "default-limit" ] ~docv:"SECONDS"
+          ~doc:"Wall budget for requests that name none (0 = default 5s).")
+  in
+  let max_limit =
+    Arg.(
+      value & opt float 0.
+      & info [ "max-limit" ] ~docv:"SECONDS"
+          ~doc:"Hard per-request wall-budget clamp (0 = default 30s).")
+  in
+  let cache =
+    Arg.(
+      value & opt int 0
+      & info [ "cache" ] ~docv:"ENTRIES"
+          ~doc:"Verdict-cache capacity before LRU eviction (0 = default 512).")
+  in
+  let stats_every =
+    Arg.(
+      value & opt float 0.
+      & info [ "stats-every" ] ~docv:"SECONDS"
+          ~doc:
+            "Emit a periodic {\"event\": \"stats\", ...} line on the output stream (0 = \
+             only the final one).")
+  in
+  let failpoints =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "failpoints" ] ~docv:"SPEC"
+          ~doc:
+            "Arm deterministic failpoints (MGRTS_FAILPOINTS grammar); serve requests run \
+             supervised, so an armed serve.request site crashes individual requests, never \
+             the daemon.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the multi-tenant solve daemon: NDJSON requests on stdin, one response per \
+          line on stdout, shared verdict cache, per-request budgets and crash containment.")
+    Term.(
+      const run $ workers $ jobs $ queue $ default_limit $ max_limit $ cache $ stats_every
+      $ failpoints)
 
 let default =
   Term.(ret (const (`Help (`Pager, None))))
@@ -629,4 +705,5 @@ let () =
             dimacs_cmd;
             metrics_cmd;
             verify_cmd;
+            serve_cmd;
           ]))

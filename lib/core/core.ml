@@ -21,6 +21,33 @@ let solver_name = function
   | Local_search -> "local-search"
   | Portfolio jobs -> Printf.sprintf "portfolio(%d)" jobs
 
+(* Inverse of {!solver_name}'s CLI spellings; shared by the cmdliner
+   converter in [bin/mgrts.ml] and the serve protocol's "solver" field so
+   the two front ends cannot drift. *)
+let solver_of_string s =
+  let prefixed prefix other =
+    let pl = String.length prefix in
+    if String.length other > pl && String.sub other 0 pl = prefix then
+      Some (String.sub other pl (String.length other - pl))
+    else None
+  in
+  match String.lowercase_ascii s with
+  | "csp1" -> Some Csp1_generic
+  | "csp1-sat" | "sat" -> Some Csp1_sat
+  | "csp2-generic" -> Some Csp2_generic
+  | "local" | "local-search" -> Some Local_search
+  (* The job count is a placeholder; callers substitute their own. *)
+  | "portfolio" -> Some (Portfolio 0)
+  | "csp2-opt" | "opt" -> Some (Csp2_opt Csp2.Heuristic.DC)
+  | "csp2" -> Some (Csp2_dedicated Csp2.Heuristic.Id)
+  | other -> (
+    match prefixed "csp2-opt+" other with
+    | Some h -> Option.map (fun h -> Csp2_opt h) (Csp2.Heuristic.of_string h)
+    | None -> (
+      match prefixed "csp2+" other with
+      | Some h -> Option.map (fun h -> Csp2_dedicated h) (Csp2.Heuristic.of_string h)
+      | None -> None))
+
 let all_solvers =
   [
     Csp1_generic;
@@ -351,6 +378,10 @@ let error_of_exn = function
   | Prelude.Intmath.Overflow what -> Some (Overflow what)
   | Invalid_argument msg when contains_overflow msg -> Some (Overflow msg)
   | Invalid_argument msg -> Some (Invalid_input msg)
+  (* A missing or unreadable input file ([Io.load_taskset], schedule CSVs)
+     surfaces as a bare [Sys_error]; before this branch the CLI died with
+     an uncaught exception instead of the stable invalid-input exit. *)
+  | Sys_error msg -> Some (Invalid_input msg)
   | Portfolio.All_arms_crashed crashes -> Some (All_arms_crashed crashes)
   | _ -> None
 

@@ -44,6 +44,14 @@ val default_solver : solver
 
 val solver_name : solver -> string
 
+val solver_of_string : string -> solver option
+(** Inverse of {!solver_name}'s CLI spellings (case-insensitive): [csp1],
+    [csp1-sat]/[sat], [csp2-generic], [csp2], [csp2+rm/dm/tc/dc],
+    [csp2-opt]/[opt] (also [+rm/dm/tc/dc]), [local]/[local-search],
+    [portfolio].  [Portfolio] carries a placeholder job count of 0 —
+    callers substitute their own.  Shared by the CLI converter and the
+    serve protocol so the two front ends accept the same names. *)
+
 val all_solvers : solver list
 (** One of each family (D−C heuristic for the dedicated path, four jobs
     for the portfolio). *)
@@ -219,7 +227,10 @@ val solve_result :
 
 val error_of_exn : exn -> error option
 (** The classifier behind {!solve_result}, exposed so other entry points
-    (the CLI wraps every subcommand) can reuse it. *)
+    (the CLI wraps every subcommand, the serve daemon wraps every request)
+    can reuse it.  [Sys_error] — a missing or unreadable input file — is
+    classified as [Invalid_input]: file I/O problems are the caller's bad
+    input, not a solver failure. *)
 
 val error_message : error -> string
 (** One human line, no trailing newline. *)

@@ -40,15 +40,20 @@ let taskset_to_string ts =
     (Taskset.tasks ts);
   Buffer.contents buf
 
+(* [open_in] on a missing or unreadable path raises a bare [Sys_error];
+   callers that must not crash on bad input (the CLI guard, the serve
+   daemon) classify it via [Core.error_of_exn] into [Invalid_input].
+   Parse failures are prefixed with the path so multi-file callers can
+   tell which input was at fault. *)
 let load_taskset path =
   let ic = open_in path in
   let read () =
     let len = in_channel_length ic in
     really_input_string ic len
   in
-  let text = try read () with e -> close_in ic; raise e in
+  let text = try read () with e -> close_in_noerr ic; raise e in
   close_in ic;
-  taskset_of_string text
+  try taskset_of_string text with Failure msg -> failwith (path ^ ": " ^ msg)
 
 let save_taskset path ts =
   let oc = open_out path in

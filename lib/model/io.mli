@@ -22,7 +22,11 @@ val taskset_to_string : Taskset.t -> string
     periods; ids are positional). *)
 
 val load_taskset : string -> Taskset.t
-(** Read a file.  @raise Sys_error or Failure. *)
+(** Read a file.
+    @raise Sys_error on a missing or unreadable path (classified as
+    invalid input by [Core.error_of_exn] — the CLI exits 3, the serve
+    daemon answers with error code 3).
+    @raise Failure on malformed contents, prefixed with the path. *)
 
 val save_taskset : string -> Taskset.t -> unit
 

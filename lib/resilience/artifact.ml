@@ -1,14 +1,51 @@
+(* Two historical bugs live on in the regression tests:
+
+   - The original writer [Sys.rename]d without fsyncing the temporary (or
+     its directory), so a power loss shortly after the rename could still
+     surface a truncated — or empty — artifact: rename is atomic with
+     respect to *processes*, not to the disk.  The file data must reach
+     stable storage before the rename makes it reachable, and the
+     directory entry itself must be flushed after.
+
+   - The temporary was the *fixed* name [path ^ ".tmp"], so two concurrent
+     writers of the same artifact (e.g. two serve requests exporting
+     traces) clobbered each other's half-written file and one of them
+     renamed the other's bytes into place.  The name now embeds the pid
+     and a process-wide counter, making it unique per writer. *)
+
+let tmp_counter = Atomic.make 0
+
+let tmp_name path =
+  Printf.sprintf "%s.tmp.%d.%d" path (Unix.getpid ()) (Atomic.fetch_and_add tmp_counter 1)
+
+(* Flush the directory entry so the rename itself is durable.  Some
+   filesystems refuse fsync on a directory fd (and any O_RDONLY open of a
+   directory can fail on exotic setups) — degrade silently: the data-file
+   fsync above already rules out the truncated-artifact failure mode. *)
+let fsync_dir dir =
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | fd ->
+    (try Unix.fsync fd with Unix.Unix_error _ -> ());
+    (try Unix.close fd with Unix.Unix_error _ -> ())
+  | exception Unix.Unix_error _ -> ()
+
 let write_atomic path contents =
-  let tmp = path ^ ".tmp" in
-  let oc = open_out tmp in
+  let tmp = tmp_name path in
+  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC; Unix.O_CLOEXEC ] 0o644 in
   (try
-     output_string oc contents;
-     close_out oc
+     let len = String.length contents in
+     let written = ref 0 in
+     while !written < len do
+       written := !written + Unix.write_substring fd contents !written (len - !written)
+     done;
+     Unix.fsync fd;
+     Unix.close fd
    with e ->
-     close_out_noerr oc;
+     (try Unix.close fd with Unix.Unix_error _ -> ());
      (try Sys.remove tmp with Sys_error _ -> ());
      raise e);
-  try Sys.rename tmp path
-  with e ->
-    (try Sys.remove tmp with Sys_error _ -> ());
-    raise e
+  (try Sys.rename tmp path
+   with e ->
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  fsync_dir (Filename.dirname path)

@@ -1,11 +1,14 @@
-(** Atomic artifact writes.
+(** Atomic, durable artifact writes.
 
-    Bench tables and trace exports are consumed by CI jobs and diffed
-    across runs; a crash or Ctrl-C mid-write must never leave a truncated
-    half-file behind.  [write_atomic path contents] writes to
-    [path ^ ".tmp"] and [Sys.rename]s it into place — rename is atomic on
-    POSIX filesystems, so readers observe either the old file or the
-    complete new one.  On any error the temporary is removed and the
-    destination left untouched. *)
+    Bench tables, trace exports and serve-side dumps are consumed by CI
+    jobs and diffed across runs; a crash or Ctrl-C mid-write must never
+    leave a truncated half-file behind.  [write_atomic path contents]
+    writes to a temporary unique to the calling writer (pid + counter, so
+    concurrent writers of the same [path] never clobber each other's
+    temporary), [Unix.fsync]s it, [Sys.rename]s it into place — rename is
+    atomic on POSIX filesystems, so readers observe either the old file or
+    the complete new one — and finally fsyncs the containing directory so
+    the rename survives a power loss.  On any error the temporary is
+    removed and the destination left untouched. *)
 
 val write_atomic : string -> string -> unit

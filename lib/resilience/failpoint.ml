@@ -20,6 +20,7 @@ let catalogue =
     "sat.propagate";
     "localsearch.restart";
     "localsearch.iter";
+    "serve.request";
   ]
 
 type site = {

@@ -43,7 +43,7 @@ val catalogue : string list
 (** Every site compiled into the fleet, one per instrumented checkpoint:
     [portfolio.arm_start], [portfolio.analysis], [csp2.node],
     [csp2opt.node], [csp2opt.memo_grow], [sat.propagate],
-    [localsearch.restart], [localsearch.iter]. *)
+    [localsearch.restart], [localsearch.iter], [serve.request]. *)
 
 val hit : string -> unit
 (** The instrumentation point.  Disarmed: one atomic load.  Armed: if the

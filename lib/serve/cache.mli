@@ -1,0 +1,39 @@
+(** The serve daemon's verdict cache, keyed on canonical fingerprints.
+
+    Only {e decisive} verdicts are cached: [Feasible] (the schedule,
+    stored in canonical task-id space — see {!Fingerprint}) and
+    [Infeasible].  [Limit]/[Memout] depend on the request's budget, so
+    caching them would let one tenant's tight budget answer another
+    tenant's generous one.
+
+    Thread-safe (one mutex — lookups are string-key hashtable probes, far
+    off any search hot path).  Bounded: past [capacity] entries, the
+    least-recently-used quarter is evicted in one sweep, keeping eviction
+    O(n) but amortized O(1) per store. *)
+
+type entry =
+  | Feasible_canonical of Rt_model.Schedule.t
+      (** Schedule in canonical task ids; relabel per request on a hit. *)
+  | Infeasible_entry
+
+type t
+
+val create : capacity:int -> t
+(** [capacity >= 1] (clamped). *)
+
+val find : t -> key:string -> entry option
+(** Bumps recency and the hit/miss counters. *)
+
+val store : t -> key:string -> entry -> unit
+(** Last writer wins on a duplicate key (both writers hold equal verdicts
+    by soundness of the solvers, so the race is benign). *)
+
+type stats = {
+  hits : int;
+  misses : int;
+  stores : int;
+  evictions : int;
+  entries : int;
+}
+
+val stats : t -> stats

@@ -1,0 +1,35 @@
+(** Canonical taskset fingerprints for the serve result cache.
+
+    Feasibility of a task system on [m] identical processors depends only
+    on the multiset of task parameters [(O, C, D, T)], the processor count
+    and the hyperperiod — never on the order tasks happen to be listed in
+    (renaming tasks renames schedule cells and nothing else; see
+    DESIGN.md §11 for the full soundness argument).  The fingerprint is
+    therefore the exact canonical form, not a hash: [m], the hyperperiod,
+    and the task tuples sorted field-wise.  Two tasksets share a
+    fingerprint iff one is a task-reordering of the other on the same
+    [m] — no collisions, so cache soundness needs no probabilistic
+    argument.
+
+    Feasible schedules are cached in {e canonical} task-id space: the
+    fingerprint carries the permutation between the request's task ids and
+    the canonical (sorted) ids, so a hit for a differently-ordered request
+    relabels the cached schedule back into that request's id space
+    ({!from_canonical}). *)
+
+type t
+
+val of_taskset : Rt_model.Taskset.t -> m:int -> t
+(** Canonicalize.  O(n log n). *)
+
+val key : t -> string
+(** The exact canonical form as a string — the cache key.  Equal iff the
+    [(taskset, m)] pairs are equal up to task reordering. *)
+
+val to_canonical : t -> Rt_model.Schedule.t -> Rt_model.Schedule.t
+(** Relabel a schedule for the fingerprinted taskset into canonical task
+    ids (used when storing). *)
+
+val from_canonical : t -> Rt_model.Schedule.t -> Rt_model.Schedule.t
+(** Relabel a canonically-stored schedule into the fingerprinted taskset's
+    task ids (used on a hit). *)

@@ -1,0 +1,44 @@
+(** Minimal JSON for the serve protocol.
+
+    The repo deliberately has no JSON dependency: the telemetry and bench
+    layers hand-roll their output, and the serve daemon needs only enough
+    of a {e parser} to read one request object per NDJSON line.  This is
+    that parser (recursive descent, full value grammar, no streaming) plus
+    a compact one-line printer for responses.
+
+    Numbers are held as [float]; every integer the protocol carries (task
+    parameters, processor counts, node budgets) is far below 2{^53}, so
+    the round-trip is exact. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val parse : string -> (t, string) result
+(** Parse one complete JSON value; trailing non-whitespace is an error.
+    The error string carries a character offset. *)
+
+val to_string : t -> string
+(** Compact one-line rendering (no newlines — NDJSON-safe: newlines inside
+    strings are escaped). *)
+
+val escape : string -> string
+(** The string-literal body escaping used by {!to_string}, exposed for
+    callers assembling JSON by hand. *)
+
+(** {1 Accessors} — all total, returning [None] on a shape mismatch. *)
+
+val member : string -> t -> t option
+(** Field of an [Obj]; [None] on missing field or non-object. *)
+
+val to_str : t -> string option
+val to_bool : t -> bool option
+val to_float : t -> float option
+val to_int : t -> int option
+(** [None] when the number is not integral or out of [int] range. *)
+
+val to_list : t -> t list option

@@ -1,0 +1,276 @@
+open Rt_model
+
+type solve_request = {
+  id : string;
+  tuples : (int * int * int * int) list;
+  m : int;
+  solver : Core.solver option;
+  wall_s : float option;
+  nodes : int option;
+  seed : int;
+  want_schedule : bool;
+  no_cache : bool;
+}
+
+type request =
+  | Solve of solve_request
+  | Stats_request
+  | Shutdown_request
+  | Malformed of string * string
+
+(* ------------------------------------------------------------------ *)
+(* Request parsing.                                                    *)
+
+exception Bad of string
+
+let field_int name v =
+  match Json.to_int v with
+  | Some i -> i
+  | None -> raise (Bad (Printf.sprintf "field %S must be an integer" name))
+
+let tuples_of_json rows =
+  List.mapi
+    (fun i row ->
+      match Json.to_list row with
+      | Some [ o; c; d; t ] ->
+        let g = field_int "taskset" in
+        (g o, g c, g d, g t)
+      | Some _ | None ->
+        raise (Bad (Printf.sprintf "taskset row %d must be an [O, C, D, T] quadruple" i)))
+    rows
+
+let tuples_of_text text =
+  (* Reuse the CLI text format; [taskset_of_string] validates per line. *)
+  Array.to_list
+    (Array.map
+       (fun (t : Task.t) -> (t.Task.offset, t.Task.wcet, t.Task.deadline, t.Task.period))
+       (Taskset.tasks (Io.taskset_of_string text)))
+
+let parse_request ~fallback_id line =
+  match Json.parse line with
+  | Error msg -> Malformed (fallback_id, msg)
+  | Ok json ->
+    let id =
+      match Json.member "id" json with
+      | Some (Json.Str s) -> s
+      | Some (Json.Num _ as n) -> (
+        match Json.to_int n with
+        | Some i -> string_of_int i
+        | None -> fallback_id)
+      | Some _ | None -> fallback_id
+    in
+    (try
+       match
+         match Json.member "cmd" json with
+         | None -> `Solve
+         | Some c -> (
+           match Json.to_str c with
+           | Some "solve" -> `Solve
+           | Some "stats" -> `Stats
+           | Some "shutdown" -> `Shutdown
+           | Some other -> raise (Bad (Printf.sprintf "unknown cmd %S" other))
+           | None -> raise (Bad "field \"cmd\" must be a string"))
+       with
+       | `Stats -> Stats_request
+       | `Shutdown -> Shutdown_request
+       | `Solve ->
+      let tuples =
+        match (Json.member "taskset" json, Json.member "taskset_text" json) with
+        | Some rows, None -> (
+          match Json.to_list rows with
+          | Some rows -> tuples_of_json rows
+          | None -> raise (Bad "field \"taskset\" must be an array of [O, C, D, T] rows"))
+        | None, Some text -> (
+          match Json.to_str text with
+          | Some text -> (
+            try tuples_of_text text with Failure msg -> raise (Bad msg))
+          | None -> raise (Bad "field \"taskset_text\" must be a string"))
+        | Some _, Some _ -> raise (Bad "give either \"taskset\" or \"taskset_text\", not both")
+        | None, None -> raise (Bad "missing field \"taskset\" (or \"taskset_text\")")
+      in
+      let m =
+        match Json.member "m" json with
+        | Some v -> field_int "m" v
+        | None -> raise (Bad "missing field \"m\"")
+      in
+      let solver =
+        match Json.member "solver" json with
+        | None -> None
+        | Some v -> (
+          match Json.to_str v with
+          | None -> raise (Bad "field \"solver\" must be a string")
+          | Some name -> (
+            match Core.solver_of_string name with
+            | Some s -> Some s
+            | None -> raise (Bad (Printf.sprintf "unknown solver %S" name))))
+      in
+      let opt_float name =
+        match Json.member name json with
+        | None -> None
+        | Some v -> (
+          match Json.to_float v with
+          | Some f -> Some f
+          | None -> raise (Bad (Printf.sprintf "field %S must be a number" name)))
+      in
+      let opt_int name =
+        match Json.member name json with None -> None | Some v -> Some (field_int name v)
+      in
+      let opt_bool name =
+        match Json.member name json with
+        | None -> false
+        | Some v -> (
+          match Json.to_bool v with
+          | Some b -> b
+          | None -> raise (Bad (Printf.sprintf "field %S must be a boolean" name)))
+      in
+         Solve
+           {
+             id;
+             tuples;
+             m;
+             solver;
+             wall_s = opt_float "wall_s";
+             nodes = opt_int "nodes";
+             seed = (match opt_int "seed" with Some s -> s | None -> 0);
+             want_schedule = opt_bool "schedule";
+             no_cache = opt_bool "no_cache";
+           }
+     with Bad msg -> Malformed (id, msg))
+
+(* ------------------------------------------------------------------ *)
+(* Responses.                                                          *)
+
+type status = Decided | Undecided | Error | Rejected
+
+type response = {
+  r_id : string;
+  r_status : status;
+  r_code : int;
+  r_verdict : string option;
+  r_cached : bool;
+  r_solver : string option;
+  r_winner : string option;
+  r_time_s : float;
+  r_queue_s : float;
+  r_stats : Telemetry.Stats.t option;
+  r_error : string option;
+  r_schedule : Rt_model.Schedule.t option;
+}
+
+let status_string = function
+  | Decided -> "decided"
+  | Undecided -> "undecided"
+  | Error -> "error"
+  | Rejected -> "rejected"
+
+let schedule_rows sched =
+  let m = Schedule.m sched and horizon = Schedule.horizon sched in
+  let rows = Buffer.create (m * (horizon + 2) * 2) in
+  Buffer.add_char rows '[';
+  for proc = 0 to m - 1 do
+    if proc > 0 then Buffer.add_char rows ',';
+    Buffer.add_char rows '[';
+    for time = 0 to horizon - 1 do
+      if time > 0 then Buffer.add_char rows ',';
+      let v = Schedule.get sched ~proc ~time in
+      Buffer.add_string rows (string_of_int (if v = Schedule.idle then 0 else v + 1))
+    done;
+    Buffer.add_char rows ']'
+  done;
+  Buffer.add_char rows ']';
+  Buffer.contents rows
+
+let response_json r =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "{\"id\": \"%s\", \"status\": \"%s\", \"code\": %d" (Json.escape r.r_id)
+       (status_string r.r_status) r.r_code);
+  (match r.r_verdict with
+  | Some v -> Buffer.add_string buf (Printf.sprintf ", \"verdict\": \"%s\"" (Json.escape v))
+  | None -> ());
+  Buffer.add_string buf (Printf.sprintf ", \"cached\": %b" r.r_cached);
+  (match r.r_solver with
+  | Some s -> Buffer.add_string buf (Printf.sprintf ", \"solver\": \"%s\"" (Json.escape s))
+  | None -> ());
+  (match r.r_winner with
+  | Some w -> Buffer.add_string buf (Printf.sprintf ", \"winner\": \"%s\"" (Json.escape w))
+  | None -> ());
+  Buffer.add_string buf
+    (Printf.sprintf ", \"time_s\": %.6f, \"queue_s\": %.6f" r.r_time_s r.r_queue_s);
+  (match r.r_stats with
+  | Some st -> Buffer.add_string buf (", \"stats\": " ^ Telemetry.Stats.to_json st)
+  | None -> ());
+  (match r.r_error with
+  | Some e -> Buffer.add_string buf (Printf.sprintf ", \"error\": \"%s\"" (Json.escape e))
+  | None -> ());
+  (match r.r_schedule with
+  | Some sched -> Buffer.add_string buf (", \"schedule\": " ^ schedule_rows sched)
+  | None -> ());
+  Buffer.add_char buf '}';
+  Buffer.contents buf
+
+let error_response ~id ~queue_s err =
+  {
+    r_id = id;
+    r_status = Error;
+    r_code = Core.error_exit_code err;
+    r_verdict = None;
+    r_cached = false;
+    r_solver = None;
+    r_winner = None;
+    r_time_s = 0.;
+    r_queue_s = queue_s;
+    r_stats = None;
+    r_error = Some (Core.error_message err);
+    r_schedule = None;
+  }
+
+let rejected_response ~id ~queue_depth =
+  {
+    r_id = id;
+    r_status = Rejected;
+    r_code = 6;
+    r_verdict = None;
+    r_cached = false;
+    r_solver = None;
+    r_winner = None;
+    r_time_s = 0.;
+    r_queue_s = 0.;
+    r_stats = None;
+    r_error =
+      Some
+        (Printf.sprintf "rejected: queue full (%d requests deep); retry later" queue_depth);
+    r_schedule = None;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Live counters.                                                      *)
+
+type counters = {
+  uptime_s : float;
+  received : int;
+  served : int;
+  decided : int;
+  undecided : int;
+  errors : int;
+  rejected : int;
+  crashed : int;
+  front_door_infeasible : int;
+  cache : Cache.stats;
+  in_flight : int;
+  queue_depth : int;
+  workers : int;
+  jobs_per_request : int;
+}
+
+let counters_json c =
+  Printf.sprintf
+    "{\"event\": \"stats\", \"uptime_s\": %.3f, \"received\": %d, \"served\": %d, \
+     \"decided\": %d, \"undecided\": %d, \"errors\": %d, \"rejected\": %d, \"crashed\": %d, \
+     \"front_door_infeasible\": %d, \"cache_hits\": %d, \"cache_misses\": %d, \
+     \"cache_stores\": %d, \"cache_evictions\": %d, \"cache_entries\": %d, \"in_flight\": \
+     %d, \"queue_depth\": %d, \"workers\": %d, \"jobs_per_request\": %d}"
+    c.uptime_s c.received c.served c.decided c.undecided c.errors c.rejected c.crashed
+    c.front_door_infeasible c.cache.Cache.hits c.cache.Cache.misses c.cache.Cache.stores
+    c.cache.Cache.evictions c.cache.Cache.entries c.in_flight c.queue_depth c.workers
+    c.jobs_per_request

@@ -1,0 +1,96 @@
+(** The serve wire protocol: NDJSON requests in, NDJSON responses out.
+
+    One JSON object per line.  Requests:
+
+    {v
+    {"id": "r1", "taskset": [[0,1,2,2],[1,3,4,4],[0,2,2,3]], "m": 2}
+    {"id": "r2", "cmd": "solve", "taskset_text": "0 1 2 2\n...", "m": 3,
+     "solver": "portfolio", "wall_s": 1.5, "nodes": 500000, "seed": 7,
+     "schedule": true, "no_cache": false}
+    {"cmd": "stats"}
+    {"cmd": "shutdown"}
+    v}
+
+    [taskset] rows are [(O, C, D, T)] integers; [taskset_text] accepts the
+    same text format as the CLI ({!Rt_model.Io.taskset_of_string}).  All
+    fields but [taskset]/[taskset_text] and [m] are optional.
+
+    Responses mirror the CLI's stable exit codes in a [code] field:
+    0 decided, 2 undecided (budget exhausted), 3 invalid input, 4
+    hyperperiod overflow, 5 solver crash (contained), 6 rejected by
+    admission control (queue full — retry later).  A [status] string
+    carries the same information coarsely: ["decided"], ["undecided"],
+    ["error"], ["rejected"].
+
+    Periodic server-side counter dumps share the output stream as
+    [{"event": "stats", ...}] lines — client code distinguishes them from
+    responses by the [event] key (responses never carry one). *)
+
+type solve_request = {
+  id : string;
+  tuples : (int * int * int * int) list;  (** [(O, C, D, T)] per task. *)
+  m : int;
+  solver : Core.solver option;  (** [None]: the server default. *)
+  wall_s : float option;  (** Clamped to the server's max. *)
+  nodes : int option;
+  seed : int;
+  want_schedule : bool;  (** Include the schedule grid in the response. *)
+  no_cache : bool;  (** Bypass the verdict cache (both lookup and store). *)
+}
+
+type request =
+  | Solve of solve_request
+  | Stats_request
+  | Shutdown_request
+  | Malformed of string * string  (** (request id or a fallback, error). *)
+
+val parse_request : fallback_id:string -> string -> request
+(** Parse one NDJSON line.  [fallback_id] names the response when the line
+    carries no usable [id] (the serve loop passes a line counter). *)
+
+type status = Decided | Undecided | Error | Rejected
+
+type response = {
+  r_id : string;
+  r_status : status;
+  r_code : int;
+  r_verdict : string option;  (** feasible / infeasible / limit / memout. *)
+  r_cached : bool;
+  r_solver : string option;
+  r_winner : string option;  (** Winning arm, portfolio solves only. *)
+  r_time_s : float;  (** Solve wall clock (0 for non-solve errors). *)
+  r_queue_s : float;  (** Time spent queued before a worker picked it up. *)
+  r_stats : Telemetry.Stats.t option;
+  r_error : string option;
+  r_schedule : Rt_model.Schedule.t option;
+      (** Rows = processors, cells = 1-based task ids, 0 = idle. *)
+}
+
+val status_string : status -> string
+val response_json : response -> string
+(** One line, no trailing newline. *)
+
+val error_response : id:string -> queue_s:float -> Core.error -> response
+val rejected_response : id:string -> queue_depth:int -> response
+
+(** Live server counters, rendered as the periodic [stats] event. *)
+type counters = {
+  uptime_s : float;
+  received : int;
+  served : int;
+  decided : int;
+  undecided : int;
+  errors : int;
+  rejected : int;
+  crashed : int;
+  front_door_infeasible : int;
+      (** Answered by the exact-utilization admission check, no search. *)
+  cache : Cache.stats;
+  in_flight : int;
+  queue_depth : int;
+  workers : int;
+  jobs_per_request : int;
+}
+
+val counters_json : counters -> string
+(** The [{"event": "stats", ...}] line, no trailing newline. *)

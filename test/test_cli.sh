@@ -27,6 +27,18 @@ expect() {
 expect 0 "decided solve" solve "$EXAMPLE" -m 2 --quiet
 expect 3 "m = 0" solve "$EXAMPLE" -m 0
 expect 3 "malformed task set" solve "$MALFORMED" -m 2
+
+# A missing input file used to escape as an uncaught Sys_error crash dump
+# (or cmdliner's exit 124, depending on the path); it must be classified
+# as invalid input like any other bad argument.
+expect 3 "missing task-set file" solve /nonexistent/mgrts_no_such_file.txt -m 2
+expect 3 "missing task-set file (analyze)" analyze /nonexistent/mgrts_no_such_file.txt -m 2
+
+err=$("$MGRTS" solve /nonexistent/mgrts_no_such_file.txt -m 2 2>&1 >/dev/null)
+case "$err" in
+mgrts:*) ;;
+*) fail "missing-file message: got '$err'" ;;
+esac
 expect 4 "hyperperiod overflow" solve "$OVERFLOW" -m 2
 expect 4 "overflow reaches every reader" analyze "$OVERFLOW" -m 2
 expect 3 "unknown failpoint site" solve "$EXAMPLE" -m 2 --failpoints bogus=raise:Out_of_memory

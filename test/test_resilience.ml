@@ -157,15 +157,65 @@ let read_file path =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
+let no_temporaries path =
+  let dir = Filename.dirname path and base = Filename.basename path in
+  Array.for_all
+    (fun entry ->
+      not
+        (String.length entry > String.length base
+        && String.sub entry 0 (String.length base) = base))
+    (Sys.readdir dir)
+
 let test_write_atomic () =
   let path = Filename.temp_file "mgrts_artifact" ".json" in
   Fun.protect ~finally:(fun () -> if Sys.file_exists path then Sys.remove path) @@ fun () ->
   Resilience.Artifact.write_atomic path "{\"v\": 1}\n";
   check Alcotest.string "written" "{\"v\": 1}\n" (read_file path);
-  Alcotest.(check bool) "no temporary left" false (Sys.file_exists (path ^ ".tmp"));
+  Alcotest.(check bool) "no temporary left" true (no_temporaries path);
   (* Overwrite: readers see either the old or the new complete file. *)
   Resilience.Artifact.write_atomic path "{\"v\": 2}\n";
   check Alcotest.string "replaced" "{\"v\": 2}\n" (read_file path)
+
+(* Regression: the writer used the fixed temporary [path ^ ".tmp"], so two
+   concurrent writers clobbered each other's half-written bytes and the
+   final rename could install a torn mix.  With per-writer temporaries the
+   destination must always hold exactly one writer's complete contents,
+   and no temporary may survive. *)
+let test_write_atomic_concurrent () =
+  let path = Filename.temp_file "mgrts_artifact" ".json" in
+  Fun.protect ~finally:(fun () -> if Sys.file_exists path then Sys.remove path) @@ fun () ->
+  let payload tag = Printf.sprintf "{\"writer\": %d, \"pad\": \"%s\"}\n" tag (String.make 8192 (Char.chr (Char.code 'a' + tag))) in
+  let writers = 4 and rounds = 25 in
+  let domains =
+    List.init writers (fun tag ->
+        Domain.spawn (fun () ->
+            for _ = 1 to rounds do
+              Resilience.Artifact.write_atomic path (payload tag)
+            done))
+  in
+  List.iter Domain.join domains;
+  let final = read_file path in
+  Alcotest.(check bool) "destination is one writer's complete contents" true
+    (List.exists (fun tag -> final = payload tag) (List.init writers Fun.id));
+  Alcotest.(check bool) "no temporary left" true (no_temporaries path)
+
+(* Regression for the fsync bugfix: the write path now goes through a raw
+   fd (openfile/write/fsync) — pin that the full contents land even for
+   payloads far beyond one write(2)'s typical short-write boundary, and
+   that a failed write (unwritable directory) leaves no destination and no
+   temporary behind. *)
+let test_write_atomic_large_and_error () =
+  let path = Filename.temp_file "mgrts_artifact" ".json" in
+  Fun.protect ~finally:(fun () -> if Sys.file_exists path then Sys.remove path) @@ fun () ->
+  let big = String.concat "" (List.init 4096 (fun i -> Printf.sprintf "{\"row\": %d}\n" i)) in
+  Resilience.Artifact.write_atomic path big;
+  check Alcotest.string "large payload intact" big (read_file path);
+  let missing_dir = Filename.concat (Filename.dirname path) "mgrts_no_such_dir" in
+  (match Resilience.Artifact.write_atomic (Filename.concat missing_dir "x.json") "{}\n" with
+  | () -> Alcotest.fail "write into a missing directory should raise"
+  | exception Unix.Unix_error _ -> ()
+  | exception Sys_error _ -> ());
+  Alcotest.(check bool) "no stray destination" false (Sys.file_exists missing_dir)
 
 (* ------------------------------------------------------------------ *)
 (* Watchdog                                                             *)
@@ -403,7 +453,13 @@ let () =
           Alcotest.test_case "enters injection scope" `Quick test_protect_enters_scope;
           Alcotest.test_case "Sys.Break escapes" `Quick test_protect_passes_break;
         ] );
-      ("artifact", [ Alcotest.test_case "atomic write" `Quick test_write_atomic ]);
+      ( "artifact",
+        [
+          Alcotest.test_case "atomic write" `Quick test_write_atomic;
+          Alcotest.test_case "concurrent writers" `Quick test_write_atomic_concurrent;
+          Alcotest.test_case "large payload and error path" `Quick
+            test_write_atomic_large_and_error;
+        ] );
       ( "watchdog",
         [
           Alcotest.test_case "cancels the stalled arm only" `Quick test_watchdog_cancels_stalled;
